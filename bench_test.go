@@ -1,0 +1,245 @@
+// Package idemproc's root benchmarks regenerate every table and figure of
+// the paper's evaluation (run with `go test -bench=. -benchmem`); each
+// benchmark reports the figure's headline aggregates as custom metrics
+// and logs the full table (visible with -v). cmd/idembench prints the
+// same tables directly.
+package idemproc
+
+import (
+	"testing"
+
+	"idemproc/internal/experiments"
+	"idemproc/internal/limit"
+	"idemproc/internal/workloads"
+)
+
+// BenchmarkFig4LimitStudy regenerates Figure 4: dynamic idempotent path
+// lengths in the limit, under the three clobber categories.
+func BenchmarkFig4LimitStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig4(workloads.All())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Geomean[limit.Semantic], "gm-semantic")
+		b.ReportMetric(res.Geomean[limit.SemanticCalls], "gm-sem+calls")
+		b.ReportMetric(res.Geomean[limit.SemanticArtificial], "gm-artificial")
+		if i == 0 {
+			b.Log("\n" + res.Format())
+		}
+	}
+}
+
+// BenchmarkFig8PathCDF regenerates Figure 8: the execution-time-weighted
+// distribution of dynamic path lengths of the constructed regions.
+func BenchmarkFig8PathCDF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig8(workloads.All())
+		if err != nil {
+			b.Fatal(err)
+		}
+		under10 := 0.0
+		for _, r := range rows {
+			under10 += r.FracUnder10
+		}
+		b.ReportMetric(100*under10/float64(len(rows)), "avg-%time-on-≤10-paths")
+		if i == 0 {
+			b.Log("\n" + experiments.FormatFig8(rows))
+		}
+	}
+}
+
+// BenchmarkFig9PathVsIdeal regenerates Figure 9: constructed vs ideal
+// average path lengths.
+func BenchmarkFig9PathVsIdeal(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig9(workloads.All())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.GeomeanConstructed, "gm-constructed")
+		b.ReportMetric(res.GeomeanIdeal, "gm-ideal")
+		if i == 0 {
+			b.Log("\n" + res.Format())
+		}
+	}
+}
+
+// BenchmarkFig10Overheads regenerates Figure 10: execution-time and
+// dynamic-instruction overheads of the idempotent compilation.
+func BenchmarkFig10Overheads(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig10(workloads.All())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.OverallTime, "gm-time-ovh-%")
+		b.ReportMetric(res.OverallInstr, "gm-instr-ovh-%")
+		b.ReportMetric(res.SuiteTime[workloads.SpecInt], "specint-time-%")
+		b.ReportMetric(res.SuiteTime[workloads.SpecFP], "specfp-time-%")
+		b.ReportMetric(res.SuiteTime[workloads.Parsec], "parsec-time-%")
+		if i == 0 {
+			b.Log("\n" + res.Format())
+		}
+	}
+}
+
+// BenchmarkFig12Recovery regenerates Figure 12: recovery overheads of
+// INSTRUCTION-TMR, CHECKPOINT-AND-LOG and IDEMPOTENCE over the DMR
+// detection baseline.
+func BenchmarkFig12Recovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig12(workloads.All())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.GeoTMR, "gm-tmr-ovh-%")
+		b.ReportMetric(res.GeoCL, "gm-cl-ovh-%")
+		b.ReportMetric(res.GeoIdem, "gm-idem-ovh-%")
+		if i == 0 {
+			b.Log("\n" + res.Format())
+		}
+	}
+}
+
+// BenchmarkTable2Classification regenerates the Table 2 instantiation:
+// antidependence classification by storage resource.
+func BenchmarkTable2Classification(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table2(workloads.All())
+		if err != nil {
+			b.Fatal(err)
+		}
+		semantic, cuts := 0, 0
+		for _, r := range rows {
+			semantic += r.MemoryAntideps
+			cuts += r.CutsPlaced
+		}
+		b.ReportMetric(float64(semantic), "semantic-antideps")
+		b.ReportMetric(float64(cuts), "cuts")
+		if i == 0 {
+			b.Log("\n" + experiments.FormatTable2(rows))
+		}
+	}
+}
+
+// BenchmarkAblationLoopHeuristic measures the §4.3 loop-nesting heuristic
+// (dynamic path length with it on vs off).
+func BenchmarkAblationLoopHeuristic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationLoopHeuristic(workloads.All())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var on, off []float64
+		for _, r := range rows {
+			on = append(on, r.On)
+			off = append(off, r.Off)
+		}
+		b.ReportMetric(experiments.Geomean(on), "gm-pathlen-on")
+		b.ReportMetric(experiments.Geomean(off), "gm-pathlen-off")
+		if i == 0 {
+			b.Log("\n" + experiments.FormatAblation("Ablation: §4.3 loop heuristic (avg dynamic path length)", "heuristic on", "off", rows))
+		}
+	}
+}
+
+// BenchmarkAblationLoopUnroll measures the §5 single unroll before
+// case-3 cuts.
+func BenchmarkAblationLoopUnroll(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationUnroll(workloads.All())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var on []float64
+		for _, r := range rows {
+			on = append(on, r.On)
+		}
+		b.ReportMetric(experiments.Geomean(on), "gm-pathlen-on")
+		if i == 0 {
+			b.Log("\n" + experiments.FormatAblation("Ablation: §5 loop unroll (avg dynamic path length)", "unroll on", "off", rows))
+		}
+	}
+}
+
+// BenchmarkAblationRedElim measures the Fig. 5 redundancy elimination
+// (cuts required with it on vs off).
+func BenchmarkAblationRedElim(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationRedElim(workloads.All())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var on, off []float64
+		for _, r := range rows {
+			on = append(on, r.On)
+			off = append(off, r.Off)
+		}
+		b.ReportMetric(experiments.Geomean(on), "gm-cuts-on")
+		b.ReportMetric(experiments.Geomean(off), "gm-cuts-off")
+		if i == 0 {
+			b.Log("\n" + experiments.FormatAblation("Ablation: Fig. 5 redundancy elimination (cuts placed)", "redelim on", "off", rows))
+		}
+	}
+}
+
+// BenchmarkAblationRegalloc isolates the §4.4 allocation constraint
+// (cycles with the constraint vs relaxed, same regions).
+func BenchmarkAblationRegalloc(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationRegalloc(workloads.All())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var ratios []float64
+		for _, r := range rows {
+			if r.Off > 0 {
+				ratios = append(ratios, r.On/r.Off)
+			}
+		}
+		b.ReportMetric(100*(experiments.Geomean(ratios)-1), "gm-constraint-cost-%")
+		if i == 0 {
+			b.Log("\n" + experiments.FormatAblation("Ablation: §4.4 allocation constraint (cycles)", "constrained", "relaxed", rows))
+		}
+	}
+}
+
+// BenchmarkRegionSizeSweep measures the §6.2 path-length vs overhead
+// trade-off on a representative workload.
+func BenchmarkRegionSizeSweep(b *testing.B) {
+	w, _ := workloads.ByName("gcc")
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.RegionSizeSweep(w, []int{0, 64, 16, 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(pts[0].AvgPathLen, "pathlen-unbounded")
+		b.ReportMetric(pts[3].AvgPathLen, "pathlen-cap4")
+		b.ReportMetric(pts[3].TimeOvhPct, "timeovh-cap4-%")
+		if i == 0 {
+			b.Log("\n" + experiments.FormatSweep(w.Name, pts))
+		}
+	}
+}
+
+// BenchmarkAblationPureCalls measures the pure-call inter-procedural
+// extension (dynamic path length with it on vs off).
+func BenchmarkAblationPureCalls(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationPureCalls(workloads.All())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var ratios []float64
+		for _, r := range rows {
+			if r.Off > 0 {
+				ratios = append(ratios, r.On/r.Off)
+			}
+		}
+		b.ReportMetric(experiments.Geomean(ratios), "gm-pathlen-gain")
+		if i == 0 {
+			b.Log("\n" + experiments.FormatAblation("Ablation: pure-call extension (avg dynamic path length)", "pure-calls on", "off", rows))
+		}
+	}
+}

@@ -1,0 +1,166 @@
+// Command idembench regenerates the paper's tables and figures over the
+// workload suite and prints them as text tables.
+//
+//	idembench -all                 # everything
+//	idembench -fig10 -fig12        # selected figures
+//	idembench -fig4 -suite "SPEC INT"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"idemproc/internal/experiments"
+	"idemproc/internal/workloads"
+)
+
+func main() {
+	var (
+		all    = flag.Bool("all", false, "run every experiment")
+		fig4   = flag.Bool("fig4", false, "Figure 4: limit study")
+		fig8   = flag.Bool("fig8", false, "Figure 8: path length CDF")
+		fig9   = flag.Bool("fig9", false, "Figure 9: constructed vs ideal paths")
+		fig10  = flag.Bool("fig10", false, "Figure 10: compilation overheads")
+		fig11  = flag.Bool("fig11", false, "Figure 11: recovery transforms")
+		fig12  = flag.Bool("fig12", false, "Figure 12: recovery overheads")
+		table2 = flag.Bool("table2", false, "Table 2: antidependence classification")
+		chars  = flag.Bool("characteristics", false, "static region characteristics")
+		ablate = flag.Bool("ablations", false, "design-choice ablations")
+		sweep  = flag.Bool("sweep", false, "region-size trade-off sweep (§6.2)")
+		suite  = flag.String("suite", "", "restrict to one suite (SPEC INT, SPEC FP, PARSEC)")
+		bench  = flag.String("workload", "", "restrict to one workload by name")
+	)
+	flag.Parse()
+
+	ws := workloads.All()
+	if *suite != "" {
+		ws = workloads.BySuite(workloads.Suite(*suite))
+		if len(ws) == 0 {
+			fmt.Fprintf(os.Stderr, "unknown suite %q\n", *suite)
+			os.Exit(1)
+		}
+	}
+	if *bench != "" {
+		w, ok := workloads.ByName(*bench)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown workload %q\n", *bench)
+			os.Exit(1)
+		}
+		ws = []workloads.Workload{w}
+	}
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "idembench:", err)
+		os.Exit(1)
+	}
+	ran := false
+
+	if *all || *table2 {
+		ran = true
+		rows, err := experiments.Table2(ws)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(experiments.FormatTable2(rows))
+	}
+	if *all || *fig4 {
+		ran = true
+		res, err := experiments.Fig4(ws)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(res.Format())
+	}
+	if *all || *fig8 {
+		ran = true
+		rows, err := experiments.Fig8(ws)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(experiments.FormatFig8(rows))
+	}
+	if *all || *fig9 {
+		ran = true
+		res, err := experiments.Fig9(ws)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(res.Format())
+	}
+	if *all || *fig10 {
+		ran = true
+		res, err := experiments.Fig10(ws)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(res.Format())
+	}
+	if *all || *fig11 {
+		ran = true
+		fmt.Println(experiments.Fig11())
+	}
+	if *all || *fig12 {
+		ran = true
+		res, err := experiments.Fig12(ws)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(res.Format())
+	}
+	if *all || *chars {
+		ran = true
+		rows, err := experiments.Characteristics(ws)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(experiments.FormatCharacteristics(rows))
+	}
+	if *all || *ablate {
+		ran = true
+		if rows, err := experiments.AblationLoopHeuristic(ws); err != nil {
+			fail(err)
+		} else {
+			fmt.Println(experiments.FormatAblation("Ablation: §4.3 loop heuristic (avg dynamic path length)", "heuristic on", "off", rows))
+		}
+		if rows, err := experiments.AblationUnroll(ws); err != nil {
+			fail(err)
+		} else {
+			fmt.Println(experiments.FormatAblation("Ablation: §5 loop unroll (avg dynamic path length)", "unroll on", "off", rows))
+		}
+		if rows, err := experiments.AblationRedElim(ws); err != nil {
+			fail(err)
+		} else {
+			fmt.Println(experiments.FormatAblation("Ablation: Fig. 5 redundancy elimination (cuts placed)", "redelim on", "off", rows))
+		}
+		if rows, err := experiments.AblationRegalloc(ws); err != nil {
+			fail(err)
+		} else {
+			fmt.Println(experiments.FormatAblation("Ablation: §4.4 allocation constraint (cycles)", "constrained", "relaxed", rows))
+		}
+		if rows, err := experiments.AblationPureCalls(ws); err != nil {
+			fail(err)
+		} else {
+			fmt.Println(experiments.FormatAblation("Ablation: pure-call extension (avg dynamic path length)", "pure-calls on", "off", rows))
+		}
+	}
+
+	if *all || *sweep {
+		ran = true
+		for _, w := range ws {
+			if w.Name != "gcc" && w.Name != "lbm" && *bench == "" {
+				continue // the sweep is per-workload; show two representatives
+			}
+			pts, err := experiments.RegionSizeSweep(w, []int{0, 128, 32, 8, 4})
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println(experiments.FormatSweep(w.Name, pts))
+		}
+	}
+
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}

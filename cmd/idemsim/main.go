@@ -1,0 +1,168 @@
+// Command idemsim runs compiled programs on the machine simulator, with
+// optional fault injection and a choice of recovery scheme.
+//
+//	idemsim -workload mcf                       # conventional run + stats
+//	idemsim -workload mcf -scheme idem          # idempotence-based recovery
+//	idemsim -workload mcf -scheme idem -faults 25
+//	idemsim -src prog.idc -args 100 -scheme cl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"idemproc/internal/codegen"
+	"idemproc/internal/core"
+	"idemproc/internal/fault"
+	"idemproc/internal/lang"
+	"idemproc/internal/machine"
+	"idemproc/internal/workloads"
+)
+
+func main() {
+	var (
+		srcPath  = flag.String("src", "", "idc source file")
+		workload = flag.String("workload", "", "built-in workload name")
+		argsStr  = flag.String("args", "", "comma-separated integer args to main (defaults to the workload's)")
+		mem      = flag.Int("mem", 65536, "memory words")
+		scheme   = flag.String("scheme", "none", "recovery scheme: none, dmr, tmr, cl, idem")
+		faults   = flag.Int("faults", 0, "inject N single-bit faults spread over the execution")
+		branches = flag.Int("branch-faults", 0, "inject N control-flow errors (wrong-direction branches)")
+		campaign = flag.Int("campaign", 0, "run an N-injection campaign and report the aggregate")
+		paths    = flag.Bool("paths", false, "report dynamic region path statistics")
+	)
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "idemsim:", err)
+		os.Exit(1)
+	}
+
+	var (
+		src      string
+		runArgs  []uint64
+		memWords = *mem
+	)
+	switch {
+	case *workload != "":
+		w, ok := workloads.ByName(*workload)
+		if !ok {
+			fail(fmt.Errorf("unknown workload %q", *workload))
+		}
+		src = w.Source
+		runArgs = w.Args
+		memWords = w.MemWords
+	case *srcPath != "":
+		data, err := os.ReadFile(*srcPath)
+		if err != nil {
+			fail(err)
+		}
+		src = string(data)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *argsStr != "" {
+		runArgs = nil
+		for _, f := range strings.Split(*argsStr, ",") {
+			v, err := strconv.ParseUint(strings.TrimSpace(f), 10, 64)
+			if err != nil {
+				fail(err)
+			}
+			runArgs = append(runArgs, v)
+		}
+	}
+
+	mod, err := lang.Compile(src)
+	if err != nil {
+		fail(err)
+	}
+
+	idem := *scheme == "idem"
+	p, _, err := codegen.CompileModule(mod, "main", memWords, idem, core.DefaultOptions())
+	if err != nil {
+		fail(err)
+	}
+
+	cfg := machine.Config{TrackPaths: *paths || idem}
+	var schemeID fault.Scheme
+	hasScheme := true
+	switch *scheme {
+	case "none":
+		hasScheme = false
+	case "dmr":
+		schemeID = fault.SchemeDMR
+		p = fault.Apply(p, schemeID)
+	case "tmr":
+		schemeID = fault.SchemeTMR
+		p = fault.Apply(p, schemeID)
+		cfg.Recovery = machine.RecoverTMR
+	case "cl":
+		schemeID = fault.SchemeCheckpointLog
+		p = fault.Apply(p, schemeID)
+		cfg.Recovery = machine.RecoverCheckpointLog
+	case "idem":
+		schemeID = fault.SchemeIdempotence
+		p = fault.Apply(p, schemeID)
+		cfg.Recovery = machine.RecoverIdempotence
+		cfg.BufferStores = true
+	default:
+		fail(fmt.Errorf("unknown scheme %q", *scheme))
+	}
+
+	if *campaign > 0 {
+		if !hasScheme {
+			fail(fmt.Errorf("-campaign requires a -scheme"))
+		}
+		res, err := fault.Campaign(p, schemeID, *campaign, runArgs...)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("campaign (%s): %d runs, %d landed, %d detected, %d recovered, %d correct\n",
+			schemeID, res.Runs, res.Landed, res.Detected, res.Recovered, res.Correct)
+		fmt.Printf("mean re-execution cost: %.2f%% extra instructions\n", res.ExtraInstrPct)
+		return
+	}
+
+	// Fault-free dry run to size the injection campaigns (same config as
+	// the real run: instrumented binaries need their scheme's machinery,
+	// e.g. the checkpoint-log pointer).
+	m := machine.New(p, cfg)
+	if *faults > 0 || *branches > 0 {
+		dry := machine.New(p, cfg)
+		if _, err := dry.Run(runArgs...); err != nil {
+			fail(err)
+		}
+		span := dry.Stats.DynInstrs
+		for i := 1; i <= *faults; i++ {
+			step := span * int64(i) / int64(*faults+1)
+			m.InjectFault(step, uint(i*13)%63+1)
+		}
+		for i := 1; i <= *branches; i++ {
+			m.InjectControlFlowError(span * int64(i) / int64(*branches+1))
+		}
+	}
+
+	ret, err := m.Run(runArgs...)
+	if err != nil {
+		fail(err)
+	}
+	s := &m.Stats
+	fmt.Printf("result:        %d\n", int64(ret))
+	fmt.Printf("instructions:  %d\n", s.DynInstrs)
+	fmt.Printf("cycles:        %d (IPC %.2f)\n", s.Cycles, float64(s.DynInstrs)/float64(s.Cycles))
+	fmt.Printf("loads/stores:  %d / %d\n", s.Loads, s.Stores)
+	fmt.Printf("mispredicts:   %d\n", s.Mispredicts)
+	if s.Marks > 0 {
+		fmt.Printf("region marks:  %d\n", s.Marks)
+	}
+	if *faults > 0 || *branches > 0 {
+		fmt.Printf("faults:        %d injected, %d detected, %d recoveries\n", s.Faults, s.Detections, s.Recoveries)
+	}
+	if cfg.TrackPaths {
+		fmt.Printf("dynamic paths: avg length %.1f\n", s.AvgPathLen())
+	}
+}

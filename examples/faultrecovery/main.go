@@ -1,0 +1,81 @@
+// Faultrecovery: compile a small program as an idempotent binary, inject
+// transient faults during execution, and watch idempotence-based recovery
+// (§6.3) restore correct results by re-executing regions — no
+// checkpoints taken, ever.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"idemproc/internal/codegen"
+	"idemproc/internal/core"
+	"idemproc/internal/fault"
+	"idemproc/internal/lang"
+	"idemproc/internal/machine"
+)
+
+const program = `
+global int ledger[64];
+
+func credit(int account, int amount) void {
+    ledger[account % 64] = ledger[account % 64] + amount;
+}
+
+func main(int n) int {
+    int s = 42;
+    for (int i = 0; i < n; i = i + 1) {
+        s = s * 48271 % 2147483647;
+        credit(s, s % 100 + 1);
+    }
+    int total = 0;
+    for (int a = 0; a < 64; a = a + 1) {
+        total = total + ledger[a];
+    }
+    return total;
+}
+`
+
+func main() {
+	mod, err := lang.Compile(program)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Idempotent compilation + DMR detection instrumentation.
+	p, st, err := codegen.CompileModule(mod, "main", 8192, true, core.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	p = fault.Apply(p, fault.SchemeIdempotence)
+	fmt.Printf("compiled idempotent binary: %d instructions, %d region boundaries\n\n", st.StaticInstrs, st.Marks)
+
+	// Fault-free reference.
+	ref := machine.New(p, machine.Config{BufferStores: true, Recovery: machine.RecoverIdempotence})
+	want, err := ref.Run(500)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fault-free run:   result=%d  (%d instructions)\n", want, ref.Stats.DynInstrs)
+
+	// Injection campaign: corrupt a destination register every ~40k
+	// dynamic instructions.
+	m := machine.New(p, machine.Config{BufferStores: true, Recovery: machine.RecoverIdempotence})
+	span := ref.Stats.DynInstrs
+	n := 0
+	for step := span / 20; step < span; step += span / 20 {
+		m.InjectFault(step, uint(step)%60+1)
+		n++
+	}
+	got, err := m.Run(500)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("with %2d faults:   result=%d  (%d instructions; %d detected, %d region re-executions)\n",
+		n, got, m.Stats.DynInstrs, m.Stats.Detections, m.Stats.Recoveries)
+
+	if got != want {
+		log.Fatalf("RECOVERY FAILED: %d != %d", got, want)
+	}
+	fmt.Println("\nresults identical: every fault was recovered by re-executing the")
+	fmt.Println("current idempotent region from the address in rp — no checkpoint state.")
+}

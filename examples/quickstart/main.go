@@ -1,0 +1,79 @@
+// Quickstart: run the paper's running example (Figure 1's list_push)
+// through the idempotent region construction and inspect the result —
+// the antidependences found, the cut placed, and the region decomposition.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"idemproc/internal/core"
+	"idemproc/internal/ir"
+	"idemproc/internal/lang"
+	"idemproc/internal/ssa"
+)
+
+// listPush is Figure 1(a) in idc: push an element onto a bounded list.
+// list[0] holds the size, list[1] the capacity, list[2..] the data. The
+// increment of list[0] is the semantic clobber antidependence that forces
+// a region boundary.
+const listPush = `
+global int the_list[18] = {0, 16};
+
+func list_push(int* list, int e) void {
+    int size = list[0];
+    if (size >= list[1]) {
+        return;
+    }
+    list[2 + size] = e;
+    list[0] = size + 1;
+}
+
+func main(int n) int {
+    for (int i = 0; i < n; i = i + 1) {
+        list_push(the_list, i * 7);
+    }
+    return the_list[0];
+}
+`
+
+func main() {
+	mod, err := lang.Compile(listPush)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f := mod.Func("list_push")
+
+	// Show the IR the frontend produced.
+	ssa.PromoteAllocas(f)
+	ssa.Build(f)
+	fmt.Println("=== list_push after SSA conversion (§4.1) ===")
+	fmt.Println(ir.FuncString(f))
+
+	// Run the §4 region construction.
+	res, err := core.Construct(f, core.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("=== memory antidependences (the semantic clobbers of Fig. 1c) ===")
+	for _, d := range res.Antideps {
+		kind := "may-alias"
+		if d.MustAliasPair {
+			kind = "must-alias"
+		}
+		fmt.Printf("  %-28s --WAR-->  %-28s (%s)\n", d.Read.LongString(), d.Write.LongString(), kind)
+	}
+
+	fmt.Println("\n=== region decomposition (cuts from the §4.2.1 hitting set) ===")
+	fmt.Println(core.DumpRegions(res))
+
+	fmt.Printf("stats: %d antideps cut with %d multicut cut(s); %d regions, avg %.1f instructions\n",
+		res.Stats.AntidepsCut, res.Stats.CutsFromMulticut, res.Stats.RegionCount, res.Stats.AvgRegionSize)
+
+	// The decomposition is verified independently.
+	if err := core.Check(res); err != nil {
+		log.Fatal("verification failed: ", err)
+	}
+	fmt.Println("core.Check: decomposition verified — no region contains an uncut clobber antidependence")
+}

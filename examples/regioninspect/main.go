@@ -1,0 +1,64 @@
+// Regioninspect: explore the static region decomposition and the dynamic
+// path behaviour of any workload in the suite.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+
+	"idemproc/internal/codegen"
+	"idemproc/internal/core"
+	"idemproc/internal/machine"
+	"idemproc/internal/workloads"
+)
+
+func main() {
+	name := flag.String("workload", "canneal", "workload to inspect")
+	flag.Parse()
+
+	w, ok := workloads.ByName(*name)
+	if !ok {
+		log.Fatalf("unknown workload %q (try: mcf, lbm, canneal, ...)", *name)
+	}
+
+	p, st, err := codegen.CompileModuleOpts(w.Module(), "main", w.MemWords,
+		codegen.ModuleOptions{Idempotent: true, Core: core.DefaultOptions()})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload %s (%s): %d machine instructions, %d region marks\n\n", w.Name, w.Suite, st.StaticInstrs, st.Marks)
+	fmt.Printf("%-16s %8s %8s %6s %10s %9s %8s\n", "function", "instrs", "regions", "cuts", "avg size", "antideps", "unrolls")
+	var names []string
+	for fn := range st.Construction {
+		names = append(names, fn)
+	}
+	sort.Strings(names)
+	for _, fn := range names {
+		res := st.Construction[fn]
+		fmt.Printf("%-16s %8d %8d %6d %10.1f %9d %8d\n", "@"+fn,
+			res.Stats.Instructions, res.Stats.RegionCount, len(res.Cuts),
+			res.Stats.AvgRegionSize, res.Stats.AntidepsCut, res.Stats.LoopsUnrolled)
+	}
+
+	m := machine.New(p, machine.Config{BufferStores: true, TrackPaths: true})
+	if _, err := m.Run(w.Args...); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ndynamic: %d instructions, %d cycles (IPC %.2f), %d boundaries crossed\n",
+		m.Stats.DynInstrs, m.Stats.Cycles, float64(m.Stats.DynInstrs)/float64(m.Stats.Cycles), m.Stats.Marks)
+	fmt.Printf("average dynamic path length: %.1f instructions\n\n", m.Stats.AvgPathLen())
+
+	lens, cdf := m.Stats.WeightedPathCDF()
+	fmt.Println("path length CDF (execution-time weighted):")
+	marks := []float64{0.25, 0.5, 0.75, 0.9, 0.99}
+	mi := 0
+	for i, l := range lens {
+		for mi < len(marks) && cdf[i] >= marks[mi] {
+			fmt.Printf("  %4.0f%% of time on paths ≤ %d instructions\n", marks[mi]*100, l)
+			mi++
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module idemproc
+
+go 1.22

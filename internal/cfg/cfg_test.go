@@ -1,0 +1,266 @@
+package cfg
+
+import (
+	"math/rand"
+	"testing"
+
+	"idemproc/internal/ir"
+)
+
+const diamond = `
+func @f(i64 %a) i64 {
+e:
+  condbr %a, t, f
+t:
+  br j
+f:
+  br j
+j:
+  ret %a
+}
+`
+
+func blockByName(f *ir.Func, name string) *ir.Block {
+	for _, b := range f.Blocks {
+		if b.Name == name {
+			return b
+		}
+	}
+	return nil
+}
+
+func TestDominatorsDiamond(t *testing.T) {
+	m := ir.MustParse(diamond)
+	f := m.Func("f")
+	info := Compute(f)
+
+	e, tt, ff, j := blockByName(f, "e"), blockByName(f, "t"), blockByName(f, "f"), blockByName(f, "j")
+	if info.Idom[tt.Index] != e || info.Idom[ff.Index] != e || info.Idom[j.Index] != e {
+		t.Fatal("diamond: idom of all blocks should be entry")
+	}
+	if !info.Dominates(e, j) || info.Dominates(tt, j) || info.StrictlyDominates(j, j) {
+		t.Fatal("dominance queries wrong")
+	}
+	if !info.Dominates(j, j) {
+		t.Fatal("dominance must be reflexive")
+	}
+	// Frontier of t and f is {j}.
+	if len(info.Frontier[tt.Index]) != 1 || info.Frontier[tt.Index][0] != j {
+		t.Fatalf("frontier(t) = %v", info.Frontier[tt.Index])
+	}
+}
+
+const nestedLoops = `
+func @g(i64 %n) i64 {
+e:
+  br h1
+h1:
+  %i = phi [e: 0], [l1: %i2]
+  %c1 = lt %i, %n
+  condbr %c1, h2pre, x
+h2pre:
+  br h2
+h2:
+  %j = phi [h2pre: 0], [b2: %j2]
+  %c2 = lt %j, %n
+  condbr %c2, b2, l1
+b2:
+  %j2 = add %j, 1
+  br h2
+l1:
+  %i2 = add %i, 1
+  br h1
+x:
+  ret %i
+}
+`
+
+func TestLoopForest(t *testing.T) {
+	m := ir.MustParse(nestedLoops)
+	f := m.Func("g")
+	info := Compute(f)
+
+	if len(info.Loops) != 2 {
+		t.Fatalf("found %d loops, want 2", len(info.Loops))
+	}
+	h1, h2 := blockByName(f, "h1"), blockByName(f, "h2")
+	var outer, inner *Loop
+	for _, l := range info.Loops {
+		switch l.Header {
+		case h1:
+			outer = l
+		case h2:
+			inner = l
+		}
+	}
+	if outer == nil || inner == nil {
+		t.Fatal("missing loop headers")
+	}
+	if inner.Parent != outer {
+		t.Fatal("inner loop not nested in outer")
+	}
+	if outer.Depth != 1 || inner.Depth != 2 {
+		t.Fatalf("depths = %d, %d; want 1, 2", outer.Depth, inner.Depth)
+	}
+	if info.Depth[blockByName(f, "b2").Index] != 2 {
+		t.Fatal("b2 should be at depth 2")
+	}
+	if info.Depth[blockByName(f, "x").Index] != 0 {
+		t.Fatal("x should be at depth 0")
+	}
+	if !outer.Contains(h2) || inner.Contains(blockByName(f, "l1")) {
+		t.Fatal("loop membership wrong")
+	}
+	if len(inner.Latches) != 1 || inner.Latches[0] != blockByName(f, "b2") {
+		t.Fatalf("inner latches = %v", inner.Latches)
+	}
+}
+
+func TestRPOStartsAtEntry(t *testing.T) {
+	m := ir.MustParse(nestedLoops)
+	f := m.Func("g")
+	info := Compute(f)
+	if info.RPO[0] != f.Entry() {
+		t.Fatal("RPO must start at entry")
+	}
+	if len(info.RPO) != len(f.Blocks) {
+		t.Fatal("RPO must cover all blocks")
+	}
+	// RPO property: every non-back edge goes forward in RPO.
+	for _, b := range f.Blocks {
+		for _, s := range b.Succs {
+			if info.Dominates(s, b) {
+				continue // back edge
+			}
+			if info.RPONum[s.Index] <= info.RPONum[b.Index] {
+				t.Fatalf("edge %s->%s not forward in RPO", b.Name, s.Name)
+			}
+		}
+	}
+}
+
+// buildRandomCFG constructs a random reducible-ish function: a chain of
+// blocks with random forward edges and occasional well-formed self/back
+// edges via conditional branches.
+func buildRandomCFG(rng *rand.Rand, nBlocks int) *ir.Func {
+	m := ir.NewModule()
+	f := m.NewFunc("r", ir.I64, ir.I64)
+	bd := ir.NewBuilder(f)
+	blocks := []*ir.Block{f.Entry()}
+	for i := 1; i < nBlocks; i++ {
+		blocks = append(blocks, f.NewBlock())
+	}
+	for i, b := range blocks {
+		bd.SetBlock(b)
+		if i == nBlocks-1 {
+			bd.Ret(f.Params[0])
+			continue
+		}
+		// Forward target, plus maybe a second target (forward or back).
+		t1 := blocks[i+1]
+		if rng.Intn(2) == 0 {
+			var t2 *ir.Block
+			j := rng.Intn(nBlocks)
+			if j == i {
+				j = i + 1
+			}
+			t2 = blocks[j]
+			bd.CondBr(f.Params[0], t1, t2)
+		} else {
+			bd.Br(t1)
+		}
+	}
+	f.RemoveUnreachable()
+	return f
+}
+
+// TestDominatorsAgainstBruteForce cross-checks the iterative dominator
+// computation against the set-intersection definition on random CFGs.
+func TestDominatorsAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		f := buildRandomCFG(rng, 4+rng.Intn(10))
+		if err := ir.Verify(f); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		info := Compute(f)
+		dom := bruteForceDominators(f)
+		for _, a := range f.Blocks {
+			for _, b := range f.Blocks {
+				want := dom[b.Index][a.Index]
+				got := info.Dominates(a, b)
+				if want != got {
+					t.Fatalf("trial %d: Dominates(%s, %s) = %v, brute force says %v\n%s",
+						trial, a.Name, b.Name, got, want, ir.FuncString(f))
+				}
+			}
+		}
+	}
+}
+
+// bruteForceDominators: dom[b][a] == true iff a dominates b, computed by
+// the classic iterative bit-set algorithm.
+func bruteForceDominators(f *ir.Func) [][]bool {
+	n := len(f.Blocks)
+	dom := make([][]bool, n)
+	for i := range dom {
+		dom[i] = make([]bool, n)
+		for j := range dom[i] {
+			dom[i][j] = true // initially: everything dominates everything
+		}
+	}
+	entry := f.Entry().Index
+	for j := range dom[entry] {
+		dom[entry][j] = j == entry
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range f.Blocks {
+			if b.Index == entry {
+				continue
+			}
+			newSet := make([]bool, n)
+			first := true
+			for _, p := range b.Preds {
+				if first {
+					copy(newSet, dom[p.Index])
+					first = false
+				} else {
+					for j := range newSet {
+						newSet[j] = newSet[j] && dom[p.Index][j]
+					}
+				}
+			}
+			newSet[b.Index] = true
+			for j := range newSet {
+				if newSet[j] != dom[b.Index][j] {
+					dom[b.Index] = newSet
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return dom
+}
+
+func TestComputePanicsOnUnreachable(t *testing.T) {
+	src := `
+func @f(i64 %a) i64 {
+e:
+  br out
+dead:
+  br out
+out:
+  ret %a
+}
+`
+	m := ir.MustParse(src)
+	f := m.Func("f")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Compute should panic on unreachable blocks")
+		}
+	}()
+	Compute(f)
+}

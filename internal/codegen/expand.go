@@ -1,0 +1,364 @@
+package codegen
+
+import (
+	"fmt"
+
+	"idemproc/internal/isa"
+	"idemproc/internal/regalloc"
+)
+
+// Frame layout (word offsets from SP after the prologue):
+//
+//	[0]                       saved LR
+//	[1 .. 1+allocas)          alloca area
+//	[1+allocas .. frame)      spill slots, one per spilled vreg
+//
+// All registers are caller-saved; vregs live across calls are spilled by
+// the allocator, so nothing needs saving at call sites beyond LR in the
+// prologue.
+
+// fixup records a branch whose target block must be patched to its final
+// instruction index.
+type fixup struct {
+	at     int
+	target int
+}
+
+// expand rewrites allocated virtual code into physical instructions:
+// prologue/epilogue, spill loads/stores via the scratch registers
+// (r11/r12, f30/f31), parameter and call sequences, and local branch
+// resolution. It returns the code and the number of MARKs.
+func expand(vf *regalloc.VFunc, as *regalloc.Assignment) ([]isa.Instr, int, error) {
+	frame := int64(1 + vf.AllocaSlots + as.FrameSlots)
+	slotOff := func(v regalloc.VReg) int64 { return int64(1+vf.AllocaSlots) + int64(as.SlotOf[v]) }
+
+	var code []isa.Instr
+	emit := func(in isa.Instr) { code = append(code, in) }
+	marks := 0
+
+	// srcReg materializes vreg v for reading, loading spilled values into
+	// the given scratch register.
+	srcReg := func(v regalloc.VReg, scratch isa.Reg) isa.Reg {
+		if !as.Spilled[v] {
+			return as.RegOf[v]
+		}
+		op := isa.LDR
+		if vf.FloatReg[v] {
+			op = isa.FLDR
+		}
+		emit(isa.Instr{Op: op, Rd: scratch, Rs1: isa.SP, Imm: slotOff(v)})
+		return scratch
+	}
+	// dstReg picks the register an instruction should write; finishDst
+	// stores it back if spilled.
+	dstReg := func(v regalloc.VReg, scratch isa.Reg) isa.Reg {
+		if !as.Spilled[v] {
+			return as.RegOf[v]
+		}
+		return scratch
+	}
+	finishDst := func(v regalloc.VReg) {
+		if v == regalloc.NoVReg || !as.Spilled[v] {
+			return
+		}
+		op, scratch := isa.STR, isa.R11
+		if vf.FloatReg[v] {
+			op, scratch = isa.FSTR, isa.F(30)
+		}
+		emit(isa.Instr{Op: op, Rs1: isa.SP, Rs2: scratch, Imm: slotOff(v)})
+	}
+
+	scratch1 := func(v regalloc.VReg) isa.Reg {
+		if vf.FloatReg[v] {
+			return isa.F(30)
+		}
+		return isa.R11
+	}
+	scratch2 := func(v regalloc.VReg) isa.Reg {
+		if vf.FloatReg[v] {
+			return isa.F(31)
+		}
+		return isa.R12
+	}
+
+	// Prologue.
+	emit(isa.Instr{Op: isa.ADDI, Rd: isa.SP, Rs1: isa.SP, Imm: -frame})
+	emit(isa.Instr{Op: isa.STR, Rs1: isa.SP, Rs2: isa.LR, Imm: 0})
+
+	epilogue := func() {
+		emit(isa.Instr{Op: isa.LDR, Rd: isa.LR, Rs1: isa.SP, Imm: 0})
+		emit(isa.Instr{Op: isa.ADDI, Rd: isa.SP, Rs1: isa.SP, Imm: frame})
+		emit(isa.Instr{Op: isa.RET})
+	}
+
+	// Branch fixups: (code index, target block).
+	var fixups []fixup
+	blockStart := make([]int, len(vf.Blocks))
+
+	for b := range vf.Blocks {
+		blockStart[b] = len(code)
+		// Indexed loop: the KParam case advances ii to absorb the whole
+		// run of parameter pseudo-instructions.
+		for ii := 0; ii < len(vf.Blocks[b].Instrs); ii++ {
+			in := &vf.Blocks[b].Instrs[ii]
+			switch in.Kind {
+			case regalloc.KMark:
+				emit(isa.Instr{Op: isa.MARK})
+				marks++
+
+			case regalloc.KParam:
+				// Incoming argument i arrives in r_i or f_i by per-type
+				// position (codegen and KCall agree on this convention).
+				// Consecutive KParams form one parallel move: a move's
+				// destination may be a later parameter's incoming
+				// register, so they are resolved together.
+				var moves []paramMove
+				for ; ii < len(vf.Blocks[b].Instrs); ii++ {
+					pin := &vf.Blocks[b].Instrs[ii]
+					if pin.Kind != regalloc.KParam {
+						ii--
+						break
+					}
+					mv := paramMove{src: argRegFor(vf, pin.Imm), float: vf.FloatReg[pin.Rd]}
+					if as.Spilled[pin.Rd] {
+						mv.toSlot = true
+						mv.slot = slotOff(pin.Rd)
+					} else {
+						mv.dst = as.RegOf[pin.Rd]
+					}
+					moves = append(moves, mv)
+				}
+				emitParallelParamMoves(moves, emit)
+
+			case regalloc.KAlloca:
+				rd := dstReg(in.Rd, isa.R11)
+				emit(isa.Instr{Op: isa.ADDI, Rd: rd, Rs1: isa.SP, Imm: 1 + in.Imm})
+				finishDst(in.Rd)
+
+			case regalloc.KCall:
+				// Arguments were force-spilled by the allocator; load them
+				// straight into the argument registers.
+				intIdx, fltIdx := 0, 0
+				for _, a := range in.Args {
+					var dst isa.Reg
+					if vf.FloatReg[a] {
+						dst = isa.F(fltIdx)
+						fltIdx++
+					} else {
+						dst = isa.Reg(intIdx)
+						intIdx++
+					}
+					if as.Spilled[a] {
+						op := isa.LDR
+						if vf.FloatReg[a] {
+							op = isa.FLDR
+						}
+						emit(isa.Instr{Op: op, Rd: dst, Rs1: isa.SP, Imm: slotOff(a)})
+					} else if as.RegOf[a] != dst {
+						op := isa.MOV
+						if vf.FloatReg[a] {
+							op = isa.FMOV
+						}
+						emit(isa.Instr{Op: op, Rd: dst, Rs1: as.RegOf[a]})
+					}
+				}
+				emit(isa.Instr{Op: isa.CALL, Sym: in.Sym, Imm: -1})
+				if in.Rd != regalloc.NoVReg {
+					ret := isa.Reg(isa.R0)
+					op := isa.STR
+					if vf.FloatReg[in.Rd] {
+						ret, op = isa.F(0), isa.FSTR
+					}
+					if as.Spilled[in.Rd] {
+						emit(isa.Instr{Op: op, Rs1: isa.SP, Rs2: ret, Imm: slotOff(in.Rd)})
+					} else {
+						mv := isa.MOV
+						if vf.FloatReg[in.Rd] {
+							mv = isa.FMOV
+						}
+						emit(isa.Instr{Op: mv, Rd: as.RegOf[in.Rd], Rs1: ret})
+					}
+				}
+
+			case regalloc.KRet:
+				if in.Rs1 != regalloc.NoVReg {
+					ret := isa.Reg(isa.R0)
+					if vf.FloatReg[in.Rs1] {
+						ret = isa.F(0)
+					}
+					src := srcReg(in.Rs1, ret) // load straight into r0/f0
+					if src != ret {
+						op := isa.MOV
+						if vf.FloatReg[in.Rs1] {
+							op = isa.FMOV
+						}
+						emit(isa.Instr{Op: op, Rd: ret, Rs1: src})
+					}
+				}
+				epilogue()
+
+			case regalloc.KNormal:
+				if err := expandNormal(in, b, vf, as, emit, srcReg, dstReg, finishDst, scratch1, scratch2, &fixups, &code); err != nil {
+					return nil, 0, err
+				}
+
+			default:
+				return nil, 0, fmt.Errorf("codegen: unknown vinstr kind %d", in.Kind)
+			}
+		}
+	}
+
+	for _, fx := range fixups {
+		code[fx.at].Imm = int64(blockStart[fx.target])
+	}
+	return code, marks, nil
+}
+
+// paramMove is one leg of the entry parallel move from argument registers
+// to allocated homes.
+type paramMove struct {
+	src    isa.Reg
+	dst    isa.Reg
+	toSlot bool
+	slot   int64
+	float  bool
+}
+
+// emitParallelParamMoves emits the moves so that no source is clobbered
+// before it is read: slot stores first (they clobber nothing), then
+// register moves in dependency order, breaking cycles through the scratch
+// registers (r12/f31).
+func emitParallelParamMoves(moves []paramMove, emit func(isa.Instr)) {
+	var regMoves []paramMove
+	for _, mv := range moves {
+		if mv.toSlot {
+			op := isa.STR
+			if mv.float {
+				op = isa.FSTR
+			}
+			emit(isa.Instr{Op: op, Rs1: isa.SP, Rs2: mv.src, Imm: mv.slot})
+			continue
+		}
+		if mv.dst != mv.src {
+			regMoves = append(regMoves, mv)
+		}
+	}
+	for len(regMoves) > 0 {
+		emitted := false
+		for i, mv := range regMoves {
+			blocked := false
+			for j, other := range regMoves {
+				if j != i && other.src == mv.dst {
+					blocked = true
+					break
+				}
+			}
+			if !blocked {
+				op := isa.MOV
+				if mv.float {
+					op = isa.FMOV
+				}
+				emit(isa.Instr{Op: op, Rd: mv.dst, Rs1: mv.src})
+				regMoves = append(regMoves[:i], regMoves[i+1:]...)
+				emitted = true
+				break
+			}
+		}
+		if !emitted {
+			// Cycle: rotate one source through scratch.
+			mv := regMoves[0]
+			scratch := isa.R12
+			op := isa.MOV
+			if mv.float {
+				scratch, op = isa.F(31), isa.FMOV
+			}
+			emit(isa.Instr{Op: op, Rd: scratch, Rs1: mv.src})
+			regMoves[0].src = scratch
+		}
+	}
+}
+
+// argRegFor computes the physical register of the Imm'th parameter using
+// per-type positions (the i'th integer parameter in r_i, the j'th float
+// parameter in f_j).
+func argRegFor(vf *regalloc.VFunc, index int64) isa.Reg {
+	intIdx, fltIdx := 0, 0
+	for i, p := range vf.Params {
+		isF := vf.FloatReg[p]
+		if int64(i) == index {
+			if isF {
+				return isa.F(fltIdx)
+			}
+			return isa.Reg(intIdx)
+		}
+		if isF {
+			fltIdx++
+		} else {
+			intIdx++
+		}
+	}
+	panic("codegen: parameter index out of range")
+}
+
+// expandNormal lowers a plain operation with spill fills around it.
+func expandNormal(in *regalloc.VInstr, curBlock int, vf *regalloc.VFunc, as *regalloc.Assignment,
+	emit func(isa.Instr), srcReg func(regalloc.VReg, isa.Reg) isa.Reg,
+	dstReg func(regalloc.VReg, isa.Reg) isa.Reg, finishDst func(regalloc.VReg),
+	scratch1, scratch2 func(regalloc.VReg) isa.Reg,
+	fixups *[]fixup, code *[]isa.Instr) error {
+
+	addFixup := func(target int) {
+		*fixups = append(*fixups, fixup{len(*code) - 1, target})
+	}
+
+	switch in.Op {
+	case isa.B:
+		if in.Target == curBlock+1 {
+			return nil // fallthrough
+		}
+		emit(isa.Instr{Op: isa.B})
+		addFixup(in.Target)
+	case isa.CBNZ:
+		cond := srcReg(in.Rs1, isa.R11)
+		switch {
+		case in.Target2 == curBlock+1: // else falls through
+			emit(isa.Instr{Op: isa.CBNZ, Rs1: cond})
+			addFixup(in.Target)
+		case in.Target == curBlock+1: // then falls through
+			emit(isa.Instr{Op: isa.CBZ, Rs1: cond})
+			addFixup(in.Target2)
+		default:
+			emit(isa.Instr{Op: isa.CBNZ, Rs1: cond})
+			addFixup(in.Target)
+			emit(isa.Instr{Op: isa.B})
+			addFixup(in.Target2)
+		}
+	case isa.STR, isa.FSTR:
+		base := srcReg(in.Rs1, isa.R11)
+		val := srcReg(in.Rs2, scratch2(in.Rs2))
+		emit(isa.Instr{Op: in.Op, Rs1: base, Rs2: val, Imm: in.Imm})
+	case isa.LDR, isa.FLDR:
+		base := srcReg(in.Rs1, isa.R11)
+		rd := dstReg(in.Rd, scratch1(in.Rd))
+		emit(isa.Instr{Op: in.Op, Rd: rd, Rs1: base, Imm: in.Imm})
+		finishDst(in.Rd)
+	case isa.MOVI, isa.FMOVI:
+		rd := dstReg(in.Rd, scratch1(in.Rd))
+		emit(isa.Instr{Op: in.Op, Rd: rd, Imm: in.Imm, FImm: in.FImm})
+		finishDst(in.Rd)
+	default:
+		// Unary and binary ALU ops (including MOV/FMOV/ITOF/FTOI and the
+		// compare-and-set family).
+		var rs1, rs2 isa.Reg
+		if in.Rs1 != regalloc.NoVReg {
+			rs1 = srcReg(in.Rs1, scratch1(in.Rs1))
+		}
+		if in.Rs2 != regalloc.NoVReg {
+			rs2 = srcReg(in.Rs2, scratch2(in.Rs2))
+		}
+		rd := dstReg(in.Rd, scratch1(in.Rd))
+		emit(isa.Instr{Op: in.Op, Rd: rd, Rs1: rs1, Rs2: rs2, Imm: in.Imm})
+		finishDst(in.Rd)
+	}
+	return nil
+}

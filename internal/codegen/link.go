@@ -1,0 +1,110 @@
+package codegen
+
+import (
+	"fmt"
+
+	"idemproc/internal/ir"
+	"idemproc/internal/isa"
+)
+
+// Program is a linked machine executable for the simulator.
+type Program struct {
+	Instrs []isa.Instr
+	// Entry is the index of the startup stub, which calls Main and HALTs.
+	Entry int
+	// Main is the program's entry function name.
+	Main string
+	// FuncEntry maps function names to their first instruction.
+	FuncEntry map[string]int
+	// FuncOf maps each instruction index to its function name ("" for the
+	// stub), for per-function statistics.
+	FuncOf []string
+	// GlobalBase maps global names to absolute word addresses; GlobalEnd
+	// is one past the last global word.
+	GlobalBase map[string]int64
+	GlobalEnd  int64
+	// Globals carries the initializers for machine reset.
+	Globals []*ir.GlobalVar
+	// MemWords is the memory size the program was linked for; the stack
+	// grows down from MemWords.
+	MemWords int
+	// Marks counts region-boundary instructions across all functions.
+	Marks int
+}
+
+// LayoutGlobals assigns absolute addresses to a module's globals exactly
+// like the reference interpreter (address 0 reserved, globals from 1).
+func LayoutGlobals(m *ir.Module) (map[string]int64, int64) {
+	base := map[string]int64{}
+	addr := int64(1)
+	for _, g := range m.Globals {
+		base[g.Name] = addr
+		addr += g.Size
+	}
+	return base, addr
+}
+
+// Link assembles compiled functions into an executable. main is the
+// function the stub calls; memWords sizes the machine memory.
+func Link(m *ir.Module, funcs []*Compiled, main string, memWords int) (*Program, error) {
+	globalBase, end := LayoutGlobals(m)
+	p := &Program{
+		Main:       main,
+		FuncEntry:  map[string]int{},
+		GlobalBase: globalBase,
+		GlobalEnd:  end,
+		Globals:    m.Globals,
+		MemWords:   memWords,
+	}
+
+	// Startup stub: sp = memWords, call main, halt.
+	p.Entry = 0
+	p.Instrs = append(p.Instrs,
+		isa.Instr{Op: isa.MOVI, Rd: isa.SP, Imm: int64(memWords)},
+		isa.Instr{Op: isa.CALL, Sym: main, Imm: -1},
+		isa.Instr{Op: isa.HALT},
+	)
+	p.FuncOf = append(p.FuncOf, "", "", "")
+
+	for _, c := range funcs {
+		base := len(p.Instrs)
+		p.FuncEntry[c.Name] = base
+		p.Marks += c.Marks
+		for _, in := range c.Code {
+			if in.IsBranch() && in.Op != isa.CALL && in.Op != isa.RET {
+				in.Imm += int64(base)
+			}
+			p.Instrs = append(p.Instrs, in)
+			p.FuncOf = append(p.FuncOf, c.Name)
+		}
+	}
+
+	// Resolve calls.
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		if in.Op == isa.CALL {
+			tgt, ok := p.FuncEntry[in.Sym]
+			if !ok {
+				return nil, fmt.Errorf("link: call to undefined function %q", in.Sym)
+			}
+			in.Imm = int64(tgt)
+		}
+	}
+	return p, nil
+}
+
+// Disassemble renders the program for debugging.
+func Disassemble(p *Program) string {
+	out := ""
+	for i, in := range p.Instrs {
+		fn := p.FuncOf[i]
+		for name, e := range p.FuncEntry {
+			if e == i {
+				out += fmt.Sprintf("<%s>:\n", name)
+			}
+		}
+		_ = fn
+		out += fmt.Sprintf("%5d: %s\n", i, in)
+	}
+	return out
+}

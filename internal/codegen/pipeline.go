@@ -1,0 +1,124 @@
+package codegen
+
+import (
+	"fmt"
+
+	"idemproc/internal/alias"
+	"idemproc/internal/core"
+	"idemproc/internal/ir"
+	"idemproc/internal/redelim"
+	"idemproc/internal/ssa"
+)
+
+// BuildStats aggregates per-module compilation statistics.
+type BuildStats struct {
+	// Construction holds each function's region-construction result
+	// (idempotent builds only).
+	Construction map[string]*core.Result
+	// Marks is the total number of region boundaries.
+	Marks int
+	// SpillLoads/SpillStores are static spill-code counts.
+	SpillLoads, SpillStores int
+	// StaticInstrs is the linked program size.
+	StaticInstrs int
+	// FrameWords is the summed stack frame size over all functions (the
+	// paper: "our compiler does not grow the size of the stack
+	// significantly").
+	FrameWords int
+}
+
+// CompileModule lowers every function of m and links an executable whose
+// stub calls main. When idem is true, each function first goes through
+// the §4 region construction and is compiled with MARKs and the §4.4
+// allocation constraint; otherwise the conventional optimizing pipeline
+// runs (the paper's "original binary": same SSA construction and
+// redundancy elimination, unconstrained allocation).
+//
+// m is mutated; callers who need the original keep their own copy.
+func CompileModule(m *ir.Module, main string, memWords int, idem bool, opts core.Options) (*Program, *BuildStats, error) {
+	return CompileModuleOpts(m, main, memWords, ModuleOptions{Idempotent: idem, Core: opts})
+}
+
+// ModuleOptions parameterizes CompileModuleOpts beyond the common cases.
+type ModuleOptions struct {
+	// Idempotent runs the §4 region construction and emits MARKs.
+	Idempotent bool
+	// Core configures the region construction.
+	Core core.Options
+	// RelaxedAlloc skips the §4.4 allocation constraint (ablation only).
+	RelaxedAlloc bool
+	// PureCalls enables the inter-procedural pure-call extension: memory-
+	// free functions are compiled without region marks and calls to them
+	// do not split their caller's regions (they are simply re-executed
+	// with the enclosing region on recovery).
+	PureCalls bool
+}
+
+// CompileModuleOpts is CompileModule with full options.
+func CompileModuleOpts(m *ir.Module, main string, memWords int, mo ModuleOptions) (*Program, *BuildStats, error) {
+	idem := mo.Idempotent
+	opts := mo.Core
+	globalBase, _ := LayoutGlobals(m)
+	st := &BuildStats{Construction: map[string]*core.Result{}}
+	if mo.PureCalls && idem {
+		opts.PureFuncs = core.PureFunctions(m)
+	}
+	var funcs []*Compiled
+	for _, f := range m.Funcs {
+		var cuts map[*ir.Value]bool
+		if idem && opts.PureFuncs[f.Name] {
+			// Pure functions carry no marks: a fault inside one recovers
+			// to the caller's region entry and re-executes the call.
+			ssa.PromoteAllocas(f)
+			ssa.Build(f)
+			ssa.FoldConstants(f)
+			if opts.RedElim {
+				redelim.Run(f, alias.Compute(f))
+				ssa.PropagateCopies(f)
+				ssa.EliminateDeadValues(f)
+			}
+			c, err := Compile(f, globalBase, Options{})
+			if err != nil {
+				return nil, nil, fmt.Errorf("compile pure @%s: %w", f.Name, err)
+			}
+			st.SpillLoads += c.SpillLoads
+			st.SpillStores += c.SpillStores
+			st.FrameWords += c.FrameWords
+			funcs = append(funcs, c)
+			continue
+		}
+		if idem {
+			res, err := core.Construct(f, opts)
+			if err != nil {
+				return nil, nil, fmt.Errorf("construct @%s: %w", f.Name, err)
+			}
+			st.Construction[f.Name] = res
+			cuts = res.Cuts
+		} else {
+			// The conventional flow: same mid-end, no region machinery.
+			ssa.PromoteAllocas(f)
+			ssa.Build(f)
+			ssa.FoldConstants(f)
+			if opts.RedElim {
+				redelim.Run(f, alias.Compute(f))
+				ssa.PropagateCopies(f)
+				ssa.EliminateDeadValues(f)
+			}
+		}
+		c, err := Compile(f, globalBase, Options{Cuts: cuts, RelaxedAlloc: mo.RelaxedAlloc})
+		if err != nil {
+			return nil, nil, fmt.Errorf("compile @%s: %w", f.Name, err)
+		}
+		st.Marks += c.Marks
+		st.SpillLoads += c.SpillLoads
+		st.SpillStores += c.SpillStores
+		st.FrameWords += c.FrameWords
+		funcs = append(funcs, c)
+	}
+	p, err := Link(m, funcs, main, memWords)
+	if err != nil {
+		return nil, nil, err
+	}
+	st.StaticInstrs = len(p.Instrs)
+	return p, st, nil
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"fmt"
+
+	"idemproc/internal/alias"
+	"idemproc/internal/cfg"
+	"idemproc/internal/dataflow"
+	"idemproc/internal/ir"
+)
+
+// Check independently verifies a construction result: it re-derives the
+// memory antidependences of the (already transformed) function and
+// confirms the decomposition's correctness conditions:
+//
+//  1. Every memory antidependence (a, b) is separated: no execution path
+//     from a to b avoids crossing a cut. Equivalently, b is unreachable
+//     from a in the instruction graph with the entering edges of every cut
+//     point removed. (This is the path-sensitive form of the paper's
+//     "no antidependence edge contained in a region"; per footnote 4 an
+//     edge whose endpoints lie in a region with no intra-region path is
+//     safely contained.)
+//  2. Every loop containing a self-dependent φ satisfies case 1 (no cuts
+//     in the body) or case 2 (every cycle crosses ≥ 2 cuts), so register
+//     allocation can always avoid re-introducing the clobber (§4.2.2).
+//  3. Every instruction belongs to at least one region and region headers
+//     are distinct (the decomposition conditions of §4.2.1).
+func Check(res *Result) error {
+	f := res.F
+	g := BuildInstrGraph(f)
+
+	// Condition 1: cut-free reachability must not connect read → write.
+	ai := alias.Compute(f)
+	reach := dataflow.ComputeReach(f)
+	deps := dataflow.MemoryAntideps(f, ai, reach)
+	for _, d := range deps {
+		if pathAvoidingCuts(g, d.Read, d.Write, res.Cuts) {
+			return fmt.Errorf("antidependence not separated: read %s → write %s",
+				d.Read.LongString(), d.Write.LongString())
+		}
+	}
+
+	// Condition 2: self-dependent loops are allocatable.
+	f.RemoveUnreachable()
+	info := cfg.Compute(f)
+	for _, l := range info.Loops {
+		if len(selfDepPhis(l)) == 0 {
+			continue
+		}
+		if c := classifyLoop(l, res.Cuts); c == SelfDepInsertedCuts {
+			return fmt.Errorf("loop at %s has a self-dependent φ but neither zero nor ≥2 cuts per cycle", l.Header.Name)
+		}
+	}
+
+	// Condition 3: coverage and distinct headers.
+	covered := map[int]bool{}
+	seenHeader := map[int]bool{}
+	for _, r := range res.Regions {
+		h := g.Order[r.Header]
+		if seenHeader[h] {
+			return fmt.Errorf("duplicate region header %s", r.Header.LongString())
+		}
+		seenHeader[h] = true
+		for _, v := range r.Instrs {
+			covered[g.Order[v]] = true
+		}
+	}
+	for v, o := range g.Order {
+		if !covered[o] {
+			return fmt.Errorf("instruction not covered by any region: %s", v.LongString())
+		}
+	}
+	return nil
+}
+
+// pathAvoidingCuts reports whether an execution path of ≥1 step exists
+// from a to b that never *enters* a cut instruction. (Starting at a is
+// free even if a is itself a cut; the path is separated only when some
+// boundary is crossed after a and strictly before executing b.)
+func pathAvoidingCuts(g *InstrGraph, a, b *ir.Value, cuts map[*ir.Value]bool) bool {
+	seen := map[*ir.Value]bool{}
+	stack := []*ir.Value{}
+	for _, s := range g.Succs[a] {
+		if cuts[s] {
+			continue
+		}
+		if s == b {
+			return true
+		}
+		if !seen[s] {
+			seen[s] = true
+			stack = append(stack, s)
+		}
+	}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range g.Succs[v] {
+			if cuts[s] {
+				continue
+			}
+			if s == b {
+				return true
+			}
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return false
+}

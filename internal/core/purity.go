@@ -1,0 +1,56 @@
+package core
+
+import "idemproc/internal/ir"
+
+// PureFunctions computes the set of functions that provably touch no
+// memory: no loads, no stores, no allocas, and calls only to other pure
+// functions (greatest fixed point, so mutual recursion is handled).
+//
+// A call to a pure function cannot participate in any memory
+// antidependence, so the intra-procedural region construction may let
+// regions span it instead of forcing the call into its own region — a
+// first step toward the inter-procedural analysis the paper's limit study
+// motivates (§3: "a substantial gain from allowing idempotent regions ...
+// to cross function boundaries"). Enable it by passing the result in
+// Options.PureFuncs.
+func PureFunctions(m *ir.Module) map[string]bool {
+	pure := map[string]bool{}
+	for _, f := range m.Funcs {
+		pure[f.Name] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, f := range m.Funcs {
+			if !pure[f.Name] {
+				continue
+			}
+			if !funcLooksPure(f, pure) {
+				pure[f.Name] = false
+				changed = true
+			}
+		}
+	}
+	// Drop the negatives for a clean set.
+	for name, p := range pure {
+		if !p {
+			delete(pure, name)
+		}
+	}
+	return pure
+}
+
+func funcLooksPure(f *ir.Func, pure map[string]bool) bool {
+	for _, b := range f.Blocks {
+		for _, v := range b.Instrs {
+			switch v.Op {
+			case ir.OpLoad, ir.OpStore, ir.OpAlloca, ir.OpGlobal:
+				return false
+			case ir.OpCall:
+				if !pure[v.Aux] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"testing"
+
+	"idemproc/internal/ir"
+)
+
+const puritySrc = `
+global @g [4]
+
+func @mix(i64 %x) i64 {
+e:
+  %a = mul %x, 2654435761
+  %b = xor %a, %x
+  ret %b
+}
+
+func @helper(i64 %x) i64 {
+e:
+  %r = call @mix(%x)
+  %r2 = add %r, 1
+  ret %r2
+}
+
+func @impure(i64 %x) i64 {
+e:
+  %p = global @g
+  %v = load %p
+  %r = add %v, %x
+  ret %r
+}
+
+func @selfrec(i64 %n) i64 {
+e:
+  %c = le %n, 0
+  condbr %c, base, rec
+base:
+  ret 1
+rec:
+  %n1 = sub %n, 1
+  %r = call @selfrec(%n1)
+  %r2 = mul %r, %n
+  ret %r2
+}
+
+func @callsimpure(i64 %x) i64 {
+e:
+  %r = call @impure(%x)
+  ret %r
+}
+`
+
+func TestPureFunctions(t *testing.T) {
+	m := ir.MustParse(puritySrc)
+	pure := PureFunctions(m)
+	for _, want := range []string{"mix", "helper", "selfrec"} {
+		if !pure[want] {
+			t.Errorf("@%s should be pure", want)
+		}
+	}
+	for _, not := range []string{"impure", "callsimpure"} {
+		if pure[not] {
+			t.Errorf("@%s should not be pure", not)
+		}
+	}
+}
+
+func TestPureCallsSkipCuts(t *testing.T) {
+	src := `
+global @out [4]
+
+func @mix(i64 %x) i64 {
+e:
+  %a = mul %x, 31
+  %b = add %a, 7
+  ret %b
+}
+
+func @main(i64 %n) i64 {
+e:
+  %p = global @out
+  br l
+l:
+  %i = phi [e: 0], [l: %i2]
+  %h = call @mix(%i)
+  %slot = rem %h, 4
+  %q = add %p, %slot
+  store %q, %h
+  %i2 = add %i, 1
+  %c = lt %i2, %n
+  condbr %c, l, d
+d:
+  ret %i2
+}
+`
+	count := func(pureOn bool) int {
+		m := ir.MustParse(src)
+		opts := DefaultOptions()
+		if pureOn {
+			opts.PureFuncs = PureFunctions(m)
+		}
+		res, err := Construct(m.Func("main"), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Check(res); err != nil {
+			t.Fatal(err)
+		}
+		return res.Stats.CutsFromCalls
+	}
+	if got := count(true); got != 0 {
+		t.Fatalf("pure mode: %d call cuts, want 0", got)
+	}
+	if got := count(false); got == 0 {
+		t.Fatal("without pure mode the call must be cut")
+	}
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"idemproc/internal/ir"
+)
+
+// Region is one element of the decomposition: a single-entry collection of
+// instructions reachable from Header without crossing a cut (§2.3's
+// definition — a region is a set of idempotent paths sharing an entry).
+type Region struct {
+	// Index is the region's position in Result.Regions.
+	Index int
+	// Header is the region's entry instruction.
+	Header *ir.Value
+	// Instrs are the instructions belonging to the region, in a
+	// deterministic order. Instructions may belong to several regions
+	// (regions may overlap; the decomposition only requires distinct
+	// headers).
+	Instrs []*ir.Value
+}
+
+// String renders a short description.
+func (r *Region) String() string {
+	return fmt.Sprintf("region %d @%s (%d instrs)", r.Index, r.Header.LongString(), len(r.Instrs))
+}
+
+// InstrGraph is the instruction-level successor relation used for region
+// membership and verification. φs and params are skipped: they are
+// bookkeeping, not execution steps.
+type InstrGraph struct {
+	Succs map[*ir.Value][]*ir.Value
+	// Order gives each instruction a deterministic global index.
+	Order map[*ir.Value]int
+	// Entry is the first executable instruction of the function.
+	Entry *ir.Value
+}
+
+// BuildInstrGraph constructs the execution successor graph of f.
+func BuildInstrGraph(f *ir.Func) *InstrGraph {
+	g := &InstrGraph{Succs: map[*ir.Value][]*ir.Value{}, Order: map[*ir.Value]int{}}
+	n := 0
+	for _, b := range f.Blocks {
+		var prev *ir.Value
+		for _, v := range b.Instrs {
+			if !real(v) {
+				continue
+			}
+			g.Order[v] = n
+			n++
+			if prev != nil {
+				g.Succs[prev] = append(g.Succs[prev], v)
+			}
+			prev = v
+		}
+		if prev != nil {
+			for _, s := range b.Succs {
+				g.Succs[prev] = append(g.Succs[prev], firstReal(s))
+			}
+		}
+	}
+	g.Entry = firstReal(f.Entry())
+	return g
+}
+
+// Materialize derives the region decomposition from a cut set: one region
+// per header (the entry plus every cut point), each containing the
+// instructions reachable from its header without entering another header.
+func Materialize(f *ir.Func, cuts map[*ir.Value]bool) []*Region {
+	g := BuildInstrGraph(f)
+	headers := []*ir.Value{}
+	if !cuts[g.Entry] {
+		headers = append(headers, g.Entry)
+	}
+	for v := range cuts {
+		headers = append(headers, v)
+	}
+	sort.Slice(headers, func(i, j int) bool { return g.Order[headers[i]] < g.Order[headers[j]] })
+
+	var regions []*Region
+	for i, h := range headers {
+		r := &Region{Index: i, Header: h}
+		seen := map[*ir.Value]bool{h: true}
+		stack := []*ir.Value{h}
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			r.Instrs = append(r.Instrs, v)
+			for _, s := range g.Succs[v] {
+				if cuts[s] || seen[s] {
+					continue
+				}
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+		sort.Slice(r.Instrs, func(a, b int) bool { return g.Order[r.Instrs[a]] < g.Order[r.Instrs[b]] })
+		regions = append(regions, r)
+	}
+	return regions
+}
+
+// DumpRegions renders the decomposition for human inspection (used by
+// cmd/idemc and the examples).
+func DumpRegions(res *Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "func @%s: %d instructions, %d regions, %d cuts\n",
+		res.F.Name, res.Stats.Instructions, len(res.Regions), len(res.Cuts))
+	regionOf := map[*ir.Value][]int{}
+	for _, r := range res.Regions {
+		for _, v := range r.Instrs {
+			regionOf[v] = append(regionOf[v], r.Index)
+		}
+	}
+	for _, blk := range res.F.Blocks {
+		fmt.Fprintf(&b, "%s:\n", blk.Name)
+		for _, v := range blk.Instrs {
+			if !real(v) {
+				fmt.Fprintf(&b, "         │ %s\n", v.LongString())
+				continue
+			}
+			if res.Cuts[v] {
+				fmt.Fprintf(&b, "  ─────── cut ───────\n")
+			}
+			ids := regionOf[v]
+			tag := make([]string, len(ids))
+			for i, id := range ids {
+				tag[i] = fmt.Sprint(id)
+			}
+			fmt.Fprintf(&b, "  R{%-5s}│ %s\n", strings.Join(tag, ","), v.LongString())
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"sort"
+
+	"idemproc/internal/ir"
+)
+
+// limitRegionSizes augments the cut set until no region contains more
+// than maxSize instructions, implementing §6.2's observation that "path
+// lengths are often easily reduced as needed to suit application demands"
+// (shorter regions bound both re-execution cost and the detection-latency
+// window).
+//
+// Long regions are split by cutting at their BFS frontier: the
+// instructions first reached at distance maxSize from the header. Each
+// round strictly adds cuts, so the loop terminates.
+func limitRegionSizes(f *ir.Func, cuts map[*ir.Value]bool, maxSize int) int {
+	if maxSize <= 0 {
+		return 0
+	}
+	g := BuildInstrGraph(f)
+	added := 0
+	for round := 0; round < 64; round++ {
+		regions := Materialize(f, cuts)
+		grew := false
+		for _, r := range regions {
+			if len(r.Instrs) <= maxSize {
+				continue
+			}
+			for _, v := range frontierAt(g, r.Header, cuts, maxSize) {
+				if !cuts[v] {
+					cuts[v] = true
+					added++
+					grew = true
+				}
+			}
+		}
+		if !grew {
+			return added
+		}
+	}
+	return added
+}
+
+// frontierAt returns the instructions at BFS depth exactly `depth` from
+// header, walking only edges that do not enter existing cuts.
+func frontierAt(g *InstrGraph, header *ir.Value, cuts map[*ir.Value]bool, depth int) []*ir.Value {
+	cur := []*ir.Value{header}
+	seen := map[*ir.Value]bool{header: true}
+	for d := 0; d < depth; d++ {
+		var next []*ir.Value
+		for _, v := range cur {
+			for _, s := range g.Succs[v] {
+				if seen[s] || (cuts[s] && s != header) {
+					continue
+				}
+				seen[s] = true
+				next = append(next, s)
+			}
+		}
+		if len(next) == 0 {
+			return nil
+		}
+		cur = next
+	}
+	sort.Slice(cur, func(i, j int) bool { return g.Order[cur[i]] < g.Order[cur[j]] })
+	return cur
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"testing"
+
+	"idemproc/internal/ir"
+)
+
+// bigStraightLine builds a long straight-line function with one memory
+// antidependence near the start so the construction yields one large
+// region.
+func bigStraightLine(n int) string {
+	src := `
+global @g [2]
+
+func @f(i64 %a) i64 {
+e:
+  %p = global @g
+  %x = load %p
+  store %p, %a
+  %acc0 = add %x, %a
+`
+	prev := "%acc0"
+	for i := 1; i < n; i++ {
+		cur := "%acc" + itoa(i)
+		src += "  " + cur + " = add " + prev + ", 1\n"
+		prev = cur
+	}
+	src += "  ret " + prev + "\n}\n"
+	return src
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	return string(b)
+}
+
+func TestMaxRegionSizeCapsRegions(t *testing.T) {
+	opts := DefaultOptions()
+	opts.MaxRegionSize = 16
+
+	m := ir.MustParse(bigStraightLine(120))
+	f := m.Func("f")
+	res, err := Construct(f, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Regions {
+		if len(r.Instrs) > 16 {
+			t.Fatalf("region %d has %d instructions, cap is 16", r.Index, len(r.Instrs))
+		}
+	}
+	if len(res.Regions) < 120/16 {
+		t.Fatalf("only %d regions for 120+ instructions", len(res.Regions))
+	}
+	// Still a valid decomposition.
+	if err := Check(res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxRegionSizePreservesSemantics(t *testing.T) {
+	ref := ir.MustParse(bigStraightLine(60))
+	in := ir.NewInterp(ref, 64)
+	want, err := in.Run("f", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opts := DefaultOptions()
+	opts.MaxRegionSize = 8
+	m := ir.MustParse(bigStraightLine(60))
+	if _, err := Construct(m.Func("f"), opts); err != nil {
+		t.Fatal(err)
+	}
+	in2 := ir.NewInterp(m, 64)
+	got, err := in2.Run("f", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("size limiting changed semantics: %d vs %d", got, want)
+	}
+}
+
+func TestMaxRegionSizeInLoops(t *testing.T) {
+	// A loop body longer than the cap must be subdivided without breaking
+	// the self-dependence invariants (Check enforces them).
+	src := `
+global @g [8]
+
+func @f(i64 %n) i64 {
+e:
+  %p = global @g
+  br l
+l:
+  %i = phi [e: 0], [l: %i2]
+  %acc = phi [e: 0], [l: %accN]
+  %idx = rem %i, 8
+  %q = add %p, %idx
+  %x = load %q
+  %a1 = add %x, 1
+  %a2 = add %a1, %i
+  %a3 = mul %a2, 3
+  %a4 = add %a3, %acc
+  %a5 = xor %a4, %i
+  %a6 = add %a5, 7
+  store %q, %a6
+  %accN = add %acc, %a6
+  %i2 = add %i, 1
+  %c = lt %i2, %n
+  condbr %c, l, d
+d:
+  ret %accN
+}
+`
+	opts := DefaultOptions()
+	opts.MaxRegionSize = 6
+	m := ir.MustParse(src)
+	res, err := Construct(m.Func("f"), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Regions {
+		if len(r.Instrs) > 6 {
+			t.Fatalf("region exceeds cap: %d instrs", len(r.Instrs))
+		}
+	}
+	in := ir.NewInterp(m, 64)
+	if _, err := in.Run("f", 20); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBalancedHeuristicStillCovers(t *testing.T) {
+	opts := DefaultOptions()
+	opts.BalancedHeuristic = true
+	m := ir.MustParse(listPushSrc)
+	res, err := Construct(m.Func("list_push"), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(res); err != nil {
+		t.Fatal(err)
+	}
+}

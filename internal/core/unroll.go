@@ -1,0 +1,277 @@
+package core
+
+import (
+	"fmt"
+
+	"idemproc/internal/cfg"
+	"idemproc/internal/ir"
+	"idemproc/internal/ssa"
+)
+
+// UnrollOnce duplicates the body of the natural loop headed at header so
+// that one trip around the original cycle executes two logical iterations
+// (the §5 enhancement: "before inserting cuts, we attempt to unroll the
+// containing loop once if possible", which lets the second required cut
+// land in the unrolled iteration and enables double buffering of
+// self-dependent φs).
+//
+// The transformation is conservative: it requires a single latch and a
+// single exit block whose predecessors all lie in the loop, and every
+// loop-defined value used outside the loop must come from a block
+// dominating the exit. It returns false (leaving f untouched) when the
+// shape does not fit; the caller then falls back to inserting cuts.
+func UnrollOnce(f *ir.Func, header *ir.Block) bool {
+	f.RemoveUnreachable()
+	info := cfg.Compute(f)
+	var loop *cfg.Loop
+	for _, l := range info.Loops {
+		if l.Header == header {
+			loop = l
+		}
+	}
+	if loop == nil || len(loop.Latches) != 1 {
+		return false
+	}
+	latch := loop.Latches[0]
+	inLoop := map[*ir.Block]bool{}
+	for _, b := range loop.Blocks {
+		inLoop[b] = true
+	}
+
+	// Find the unique exit block.
+	var exit *ir.Block
+	for _, b := range loop.Blocks {
+		for _, s := range b.Succs {
+			if inLoop[s] {
+				continue
+			}
+			if exit == nil {
+				exit = s
+			} else if exit != s {
+				return false // multiple exit blocks
+			}
+		}
+	}
+	if exit == nil {
+		return false // infinite loop
+	}
+	for _, p := range exit.Preds {
+		if !inLoop[p] {
+			return false // exit reachable from outside the loop
+		}
+	}
+
+	// Values defined in the loop and used outside must dominate the exit
+	// so a merge φ in the exit block is well-formed.
+	usedOutside := outsideUses(f, inLoop)
+	for v := range usedOutside {
+		if !info.Dominates(v.Block, exit) {
+			return false
+		}
+	}
+
+	// ---- Clone the body. ----
+	vmap := map[*ir.Value]*ir.Value{}
+	bmap := map[*ir.Block]*ir.Block{}
+	for _, b := range loop.Blocks {
+		nb := f.NewBlock()
+		nb.Name = b.Name + ".u"
+		bmap[b] = nb
+		for _, v := range b.Instrs {
+			nv := f.NewValue(v.Op, v.Type, make([]*ir.Value, len(v.Args))...)
+			nv.ConstInt, nv.ConstFloat, nv.Aux = v.ConstInt, v.ConstFloat, v.Aux
+			nv.Block = nb
+			nb.Instrs = append(nb.Instrs, nv)
+			vmap[v] = nv
+		}
+	}
+	mapped := func(v *ir.Value) *ir.Value {
+		if nv, ok := vmap[v]; ok {
+			return nv
+		}
+		return v
+	}
+
+	// Clone argument lists (header φs fixed up separately below).
+	for _, b := range loop.Blocks {
+		for _, v := range b.Instrs {
+			nv := vmap[v]
+			for i, a := range v.Args {
+				if a != nil {
+					nv.Args[i] = mapped(a)
+				}
+			}
+		}
+	}
+
+	// Clone CFG edges. In-loop successors go to the clone, exit edges go
+	// to the shared exit block, and the clone latch's back edge returns
+	// to the ORIGINAL header. Predecessor lists of cloned blocks mirror
+	// the originals position-for-position so φ arguments stay aligned.
+	hClone := bmap[header]
+	for _, b := range loop.Blocks {
+		nb := bmap[b]
+		for _, s := range b.Succs {
+			switch {
+			case s == header: // back edge: clone latch → original header
+				nb.Succs = append(nb.Succs, header)
+			case inLoop[s]:
+				nb.Succs = append(nb.Succs, bmap[s])
+			default: // exit edge
+				nb.Succs = append(nb.Succs, exit)
+			}
+		}
+		if b != header {
+			for _, p := range b.Preds {
+				nb.Preds = append(nb.Preds, bmap[p])
+			}
+		}
+	}
+
+	// Original header φs: the back edge now arrives from the clone latch
+	// carrying the clone's values.
+	li := header.PredIndex(latch)
+	header.Preds[li] = bmap[latch]
+	bmap[latch].ReplaceSucc(header, header) // no-op, keeps symmetry clear
+	for _, phi := range header.Phis() {
+		phi.Args[li] = mapped(phi.Args[li])
+	}
+
+	// Clone header φs: the clone header's only predecessor is the
+	// original latch, and the incoming value is the ORIGINAL back-edge
+	// argument (iteration i's value, not the clone's).
+	latch.ReplaceSucc(header, hClone)
+	hClone.Preds = []*ir.Block{latch}
+	for _, phi := range header.Phis() {
+		cphi := vmap[phi]
+		orig := phi.Args[li]
+		// phi.Args[li] was remapped above; recover the original through
+		// the inverse: mapped(orig)==phi.Args[li].
+		_ = orig
+		cphi.Op = ir.OpCopy
+		cphi.Args = []*ir.Value{originalBackArg(phi, vmap, li)}
+	}
+
+	// Exit block: add clone predecessors and extend φs, pairing each new
+	// pred with the clone of the corresponding original edge (handles
+	// duplicate predecessors positionally).
+	origPreds := append([]*ir.Block{}, exit.Preds...)
+	for pi, p := range origPreds {
+		exit.Preds = append(exit.Preds, bmap[p])
+		for _, phi := range exit.Phis() {
+			phi.Args = append(phi.Args, mapped(phi.Args[pi]))
+		}
+	}
+
+	// Merge φs for loop-defined values used beyond the exit block's φs.
+	for _, v := range orderedValues(f, usedOutside) {
+		phi := f.NewValue(ir.OpPhi, v.Type, make([]*ir.Value, len(exit.Preds))...)
+		for i, p := range exit.Preds {
+			if inLoop[p] {
+				phi.Args[i] = v
+			} else {
+				phi.Args[i] = mapped(v)
+			}
+		}
+		phi.Block = exit
+		at := 0
+		for at < len(exit.Instrs) && exit.Instrs[at].Op == ir.OpPhi {
+			at++
+		}
+		exit.Instrs = append(exit.Instrs, nil)
+		copy(exit.Instrs[at+1:], exit.Instrs[at:])
+		exit.Instrs[at] = phi
+
+		// Rewrite uses outside the loop and its clone (and outside the
+		// merge φs just created).
+		for _, b := range f.Blocks {
+			if inLoop[b] || isClone(b, bmap) {
+				continue
+			}
+			for _, u := range b.Instrs {
+				if u == phi {
+					continue
+				}
+				if b == exit && u.Op == ir.OpPhi {
+					continue // per-edge φ args already correct
+				}
+				for i, a := range u.Args {
+					if a == v {
+						u.Args[i] = phi
+					}
+				}
+			}
+		}
+	}
+
+	f.Renumber()
+	if err := ir.Verify(f); err != nil {
+		panic(fmt.Sprintf("core: UnrollOnce produced invalid IR: %v", err))
+	}
+	if err := ssa.VerifySSA(f); err != nil {
+		panic(fmt.Sprintf("core: UnrollOnce broke SSA: %v", err))
+	}
+	return true
+}
+
+// originalBackArg recovers the pre-remap back-edge argument of a header φ:
+// after the header fix-up, Args[li] holds the clone; invert vmap.
+func originalBackArg(phi *ir.Value, vmap map[*ir.Value]*ir.Value, li int) *ir.Value {
+	cur := phi.Args[li]
+	for o, c := range vmap {
+		if c == cur {
+			return o
+		}
+	}
+	return cur // value was defined outside the loop; unmapped
+}
+
+func isClone(b *ir.Block, bmap map[*ir.Block]*ir.Block) bool {
+	for _, c := range bmap {
+		if c == b {
+			return true
+		}
+	}
+	return false
+}
+
+// outsideUses returns loop-defined values with at least one use outside
+// the loop.
+func outsideUses(f *ir.Func, inLoop map[*ir.Block]bool) map[*ir.Value]bool {
+	out := map[*ir.Value]bool{}
+	for _, b := range f.Blocks {
+		if inLoop[b] {
+			continue
+		}
+		for _, v := range b.Instrs {
+			if v.Op == ir.OpPhi {
+				// A φ use counts as a use at the predecessor's exit.
+				for i, a := range v.Args {
+					if a != nil && a.Block != nil && inLoop[a.Block] && !inLoop[b.Preds[i]] {
+						out[a] = true
+					}
+				}
+				continue
+			}
+			for _, a := range v.Args {
+				if a.Block != nil && inLoop[a.Block] {
+					out[a] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// orderedValues returns the map's keys in deterministic program order.
+func orderedValues(f *ir.Func, set map[*ir.Value]bool) []*ir.Value {
+	var out []*ir.Value
+	for _, b := range f.Blocks {
+		for _, v := range b.Instrs {
+			if set[v] {
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}

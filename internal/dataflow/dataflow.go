@@ -1,0 +1,235 @@
+// Package dataflow provides the data-dependence analyses behind the
+// paper's region construction: liveness, instruction-level reachability,
+// and memory antidependence extraction (§2.1, §4.2.1).
+//
+// An antidependence is a write-after-read (WAR) pair. After the program
+// transformations of §4.1 (SSA conversion + redundancy elimination), the
+// surviving memory antidependences are exactly the potential clobber
+// antidependences the region construction must cut.
+package dataflow
+
+import (
+	"idemproc/internal/alias"
+	"idemproc/internal/ir"
+)
+
+// Positions indexes every instruction's block-local position for
+// intra-block ordering queries.
+type Positions map[*ir.Value]int
+
+// IndexPositions computes block-local instruction positions.
+func IndexPositions(f *ir.Func) Positions {
+	pos := Positions{}
+	for _, b := range f.Blocks {
+		for i, v := range b.Instrs {
+			pos[v] = i
+		}
+	}
+	return pos
+}
+
+// Reach answers instruction-level reachability queries: whether control
+// can flow from one instruction to another along a path of at least one
+// step.
+type Reach struct {
+	pos Positions
+	// blockReach[i][j]: path of ≥1 edge from block i to block j.
+	blockReach [][]bool
+}
+
+// ComputeReach builds the reachability index for f.
+func ComputeReach(f *ir.Func) *Reach {
+	f.Renumber()
+	n := len(f.Blocks)
+	r := &Reach{pos: IndexPositions(f), blockReach: make([][]bool, n)}
+	for i := range r.blockReach {
+		r.blockReach[i] = make([]bool, n)
+	}
+	// DFS from each block's successors.
+	for _, b := range f.Blocks {
+		var stack []*ir.Block
+		for _, s := range b.Succs {
+			if !r.blockReach[b.Index][s.Index] {
+				r.blockReach[b.Index][s.Index] = true
+				stack = append(stack, s)
+			}
+		}
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, s := range x.Succs {
+				if !r.blockReach[b.Index][s.Index] {
+					r.blockReach[b.Index][s.Index] = true
+					stack = append(stack, s)
+				}
+			}
+		}
+	}
+	return r
+}
+
+// Reaches reports whether control can flow from instruction a to
+// instruction b taking at least one step.
+func (r *Reach) Reaches(a, b *ir.Value) bool {
+	if a.Block == b.Block && r.pos[a] < r.pos[b] {
+		return true
+	}
+	return r.blockReach[a.Block.Index][b.Block.Index]
+}
+
+// Pos returns the block-local position of v.
+func (r *Reach) Pos(v *ir.Value) int { return r.pos[v] }
+
+// Antidep is a memory write-after-read dependence: Write may overwrite the
+// location Read observed, and Write is reachable from Read.
+type Antidep struct {
+	Read  *ir.Value // an OpLoad
+	Write *ir.Value // an OpStore
+	// MustAliasPair records that the two addresses provably match (the
+	// paper's running example distinguishes may- and must-alias clobbers).
+	MustAliasPair bool
+}
+
+// MemoryAntideps extracts all memory antidependences in f. Calls are not
+// paired here: the region construction places mandatory cuts around calls
+// (intra-procedural analysis, as in the paper's implementation), which
+// separates any WAR spanning a call.
+func MemoryAntideps(f *ir.Func, ai *alias.Info, reach *Reach) []Antidep {
+	var loads, stores []*ir.Value
+	for _, b := range f.Blocks {
+		for _, v := range b.Instrs {
+			switch v.Op {
+			case ir.OpLoad:
+				loads = append(loads, v)
+			case ir.OpStore:
+				stores = append(stores, v)
+			}
+		}
+	}
+	var out []Antidep
+	for _, r := range loads {
+		for _, w := range stores {
+			if !ai.MayAlias(r.Args[0], w.Args[0]) {
+				continue
+			}
+			if !reach.Reaches(r, w) {
+				continue
+			}
+			out = append(out, Antidep{
+				Read:          r,
+				Write:         w,
+				MustAliasPair: ai.MustAlias(r.Args[0], w.Args[0]),
+			})
+		}
+	}
+	return out
+}
+
+// Liveness holds per-block live-in/live-out sets of SSA values.
+type Liveness struct {
+	LiveIn  []map[*ir.Value]bool // indexed by Block.Index
+	LiveOut []map[*ir.Value]bool
+}
+
+// ComputeLiveness runs backward liveness over f (which must be in SSA
+// form: each value defined once). φ arguments are treated as live-out of
+// the corresponding predecessor, per convention.
+func ComputeLiveness(f *ir.Func) *Liveness {
+	f.Renumber()
+	n := len(f.Blocks)
+	lv := &Liveness{
+		LiveIn:  make([]map[*ir.Value]bool, n),
+		LiveOut: make([]map[*ir.Value]bool, n),
+	}
+	for i := 0; i < n; i++ {
+		lv.LiveIn[i] = map[*ir.Value]bool{}
+		lv.LiveOut[i] = map[*ir.Value]bool{}
+	}
+
+	// use[b]: values used in b before any redefinition (SSA: no redefs);
+	// φ uses excluded (they belong to preds). def[b]: values defined in b.
+	use := make([]map[*ir.Value]bool, n)
+	def := make([]map[*ir.Value]bool, n)
+	for _, b := range f.Blocks {
+		u, d := map[*ir.Value]bool{}, map[*ir.Value]bool{}
+		for _, v := range b.Instrs {
+			if v.Op != ir.OpPhi {
+				for _, a := range v.Args {
+					if !d[a] {
+						u[a] = true
+					}
+				}
+			}
+			if v.Defines() {
+				d[v] = true
+			}
+		}
+		use[b.Index], def[b.Index] = u, d
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for i := n - 1; i >= 0; i-- {
+			b := f.Blocks[i]
+			out := lv.LiveOut[b.Index]
+			for _, s := range b.Succs {
+				for v := range lv.LiveIn[s.Index] {
+					if !out[v] {
+						out[v] = true
+						changed = true
+					}
+				}
+				// φ args incoming from b are live-out of b.
+				for pi, p := range s.Preds {
+					if p != b {
+						continue
+					}
+					for _, phi := range s.Phis() {
+						a := phi.Args[pi]
+						if a != nil && !out[a] {
+							out[a] = true
+							changed = true
+						}
+					}
+				}
+			}
+			in := lv.LiveIn[b.Index]
+			for v := range use[b.Index] {
+				if !in[v] {
+					in[v] = true
+					changed = true
+				}
+			}
+			for v := range out {
+				if !def[b.Index][v] && !in[v] {
+					in[v] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return lv
+}
+
+// LiveAt reports whether v is live immediately before instruction at in
+// block b (at is the block-local index).
+func (lv *Liveness) LiveAt(b *ir.Block, at int, v *ir.Value, pos Positions) bool {
+	// Defined before 'at' in b or live-in, and used at/after 'at' or
+	// live-out without redefinition (SSA: single def).
+	defBefore := v.Block == b && pos[v] < at
+	if !defBefore && !lv.LiveIn[b.Index][v] {
+		return false
+	}
+	for i := at; i < len(b.Instrs); i++ {
+		in := b.Instrs[i]
+		if in.Op == ir.OpPhi {
+			continue
+		}
+		for _, a := range in.Args {
+			if a == v {
+				return true
+			}
+		}
+	}
+	return lv.LiveOut[b.Index][v]
+}

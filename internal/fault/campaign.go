@@ -1,0 +1,87 @@
+package fault
+
+import (
+	"fmt"
+
+	"idemproc/internal/codegen"
+	"idemproc/internal/machine"
+)
+
+// CampaignResult aggregates a fault-injection campaign over one program.
+type CampaignResult struct {
+	// Runs is the number of injection runs; Landed counts runs where the
+	// fault actually corrupted a value (some steps fall on instructions
+	// without register results).
+	Runs, Landed int
+	// Detected counts runs with at least one detection; Recovered counts
+	// runs that re-executed at least one region (or rolled back).
+	Detected, Recovered int
+	// Correct counts landed runs whose final result matched the
+	// fault-free reference.
+	Correct int
+	// ExtraInstrPct is the mean dynamic-instruction inflation of landed
+	// runs relative to the fault-free run (the re-execution cost).
+	ExtraInstrPct float64
+}
+
+// Campaign builds the machine configuration for scheme s, runs p once
+// fault-free, then performs `runs` single-bit injection runs spread
+// uniformly over the execution, checking each against the reference.
+func Campaign(p *codegen.Program, s Scheme, runs int, args ...uint64) (*CampaignResult, error) {
+	cfg := machine.Config{}
+	switch s {
+	case SchemeIdempotence:
+		cfg.BufferStores = true
+		cfg.Recovery = machine.RecoverIdempotence
+	case SchemeCheckpointLog:
+		cfg.Recovery = machine.RecoverCheckpointLog
+	case SchemeTMR:
+		cfg.Recovery = machine.RecoverTMR
+	case SchemeDMR:
+		// detection only; campaigns report detections, not recoveries
+	}
+
+	ref := machine.New(p, cfg)
+	want, err := ref.Run(args...)
+	if err != nil {
+		return nil, fmt.Errorf("fault: reference run: %w", err)
+	}
+	span := ref.Stats.DynInstrs
+
+	res := &CampaignResult{}
+	var extra float64
+	for i := 1; i <= runs; i++ {
+		m := machine.New(p, cfg)
+		step := span * int64(i) / int64(runs+1)
+		m.InjectFault(step, uint(i*29)%63+1)
+		got, err := m.Run(args...)
+		res.Runs++
+		if err != nil {
+			if err == machine.ErrDetectedUnrecoverable && s == SchemeDMR {
+				// DMR detects and halts: the expected outcome.
+				res.Landed++
+				res.Detected++
+				continue
+			}
+			return nil, fmt.Errorf("fault: run %d: %w", i, err)
+		}
+		if m.Stats.Faults == 0 {
+			continue
+		}
+		res.Landed++
+		if m.Stats.Detections > 0 {
+			res.Detected++
+		}
+		if m.Stats.Recoveries > 0 {
+			res.Recovered++
+		}
+		if got == want {
+			res.Correct++
+		}
+		extra += 100 * (float64(m.Stats.DynInstrs)/float64(span) - 1)
+	}
+	if res.Landed > 0 {
+		res.ExtraInstrPct = extra / float64(res.Landed)
+	}
+	return res, nil
+}

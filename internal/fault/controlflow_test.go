@@ -1,0 +1,82 @@
+package fault
+
+import (
+	"testing"
+
+	"idemproc/internal/machine"
+)
+
+// TestControlFlowErrorRecovery exercises §2.3's "tolerating control flow
+// errors": conditional branches are forced the wrong way at many points;
+// the wrong path executes speculatively (stores buffered), the next
+// region boundary's control-flow verification detects the failure, and
+// re-execution from rp restores correct behaviour.
+func TestControlFlowErrorRecovery(t *testing.T) {
+	plain := machine.New(buildProgram(t, false), machine.Config{})
+	want, err := plain.Run(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAcc := make([]uint64, 16)
+	copy(wantAcc, plain.Mem[plain.P.GlobalBase["acc"]:plain.P.GlobalBase["acc"]+16])
+
+	idem := buildProgram(t, true)
+	injected, recovered := 0, 0
+	for step := int64(3); step < 2000; step += 23 {
+		m := machine.New(idem, machine.Config{
+			BufferStores: true,
+			Recovery:     machine.RecoverIdempotence,
+		})
+		m.InjectControlFlowError(step)
+		got, err := m.Run(40)
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		if m.Stats.Faults == 0 {
+			continue // step did not land on a conditional branch
+		}
+		injected++
+		if m.Stats.Recoveries > 0 {
+			recovered++
+		}
+		if got != want {
+			t.Fatalf("step %d: result %d, want %d (recoveries=%d)", step, got, want, m.Stats.Recoveries)
+		}
+		base := m.P.GlobalBase["acc"]
+		for i := int64(0); i < 16; i++ {
+			if m.Mem[base+i] != wantAcc[i] {
+				t.Fatalf("step %d: memory acc[%d] = %d, want %d", step, i, m.Mem[base+i], wantAcc[i])
+			}
+		}
+	}
+	if injected < 10 {
+		t.Fatalf("only %d control-flow errors landed on branches", injected)
+	}
+	if recovered == 0 {
+		t.Fatal("no wrong path was ever detected and recovered")
+	}
+	t.Logf("injected %d control-flow errors, %d required recovery", injected, recovered)
+}
+
+// TestControlFlowErrorsStacked injects several flips in one run.
+func TestControlFlowErrorsStacked(t *testing.T) {
+	plain := machine.New(buildProgram(t, false), machine.Config{})
+	want, err := plain.Run(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.New(buildProgram(t, true), machine.Config{
+		BufferStores: true,
+		Recovery:     machine.RecoverIdempotence,
+	})
+	for _, step := range []int64{50, 300, 700, 1100, 1600} {
+		m.InjectControlFlowError(step)
+	}
+	got, err := m.Run(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("stacked flips: result %d, want %d", got, want)
+	}
+}

@@ -1,0 +1,141 @@
+package ir
+
+import "fmt"
+
+// Builder provides a convenient, position-tracking API for constructing IR
+// by hand (tests, the frontend, and the examples all use it).
+type Builder struct {
+	Func *Func
+	// Cur is the block under construction; emitted instructions append
+	// here until the block is terminated.
+	Cur *Block
+}
+
+// NewBuilder returns a builder positioned at f's entry block.
+func NewBuilder(f *Func) *Builder {
+	return &Builder{Func: f, Cur: f.Entry()}
+}
+
+// SetBlock moves the insertion point to b.
+func (bd *Builder) SetBlock(b *Block) { bd.Cur = b }
+
+// emit appends v to the current block.
+func (bd *Builder) emit(v *Value) *Value {
+	if bd.Cur == nil {
+		panic("ir: builder has no current block")
+	}
+	if t := bd.Cur.Terminator(); t != nil {
+		panic(fmt.Sprintf("ir: emitting %s into terminated block %s", v.Op, bd.Cur.Name))
+	}
+	v.Block = bd.Cur
+	bd.Cur.Instrs = append(bd.Cur.Instrs, v)
+	return v
+}
+
+// ConstInt emits an I64 constant.
+func (bd *Builder) ConstInt(c int64) *Value {
+	v := bd.Func.NewValue(OpConst, I64)
+	v.ConstInt = c
+	return bd.emit(v)
+}
+
+// ConstFloat emits an F64 constant.
+func (bd *Builder) ConstFloat(c float64) *Value {
+	v := bd.Func.NewValue(OpConst, F64)
+	v.ConstFloat = c
+	return bd.emit(v)
+}
+
+// Bin emits a binary arithmetic or comparison instruction. The result type
+// follows the op: float arithmetic yields F64, everything else I64.
+func (bd *Builder) Bin(op Op, x, y *Value) *Value {
+	t := I64
+	if op >= OpFAdd && op <= OpFNeg {
+		t = F64
+	}
+	return bd.emit(bd.Func.NewValue(op, t, x, y))
+}
+
+// Un emits a unary instruction (OpNeg, OpNot, OpFNeg, OpIToF, OpFToI,
+// OpCopy).
+func (bd *Builder) Un(op Op, x *Value) *Value {
+	t := I64
+	switch op {
+	case OpFNeg, OpIToF:
+		t = F64
+	case OpCopy:
+		t = x.Type
+	}
+	return bd.emit(bd.Func.NewValue(op, t, x))
+}
+
+// Alloca emits a stack allocation of size words.
+func (bd *Builder) Alloca(size int64) *Value {
+	v := bd.Func.NewValue(OpAlloca, I64)
+	v.ConstInt = size
+	return bd.emit(v)
+}
+
+// Global emits an address-of-global instruction.
+func (bd *Builder) Global(name string) *Value {
+	v := bd.Func.NewValue(OpGlobal, I64)
+	v.Aux = name
+	return bd.emit(v)
+}
+
+// Load emits a load of the given type from addr.
+func (bd *Builder) Load(t Type, addr *Value) *Value {
+	return bd.emit(bd.Func.NewValue(OpLoad, t, addr))
+}
+
+// Store emits a store of val to addr.
+func (bd *Builder) Store(addr, val *Value) *Value {
+	return bd.emit(bd.Func.NewValue(OpStore, Void, addr, val))
+}
+
+// Call emits a call to the named function.
+func (bd *Builder) Call(result Type, callee string, args ...*Value) *Value {
+	v := bd.Func.NewValue(OpCall, result, args...)
+	v.Aux = callee
+	return bd.emit(v)
+}
+
+// Phi emits a φ-node; the caller is responsible for alignment with Preds
+// (usually via ssa.Build, which creates φs itself).
+func (bd *Builder) Phi(t Type, args ...*Value) *Value {
+	return bd.emit(bd.Func.NewValue(OpPhi, t, args...))
+}
+
+// Br terminates the current block with an unconditional branch to dst and
+// records the CFG edge.
+func (bd *Builder) Br(dst *Block) *Value {
+	v := bd.emit(bd.Func.NewValue(OpBr, Void))
+	bd.Cur.Succs = append(bd.Cur.Succs, dst)
+	dst.Preds = append(dst.Preds, bd.Cur)
+	return v
+}
+
+// CondBr terminates the current block with a conditional branch.
+func (bd *Builder) CondBr(cond *Value, then, els *Block) *Value {
+	v := bd.emit(bd.Func.NewValue(OpCondBr, Void, cond))
+	bd.Cur.Succs = append(bd.Cur.Succs, then, els)
+	then.Preds = append(then.Preds, bd.Cur)
+	els.Preds = append(els.Preds, bd.Cur)
+	return v
+}
+
+// Ret terminates the current block with a return. vals may be empty for a
+// void return.
+func (bd *Builder) Ret(vals ...*Value) *Value {
+	return bd.emit(bd.Func.NewValue(OpRet, Void, vals...))
+}
+
+// Assign emits a copy of val into the *named* pseudoregister dst. This is
+// how non-SSA code expresses reassignment: multiple instructions defining
+// the same name. ssa.Build later renames them apart.
+func (bd *Builder) Assign(dst string, val *Value) *Value {
+	v := bd.Func.NewValue(OpCopy, val.Type, val)
+	v.Name = dst
+	bd.Func.ClaimName(dst)
+	return bd.emit(v)
+}

@@ -1,0 +1,287 @@
+package ir
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Interp is a reference interpreter for IR modules. The machine simulator
+// (package machine) must agree with it on every workload; tests compare
+// the two (differential testing).
+//
+// Memory is a flat array of 64-bit words. Address 0 is reserved (null);
+// globals are laid out from address 1 upward in declaration order; each
+// call frame's allocas follow the globals at a per-call stack pointer.
+type Interp struct {
+	M *Module
+	// Mem is the flat word memory. Floats are stored bit-cast.
+	Mem []uint64
+	// Steps counts executed instructions (φ and param excluded).
+	Steps int
+	// MaxSteps aborts runaway executions (default 200M).
+	MaxSteps int
+
+	globalBase map[string]int64
+	stackTop   int64
+}
+
+// ErrTooManySteps is returned when execution exceeds MaxSteps.
+var ErrTooManySteps = errors.New("ir: interpreter step limit exceeded")
+
+// NewInterp prepares an interpreter with memWords words of memory and the
+// module's globals initialized.
+func NewInterp(m *Module, memWords int) *Interp {
+	in := &Interp{M: m, Mem: make([]uint64, memWords), MaxSteps: 200_000_000}
+	in.globalBase = map[string]int64{}
+	addr := int64(1)
+	for _, g := range m.Globals {
+		in.globalBase[g.Name] = addr
+		for i, x := range g.Init {
+			in.Mem[addr+int64(i)] = uint64(x)
+		}
+		addr += g.Size
+	}
+	in.stackTop = addr
+	return in
+}
+
+// GlobalAddr returns the address of global name.
+func (in *Interp) GlobalAddr(name string) int64 {
+	a, ok := in.globalBase[name]
+	if !ok {
+		panic(fmt.Sprintf("ir: unknown global %q", name))
+	}
+	return a
+}
+
+// Word is a dynamic value: an I64 or the bits of an F64.
+type Word = uint64
+
+// F2W converts a float to its word representation.
+func F2W(f float64) Word { return math.Float64bits(f) }
+
+// W2F converts a word to float.
+func W2F(w Word) float64 { return math.Float64frombits(w) }
+
+// Run calls function name with the given integer/float arguments (floats
+// pre-converted with F2W) and returns the result word.
+func (in *Interp) Run(name string, args ...Word) (Word, error) {
+	f := in.M.Func(name)
+	if f == nil {
+		return 0, fmt.Errorf("ir: unknown function %q", name)
+	}
+	return in.call(f, args)
+}
+
+func (in *Interp) call(f *Func, args []Word) (Word, error) {
+	if len(args) != len(f.Params) {
+		return 0, fmt.Errorf("ir: call @%s with %d args, want %d", f.Name, len(args), len(f.Params))
+	}
+	env := make(map[*Value]Word)
+	frameBase := in.stackTop
+
+	// Pre-scan entry block allocas so addresses are stable regardless of
+	// execution order.
+	sp := frameBase
+	for _, v := range f.Entry().Instrs {
+		if v.Op == OpAlloca {
+			env[v] = Word(sp)
+			sp += v.ConstInt
+		}
+	}
+	if int(sp) > len(in.Mem) {
+		return 0, fmt.Errorf("ir: out of memory in @%s (need %d words)", f.Name, sp)
+	}
+	in.stackTop = sp
+	defer func() { in.stackTop = frameBase }()
+
+	for i, p := range f.Params {
+		env[p] = args[i]
+	}
+
+	blk := f.Entry()
+	var prev *Block
+	for {
+		// Evaluate φ-nodes as a parallel copy on entry.
+		phis := blk.Phis()
+		if len(phis) > 0 {
+			if prev == nil {
+				return 0, fmt.Errorf("ir: φ in entry block of @%s", f.Name)
+			}
+			idx := blk.PredIndex(prev)
+			if idx < 0 {
+				return 0, fmt.Errorf("ir: φ predecessor %s missing in %s", prev.Name, blk.Name)
+			}
+			tmp := make([]Word, len(phis))
+			for i, phi := range phis {
+				tmp[i] = env[phi.Args[idx]]
+			}
+			for i, phi := range phis {
+				env[phi] = tmp[i]
+			}
+		}
+
+		for _, v := range blk.Instrs {
+			if v.Op == OpPhi || v.Op == OpParam {
+				continue
+			}
+			in.Steps++
+			if in.Steps > in.MaxSteps {
+				return 0, ErrTooManySteps
+			}
+			switch v.Op {
+			case OpConst:
+				if v.Type == F64 {
+					env[v] = F2W(v.ConstFloat)
+				} else {
+					env[v] = Word(v.ConstInt)
+				}
+			case OpCopy:
+				env[v] = env[v.Args[0]]
+			case OpAlloca:
+				// address assigned in the pre-scan
+			case OpGlobal:
+				env[v] = Word(in.GlobalAddr(v.Aux))
+			case OpLoad:
+				a := int64(env[v.Args[0]])
+				if a <= 0 || int(a) >= len(in.Mem) {
+					return 0, fmt.Errorf("ir: @%s: load from invalid address %d", f.Name, a)
+				}
+				env[v] = in.Mem[a]
+			case OpStore:
+				a := int64(env[v.Args[0]])
+				if a <= 0 || int(a) >= len(in.Mem) {
+					return 0, fmt.Errorf("ir: @%s: store to invalid address %d", f.Name, a)
+				}
+				in.Mem[a] = env[v.Args[1]]
+			case OpCall:
+				callee := in.M.Func(v.Aux)
+				if callee == nil {
+					return 0, fmt.Errorf("ir: @%s calls unknown @%s", f.Name, v.Aux)
+				}
+				cargs := make([]Word, len(v.Args))
+				for i, a := range v.Args {
+					cargs[i] = env[a]
+				}
+				r, err := in.call(callee, cargs)
+				if err != nil {
+					return 0, err
+				}
+				if v.Type != Void {
+					env[v] = r
+				}
+			case OpBr:
+				prev, blk = blk, blk.Succs[0]
+				goto next
+			case OpCondBr:
+				if env[v.Args[0]] != 0 {
+					prev, blk = blk, blk.Succs[0]
+				} else {
+					prev, blk = blk, blk.Succs[1]
+				}
+				goto next
+			case OpRet:
+				if len(v.Args) > 0 {
+					return env[v.Args[0]], nil
+				}
+				return 0, nil
+			default:
+				r, err := evalOp(v.Op, v.Args, env)
+				if err != nil {
+					return 0, fmt.Errorf("@%s: %s: %v", f.Name, v.LongString(), err)
+				}
+				env[v] = r
+			}
+		}
+		return 0, fmt.Errorf("ir: @%s: block %s fell through", f.Name, blk.Name)
+	next:
+	}
+}
+
+// evalOp evaluates a pure arithmetic/comparison/conversion operation.
+func evalOp(op Op, args []*Value, env map[*Value]Word) (Word, error) {
+	x := env[args[0]]
+	var y Word
+	if len(args) > 1 {
+		y = env[args[1]]
+	}
+	xi, yi := int64(x), int64(y)
+	b2w := func(b bool) Word {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	switch op {
+	case OpAdd:
+		return Word(xi + yi), nil
+	case OpSub:
+		return Word(xi - yi), nil
+	case OpMul:
+		return Word(xi * yi), nil
+	case OpDiv:
+		if yi == 0 {
+			return 0, errors.New("integer division by zero")
+		}
+		return Word(xi / yi), nil
+	case OpRem:
+		if yi == 0 {
+			return 0, errors.New("integer remainder by zero")
+		}
+		return Word(xi % yi), nil
+	case OpAnd:
+		return x & y, nil
+	case OpOr:
+		return x | y, nil
+	case OpXor:
+		return x ^ y, nil
+	case OpShl:
+		return Word(xi << (yi & 63)), nil
+	case OpShr:
+		return Word(xi >> (yi & 63)), nil
+	case OpNeg:
+		return Word(-xi), nil
+	case OpNot:
+		return ^x, nil
+	case OpFAdd:
+		return F2W(W2F(x) + W2F(y)), nil
+	case OpFSub:
+		return F2W(W2F(x) - W2F(y)), nil
+	case OpFMul:
+		return F2W(W2F(x) * W2F(y)), nil
+	case OpFDiv:
+		return F2W(W2F(x) / W2F(y)), nil
+	case OpFNeg:
+		return F2W(-W2F(x)), nil
+	case OpIToF:
+		return F2W(float64(xi)), nil
+	case OpFToI:
+		return Word(int64(W2F(x))), nil
+	case OpEq:
+		return b2w(xi == yi), nil
+	case OpNe:
+		return b2w(xi != yi), nil
+	case OpLt:
+		return b2w(xi < yi), nil
+	case OpLe:
+		return b2w(xi <= yi), nil
+	case OpGt:
+		return b2w(xi > yi), nil
+	case OpGe:
+		return b2w(xi >= yi), nil
+	case OpFEq:
+		return b2w(W2F(x) == W2F(y)), nil
+	case OpFNe:
+		return b2w(W2F(x) != W2F(y)), nil
+	case OpFLt:
+		return b2w(W2F(x) < W2F(y)), nil
+	case OpFLe:
+		return b2w(W2F(x) <= W2F(y)), nil
+	case OpFGt:
+		return b2w(W2F(x) > W2F(y)), nil
+	case OpFGe:
+		return b2w(W2F(x) >= W2F(y)), nil
+	}
+	return 0, fmt.Errorf("unhandled op %s", op)
+}

@@ -1,0 +1,657 @@
+package ir
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse reads a module in the textual syntax produced by ModuleString.
+//
+//	global @name [8] = {1, 2, 3}
+//
+//	func @f(i64 %a, f64 %b) i64 {
+//	b0:
+//	  %t0 = add %a, 5
+//	  %t1 = load.f64 %t0
+//	  store %t0, %t1
+//	  condbr %t0, b1, b2
+//	b1:
+//	  %p = phi [b0: %t0], [b1: %q]
+//	  ret %p
+//	}
+//
+// Integer and float literals may appear wherever a value is expected; they
+// become OpConst instructions. Loads, calls and φ-nodes default to i64 and
+// take a ".f64" suffix for floats ("load.f64", "call.f64", "phi.f64");
+// "call.void" marks a void call used as a statement.
+func Parse(src string) (*Module, error) {
+	p := &parser{m: NewModule()}
+	if err := p.run(src); err != nil {
+		return nil, err
+	}
+	return p.m, nil
+}
+
+// MustParse is Parse that panics on error; for tests and embedded sources.
+func MustParse(src string) *Module {
+	m, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+type parser struct {
+	m    *Module
+	line int
+	// phiOrders records, for each parsed φ, the source-order predecessor
+	// labels so arguments can be permuted into Preds order once the CFG
+	// is complete.
+	phiOrders map[*Value][]string
+	phiFixups []*Value
+}
+
+type patch struct {
+	v    *Value
+	arg  int
+	name string
+	line int
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("line %d: %s", p.line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) run(src string) error {
+	lines := strings.Split(src, "\n")
+	i := 0
+	for i < len(lines) {
+		p.line = i + 1
+		l := stripComment(lines[i])
+		switch {
+		case l == "":
+			i++
+		case strings.HasPrefix(l, "global "):
+			if err := p.parseGlobal(l); err != nil {
+				return err
+			}
+			i++
+		case strings.HasPrefix(l, "func "):
+			end, err := p.parseFunc(lines, i)
+			if err != nil {
+				return err
+			}
+			i = end
+		default:
+			return p.errf("unexpected top-level line %q", l)
+		}
+	}
+	return nil
+}
+
+func stripComment(l string) string {
+	if j := strings.IndexByte(l, ';'); j >= 0 {
+		l = l[:j]
+	}
+	return strings.TrimSpace(l)
+}
+
+func (p *parser) parseGlobal(l string) error {
+	// global @name [N] ( = {a, b, ...} )?
+	rest := strings.TrimPrefix(l, "global ")
+	rest = strings.TrimSpace(rest)
+	if !strings.HasPrefix(rest, "@") {
+		return p.errf("global: expected @name")
+	}
+	rest = rest[1:]
+	sp := strings.IndexByte(rest, ' ')
+	if sp < 0 {
+		return p.errf("global: expected size")
+	}
+	name := rest[:sp]
+	rest = strings.TrimSpace(rest[sp:])
+	if !strings.HasPrefix(rest, "[") {
+		return p.errf("global: expected [size]")
+	}
+	close := strings.IndexByte(rest, ']')
+	if close < 0 {
+		return p.errf("global: unterminated [size]")
+	}
+	size, err := strconv.ParseInt(strings.TrimSpace(rest[1:close]), 10, 64)
+	if err != nil {
+		return p.errf("global: bad size: %v", err)
+	}
+	rest = strings.TrimSpace(rest[close+1:])
+	var init []int64
+	if rest != "" {
+		rest = strings.TrimSpace(strings.TrimPrefix(rest, "="))
+		rest = strings.TrimSuffix(strings.TrimPrefix(rest, "{"), "}")
+		for _, fld := range strings.Split(rest, ",") {
+			fld = strings.TrimSpace(fld)
+			if fld == "" {
+				continue
+			}
+			x, err := strconv.ParseInt(fld, 10, 64)
+			if err != nil {
+				return p.errf("global: bad initializer %q", fld)
+			}
+			init = append(init, x)
+		}
+	}
+	if p.m.Global(name) != nil {
+		return p.errf("global @%s redeclared", name)
+	}
+	p.m.AddGlobal(name, size, init)
+	return nil
+}
+
+func parseType(s string) (Type, bool) {
+	switch s {
+	case "i64":
+		return I64, true
+	case "f64":
+		return F64, true
+	case "void":
+		return Void, true
+	}
+	return Void, false
+}
+
+// parseFunc parses one function starting at lines[start]; returns the index
+// one past the closing brace.
+func (p *parser) parseFunc(lines []string, start int) (int, error) {
+	p.line = start + 1
+	header := stripComment(lines[start])
+	open := strings.IndexByte(header, '(')
+	closeP := strings.LastIndexByte(header, ')')
+	if open < 0 || closeP < open {
+		return 0, p.errf("func: malformed header")
+	}
+	namePart := strings.TrimSpace(strings.TrimPrefix(header[:open], "func"))
+	if !strings.HasPrefix(namePart, "@") {
+		return 0, p.errf("func: expected @name")
+	}
+	name := namePart[1:]
+	tail := strings.TrimSpace(header[closeP+1:])
+	tail = strings.TrimSuffix(tail, "{")
+	resT, ok := parseType(strings.TrimSpace(tail))
+	if !ok {
+		return 0, p.errf("func: bad result type %q", tail)
+	}
+
+	var ptypes []Type
+	var pnames []string
+	params := strings.TrimSpace(header[open+1 : closeP])
+	if params != "" {
+		for _, fld := range strings.Split(params, ",") {
+			parts := strings.Fields(strings.TrimSpace(fld))
+			if len(parts) != 2 || !strings.HasPrefix(parts[1], "%") {
+				return 0, p.errf("func: bad parameter %q", fld)
+			}
+			t, ok := parseType(parts[0])
+			if !ok || t == Void {
+				return 0, p.errf("func: bad parameter type %q", parts[0])
+			}
+			ptypes = append(ptypes, t)
+			pnames = append(pnames, parts[1][1:])
+		}
+	}
+	if p.m.Func(name) != nil {
+		return 0, p.errf("func @%s redeclared", name)
+	}
+	f := p.m.NewFunc(name, resT, ptypes...)
+	defs := map[string]*Value{}
+	for i, prm := range f.Params {
+		prm.Name = pnames[i]
+		f.ClaimName(pnames[i])
+		defs[pnames[i]] = prm
+	}
+
+	// Pass 1: find block labels so branches can resolve forward.
+	blocks := map[string]*Block{}
+	end := -1
+	for i := start + 1; i < len(lines); i++ {
+		l := stripComment(lines[i])
+		if l == "}" {
+			end = i
+			break
+		}
+		if strings.HasSuffix(l, ":") {
+			lbl := strings.TrimSuffix(l, ":")
+			if _, dup := blocks[lbl]; dup {
+				p.line = i + 1
+				return 0, p.errf("duplicate label %q", lbl)
+			}
+			var b *Block
+			if len(blocks) == 0 {
+				b = f.Entry()
+				b.Name = lbl
+			} else {
+				b = f.NewBlock()
+				b.Name = lbl
+			}
+			blocks[lbl] = b
+		}
+	}
+	if end < 0 {
+		return 0, p.errf("func @%s: missing closing brace", name)
+	}
+
+	// Pass 2: parse instructions.
+	var cur *Block
+	var patches []patch
+	for i := start + 1; i < end; i++ {
+		p.line = i + 1
+		l := stripComment(lines[i])
+		if l == "" {
+			continue
+		}
+		if strings.HasSuffix(l, ":") {
+			cur = blocks[strings.TrimSuffix(l, ":")]
+			continue
+		}
+		if cur == nil {
+			return 0, p.errf("instruction before first label")
+		}
+		if err := p.parseInstr(f, cur, l, defs, blocks, &patches); err != nil {
+			return 0, err
+		}
+	}
+	for _, pt := range patches {
+		v, ok := defs[pt.name]
+		if !ok {
+			return 0, fmt.Errorf("line %d: undefined value %%%s", pt.line, pt.name)
+		}
+		pt.v.Args[pt.arg] = v
+	}
+	if err := p.fixupPhis(); err != nil {
+		return 0, fmt.Errorf("func @%s: %v", name, err)
+	}
+	if err := Verify(f); err != nil {
+		return 0, fmt.Errorf("func @%s: %v", name, err)
+	}
+	return end + 1, nil
+}
+
+// splitArgs splits "a, b, c" at top level (no nesting in this grammar).
+func splitArgs(s string) []string {
+	var out []string
+	depth := 0
+	last := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '[', '(':
+			depth++
+		case ']', ')':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, strings.TrimSpace(s[last:i]))
+				last = i + 1
+			}
+		}
+	}
+	tailArg := strings.TrimSpace(s[last:])
+	if tailArg != "" {
+		out = append(out, tailArg)
+	}
+	return out
+}
+
+func (p *parser) parseInstr(f *Func, b *Block, l string, defs map[string]*Value, blocks map[string]*Block, patches *[]patch) error {
+	dest := ""
+	if strings.HasPrefix(l, "%") {
+		eq := strings.Index(l, "=")
+		if eq < 0 {
+			return p.errf("expected '=' after destination")
+		}
+		dest = strings.TrimSpace(l[1:eq])
+		l = strings.TrimSpace(l[eq+1:])
+	}
+	sp := strings.IndexAny(l, " \t")
+	opWord, rest := l, ""
+	if sp >= 0 {
+		opWord, rest = l[:sp], strings.TrimSpace(l[sp+1:])
+	}
+	suffix := ""
+	if dot := strings.IndexByte(opWord, '.'); dot >= 0 {
+		opWord, suffix = opWord[:dot], opWord[dot+1:]
+	}
+
+	// resolveVal turns a token into a *Value, creating constants for
+	// literals and recording patches for forward references. constBlock
+	// is where synthesized constants go (before its terminator).
+	resolveVal := func(tok string, t Type, constBlock *Block, v *Value, argIdx int) error {
+		tok = strings.TrimSpace(tok)
+		if strings.HasPrefix(tok, "%") {
+			name := tok[1:]
+			if d, ok := defs[name]; ok {
+				v.Args[argIdx] = d
+				return nil
+			}
+			*patches = append(*patches, patch{v: v, arg: argIdx, name: name, line: p.line})
+			return nil
+		}
+		// Literal constant.
+		c := f.NewValue(OpConst, t)
+		if t == F64 {
+			x, err := strconv.ParseFloat(tok, 64)
+			if err != nil {
+				return p.errf("bad float literal %q", tok)
+			}
+			c.ConstFloat = x
+		} else {
+			x, err := strconv.ParseInt(tok, 10, 64)
+			if err != nil {
+				return p.errf("bad int literal %q", tok)
+			}
+			c.ConstInt = x
+		}
+		c.Block = constBlock
+		if term := constBlock.Terminator(); term != nil {
+			constBlock.InsertBefore(c, term)
+		} else {
+			constBlock.Instrs = append(constBlock.Instrs, c)
+		}
+		v.Args[argIdx] = c
+		return nil
+	}
+
+	define := func(v *Value) {
+		if dest == "" {
+			return
+		}
+		v.Name = dest
+		f.ClaimName(dest)
+		defs[dest] = v
+	}
+	append1 := func(v *Value) {
+		v.Block = b
+		b.Instrs = append(b.Instrs, v)
+	}
+
+	// Infer operand element type: float ops take f64 operands.
+	operandType := func(op Op) Type {
+		switch op {
+		case OpFAdd, OpFSub, OpFMul, OpFDiv, OpFNeg, OpFEq, OpFNe, OpFLt, OpFLe, OpFGt, OpFGe, OpFToI:
+			return F64
+		}
+		return I64
+	}
+
+	binOps := map[string]Op{
+		"add": OpAdd, "sub": OpSub, "mul": OpMul, "div": OpDiv, "rem": OpRem,
+		"and": OpAnd, "or": OpOr, "xor": OpXor, "shl": OpShl, "shr": OpShr,
+		"fadd": OpFAdd, "fsub": OpFSub, "fmul": OpFMul, "fdiv": OpFDiv,
+		"eq": OpEq, "ne": OpNe, "lt": OpLt, "le": OpLe, "gt": OpGt, "ge": OpGe,
+		"feq": OpFEq, "fne": OpFNe, "flt": OpFLt, "fle": OpFLe, "fgt": OpFGt, "fge": OpFGe,
+	}
+	unOps := map[string]Op{
+		"neg": OpNeg, "not": OpNot, "fneg": OpFNeg, "i2f": OpIToF, "f2i": OpFToI, "copy": OpCopy,
+	}
+
+	switch {
+	case opWord == "const":
+		t := I64
+		if suffix == "f64" || strings.ContainsAny(rest, ".eE") && !strings.HasPrefix(rest, "0x") {
+			t = F64
+		}
+		v := f.NewValue(OpConst, t)
+		if t == F64 {
+			x, err := strconv.ParseFloat(rest, 64)
+			if err != nil {
+				return p.errf("bad float constant %q", rest)
+			}
+			v.ConstFloat = x
+		} else {
+			x, err := strconv.ParseInt(rest, 10, 64)
+			if err != nil {
+				return p.errf("bad int constant %q", rest)
+			}
+			v.ConstInt = x
+		}
+		define(v)
+		append1(v)
+
+	case binOps[opWord] != OpInvalid:
+		op := binOps[opWord]
+		args := splitArgs(rest)
+		if len(args) != 2 {
+			return p.errf("%s expects 2 operands", opWord)
+		}
+		t := I64
+		if op >= OpFAdd && op <= OpFDiv {
+			t = F64
+		}
+		v := f.NewValue(op, t, nil, nil)
+		for i, a := range args {
+			if err := resolveVal(a, operandType(op), b, v, i); err != nil {
+				return err
+			}
+		}
+		define(v)
+		append1(v)
+
+	case unOps[opWord] != OpInvalid:
+		op := unOps[opWord]
+		t := I64
+		switch op {
+		case OpFNeg, OpIToF:
+			t = F64
+		case OpCopy:
+			if suffix == "f64" {
+				t = F64
+			}
+		}
+		v := f.NewValue(op, t, nil)
+		if err := resolveVal(rest, operandType(op), b, v, 0); err != nil {
+			return err
+		}
+		define(v)
+		append1(v)
+
+	case opWord == "alloca":
+		n, err := strconv.ParseInt(rest, 10, 64)
+		if err != nil {
+			return p.errf("alloca: bad size %q", rest)
+		}
+		v := f.NewValue(OpAlloca, I64)
+		v.ConstInt = n
+		define(v)
+		append1(v)
+
+	case opWord == "global":
+		if !strings.HasPrefix(rest, "@") {
+			return p.errf("global: expected @name")
+		}
+		v := f.NewValue(OpGlobal, I64)
+		v.Aux = rest[1:]
+		define(v)
+		append1(v)
+
+	case opWord == "load":
+		t := I64
+		if suffix == "f64" {
+			t = F64
+		}
+		v := f.NewValue(OpLoad, t, nil)
+		if err := resolveVal(rest, I64, b, v, 0); err != nil {
+			return err
+		}
+		define(v)
+		append1(v)
+
+	case opWord == "store":
+		args := splitArgs(rest)
+		if len(args) != 2 {
+			return p.errf("store expects addr, value")
+		}
+		v := f.NewValue(OpStore, Void, nil, nil)
+		if err := resolveVal(args[0], I64, b, v, 0); err != nil {
+			return err
+		}
+		// Stored value type is unknown for literals; default i64, f64 on
+		// decimal point.
+		vt := I64
+		if strings.ContainsAny(args[1], ".eE") && !strings.HasPrefix(args[1], "%") {
+			vt = F64
+		}
+		if err := resolveVal(args[1], vt, b, v, 1); err != nil {
+			return err
+		}
+		append1(v)
+
+	case opWord == "call":
+		open := strings.IndexByte(rest, '(')
+		closeP := strings.LastIndexByte(rest, ')')
+		if !strings.HasPrefix(rest, "@") || open < 0 || closeP < open {
+			return p.errf("call: expected @name(args)")
+		}
+		t := Void
+		if dest != "" {
+			t = I64
+			if suffix == "f64" {
+				t = F64
+			}
+		}
+		callee := rest[1:open]
+		argToks := splitArgs(rest[open+1 : closeP])
+		v := f.NewValue(OpCall, t, make([]*Value, len(argToks))...)
+		v.Aux = callee
+		for i, a := range argToks {
+			at := I64
+			if strings.ContainsAny(a, ".eE") && !strings.HasPrefix(a, "%") {
+				at = F64
+			}
+			if err := resolveVal(a, at, b, v, i); err != nil {
+				return err
+			}
+		}
+		define(v)
+		append1(v)
+
+	case opWord == "phi":
+		t := I64
+		if suffix == "f64" {
+			t = F64
+		}
+		entries := splitArgs(rest)
+		v := f.NewValue(OpPhi, t, make([]*Value, len(entries))...)
+		define(v)
+		append1(v)
+		// φ args align with Preds, which are established by branch parsing;
+		// since branches may come later, stash by pred label and fix at the
+		// verification boundary: we record args positionally by matching
+		// the label order given, then reorder once preds are known.
+		type phiEnt struct {
+			label string
+			tok   string
+		}
+		ents := make([]phiEnt, len(entries))
+		for i, e := range entries {
+			e = strings.TrimPrefix(e, "[")
+			e = strings.TrimSuffix(e, "]")
+			parts := strings.SplitN(e, ":", 2)
+			if len(parts) != 2 {
+				return p.errf("phi: bad entry %q", e)
+			}
+			ents[i] = phiEnt{strings.TrimSpace(parts[0]), strings.TrimSpace(parts[1])}
+		}
+		// Resolve args now; reorder to Preds order at end of function via
+		// a deferred patch keyed on labels.
+		for i, e := range ents {
+			pb, ok := blocks[e.label]
+			if !ok {
+				return p.errf("phi: unknown label %q", e.label)
+			}
+			if err := resolveVal(e.tok, t, pb, v, i); err != nil {
+				return err
+			}
+		}
+		if p.phiOrders == nil {
+			p.phiOrders = map[*Value][]string{}
+		}
+		lbls := make([]string, len(ents))
+		for i, e := range ents {
+			lbls[i] = e.label
+		}
+		p.phiOrders[v] = lbls
+		p.phiFixups = append(p.phiFixups, v)
+
+	case opWord == "br":
+		dst, ok := blocks[rest]
+		if !ok {
+			return p.errf("br: unknown label %q", rest)
+		}
+		v := f.NewValue(OpBr, Void)
+		append1(v)
+		b.Succs = append(b.Succs, dst)
+		dst.Preds = append(dst.Preds, b)
+
+	case opWord == "condbr":
+		args := splitArgs(rest)
+		if len(args) != 3 {
+			return p.errf("condbr expects cond, then, else")
+		}
+		then, ok1 := blocks[args[1]]
+		els, ok2 := blocks[args[2]]
+		if !ok1 || !ok2 {
+			return p.errf("condbr: unknown label")
+		}
+		v := f.NewValue(OpCondBr, Void, nil)
+		if err := resolveVal(args[0], I64, b, v, 0); err != nil {
+			return err
+		}
+		append1(v)
+		b.Succs = append(b.Succs, then, els)
+		then.Preds = append(then.Preds, b)
+		els.Preds = append(els.Preds, b)
+
+	case opWord == "ret":
+		var v *Value
+		if rest == "" {
+			v = f.NewValue(OpRet, Void)
+		} else {
+			v = f.NewValue(OpRet, Void, nil)
+			t := f.ResultType
+			if err := resolveVal(rest, t, b, v, 0); err != nil {
+				return err
+			}
+		}
+		append1(v)
+
+	default:
+		return p.errf("unknown instruction %q", opWord)
+	}
+	return nil
+}
+
+// fixupPhis reorders φ arguments from source order to Preds order.
+func (p *parser) fixupPhis() error {
+	for _, v := range p.phiFixups {
+		labels := p.phiOrders[v]
+		b := v.Block
+		if len(labels) != len(b.Preds) {
+			return fmt.Errorf("φ %%%s in %s has %d entries for %d preds", v.Name, b.Name, len(labels), len(b.Preds))
+		}
+		newArgs := make([]*Value, len(b.Preds))
+		for i, pred := range b.Preds {
+			found := false
+			for j, lbl := range labels {
+				if lbl == pred.Name {
+					newArgs[i] = v.Args[j]
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("φ %%%s in %s lacks an entry for predecessor %s", v.Name, b.Name, pred.Name)
+			}
+		}
+		v.Args = newArgs
+	}
+	p.phiFixups = nil
+	p.phiOrders = map[*Value][]string{}
+	return nil
+}

@@ -1,0 +1,71 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FprintFunc formats f in the textual IR syntax accepted by Parse.
+func FprintFunc(b *strings.Builder, f *Func) {
+	fmt.Fprintf(b, "func @%s(", f.Name)
+	for i, p := range f.Params {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(b, "%s %%%s", p.Type, p.Name)
+	}
+	fmt.Fprintf(b, ") %s {\n", f.ResultType)
+	for _, blk := range f.Blocks {
+		fmt.Fprintf(b, "%s:", blk.Name)
+		if len(blk.Preds) > 0 {
+			names := make([]string, len(blk.Preds))
+			for i, p := range blk.Preds {
+				names[i] = p.Name
+			}
+			fmt.Fprintf(b, "  ; preds: %s", strings.Join(names, " "))
+		}
+		b.WriteString("\n")
+		for _, v := range blk.Instrs {
+			if v.Op == OpParam {
+				continue // printed in the signature
+			}
+			b.WriteString("  ")
+			b.WriteString(v.LongString())
+			b.WriteString("\n")
+		}
+	}
+	b.WriteString("}\n")
+}
+
+// FuncString returns the textual form of f.
+func FuncString(f *Func) string {
+	var b strings.Builder
+	FprintFunc(&b, f)
+	return b.String()
+}
+
+// ModuleString returns the textual form of m: globals then functions.
+func ModuleString(m *Module) string {
+	var b strings.Builder
+	for _, g := range m.Globals {
+		fmt.Fprintf(&b, "global @%s [%d]", g.Name, g.Size)
+		if len(g.Init) > 0 {
+			b.WriteString(" = {")
+			for i, x := range g.Init {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				fmt.Fprintf(&b, "%d", x)
+			}
+			b.WriteString("}")
+		}
+		b.WriteString("\n")
+	}
+	for i, f := range m.Funcs {
+		if i > 0 || len(m.Globals) > 0 {
+			b.WriteString("\n")
+		}
+		FprintFunc(&b, f)
+	}
+	return b.String()
+}

@@ -1,0 +1,77 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegNames(t *testing.T) {
+	cases := map[Reg]string{
+		R0: "r0", R10: "r10", SP: "sp", LR: "lr", RP: "rp",
+		F(0): "f0", F(31): "f31",
+	}
+	for r, want := range cases {
+		if got := r.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", r, got, want)
+		}
+	}
+	if !F(3).IsFloat() || SP.IsFloat() {
+		t.Fatal("IsFloat wrong")
+	}
+}
+
+func TestInstrClassification(t *testing.T) {
+	if !(Instr{Op: LDR}).IsMem() || !(Instr{Op: FSTR}).IsMem() {
+		t.Fatal("memory ops misclassified")
+	}
+	if (Instr{Op: ADD}).IsMem() {
+		t.Fatal("ADD is not a memory op")
+	}
+	for _, op := range []Op{B, CBZ, CBNZ, CALL, RET} {
+		if !(Instr{Op: op}).IsBranch() {
+			t.Fatalf("%v should be a branch", op)
+		}
+	}
+	if (Instr{Op: MARK}).IsBranch() {
+		t.Fatal("MARK is not a branch")
+	}
+}
+
+func TestLatencies(t *testing.T) {
+	if (Instr{Op: ADD}).Latency() != 1 {
+		t.Fatal("ALU latency")
+	}
+	if (Instr{Op: DIV}).Latency() <= (Instr{Op: MUL}).Latency() {
+		t.Fatal("DIV should be slower than MUL")
+	}
+	if (Instr{Op: LDR}).Latency() < 2 {
+		t.Fatal("loads have latency ≥ 2")
+	}
+	if (Instr{Op: FDIV}).Latency() <= (Instr{Op: FMUL}).Latency() {
+		t.Fatal("FDIV should be slower than FMUL")
+	}
+}
+
+func TestAssemblyStrings(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Op: MOVI, Rd: R1, Imm: 42}, "movi r1, #42"},
+		{Instr{Op: ADD, Rd: R1, Rs1: R2, Rs2: R3}, "add r1, r2, r3"},
+		{Instr{Op: LDR, Rd: R1, Rs1: SP, Imm: 3}, "ldr r1, [sp, #3]"},
+		{Instr{Op: STR, Rs1: SP, Rs2: LR, Imm: 0}, "str lr, [sp, #0]"},
+		{Instr{Op: CBZ, Rs1: R4, Imm: 17}, "cbz r4, 17"},
+		{Instr{Op: MARK}, "mark"},
+		{Instr{Op: CHECK, Rs1: R0}, "check r0"},
+		{Instr{Op: FMOVI, Rd: F(2), FImm: 1.5}, "fmovi f2, #1.5"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+	if !strings.Contains((Instr{Op: CALL, Sym: "f", Imm: 9}).String(), "<f>") {
+		t.Fatal("call string lacks symbol")
+	}
+}

@@ -1,0 +1,213 @@
+package lang
+
+// Ty is an idc static type.
+type Ty uint8
+
+const (
+	// TyVoid is only valid as a function result.
+	TyVoid Ty = iota
+	TyInt
+	TyFloat
+	TyIntPtr
+	TyFloatPtr
+)
+
+func (t Ty) String() string {
+	switch t {
+	case TyVoid:
+		return "void"
+	case TyInt:
+		return "int"
+	case TyFloat:
+		return "float"
+	case TyIntPtr:
+		return "int*"
+	case TyFloatPtr:
+		return "float*"
+	}
+	return "?"
+}
+
+// IsPtr reports whether t is a pointer type.
+func (t Ty) IsPtr() bool { return t == TyIntPtr || t == TyFloatPtr }
+
+// Elem returns the pointee type of a pointer.
+func (t Ty) Elem() Ty {
+	switch t {
+	case TyIntPtr:
+		return TyInt
+	case TyFloatPtr:
+		return TyFloat
+	}
+	return TyVoid
+}
+
+// Ptr returns the pointer type to t.
+func (t Ty) Ptr() Ty {
+	if t == TyFloat {
+		return TyFloatPtr
+	}
+	return TyIntPtr
+}
+
+// Expr is an expression node.
+type Expr interface{ exprLine() int }
+
+type (
+	// IntLit is an integer literal.
+	IntLit struct {
+		Val  int64
+		Line int
+	}
+	// FloatLit is a float literal.
+	FloatLit struct {
+		Val  float64
+		Line int
+	}
+	// Ident references a variable, parameter or global.
+	Ident struct {
+		Name string
+		Line int
+	}
+	// Unary is -x or !x.
+	Unary struct {
+		Op   string
+		X    Expr
+		Line int
+	}
+	// Binary is x op y, including the short-circuit && and ||.
+	Binary struct {
+		Op   string
+		X, Y Expr
+		Line int
+	}
+	// Index is base[idx]; as an lvalue it is a store target.
+	Index struct {
+		Base, Idx Expr
+		Line      int
+	}
+	// CallE is a function call.
+	CallE struct {
+		Name string
+		Args []Expr
+		Line int
+	}
+	// Cast is int(x) or float(x).
+	Cast struct {
+		To   Ty
+		X    Expr
+		Line int
+	}
+)
+
+func (e *IntLit) exprLine() int   { return e.Line }
+func (e *FloatLit) exprLine() int { return e.Line }
+func (e *Ident) exprLine() int    { return e.Line }
+func (e *Unary) exprLine() int    { return e.Line }
+func (e *Binary) exprLine() int   { return e.Line }
+func (e *Index) exprLine() int    { return e.Line }
+func (e *CallE) exprLine() int    { return e.Line }
+func (e *Cast) exprLine() int     { return e.Line }
+
+// Stmt is a statement node.
+type Stmt interface{ stmtLine() int }
+
+type (
+	// DeclS declares a scalar variable (ArrSize < 0) or a local array.
+	DeclS struct {
+		Ty      Ty
+		Name    string
+		ArrSize int64
+		Init    Expr
+		Line    int
+	}
+	// AssignS stores Rhs into an lvalue (Ident or Index).
+	AssignS struct {
+		Lhs  Expr
+		Rhs  Expr
+		Line int
+	}
+	// ExprS evaluates an expression for effect (calls).
+	ExprS struct {
+		X    Expr
+		Line int
+	}
+	// IfS with optional else.
+	IfS struct {
+		Cond Expr
+		Then *BlockS
+		Else *BlockS
+		Line int
+	}
+	// WhileS loops while Cond is nonzero.
+	WhileS struct {
+		Cond Expr
+		Body *BlockS
+		Line int
+	}
+	// ForS is for(Init; Cond; Post) Body.
+	ForS struct {
+		Init Stmt
+		Cond Expr
+		Post Stmt
+		Body *BlockS
+		Line int
+	}
+	// RetS returns (X may be nil in void functions).
+	RetS struct {
+		X    Expr
+		Line int
+	}
+	// BreakS exits the innermost loop.
+	BreakS struct{ Line int }
+	// ContinueS continues the innermost loop.
+	ContinueS struct{ Line int }
+	// BlockS is a braced statement list and scope.
+	BlockS struct {
+		Stmts []Stmt
+		Line  int
+	}
+)
+
+func (s *DeclS) stmtLine() int     { return s.Line }
+func (s *AssignS) stmtLine() int   { return s.Line }
+func (s *ExprS) stmtLine() int     { return s.Line }
+func (s *IfS) stmtLine() int       { return s.Line }
+func (s *WhileS) stmtLine() int    { return s.Line }
+func (s *ForS) stmtLine() int      { return s.Line }
+func (s *RetS) stmtLine() int      { return s.Line }
+func (s *BreakS) stmtLine() int    { return s.Line }
+func (s *ContinueS) stmtLine() int { return s.Line }
+func (s *BlockS) stmtLine() int    { return s.Line }
+
+// Param is a function parameter.
+type Param struct {
+	Ty   Ty
+	Name string
+}
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	Name   string
+	Params []Param
+	Ret    Ty
+	Body   *BlockS
+	Line   int
+}
+
+// GlobalDecl is a module-level variable: a scalar (Size == 1, no array
+// syntax) or an array. Init values are stored as raw words.
+type GlobalDecl struct {
+	Name  string
+	Elem  Ty
+	Size  int64
+	Init  []uint64
+	IsArr bool
+	Line  int
+}
+
+// Program is a parsed compilation unit.
+type Program struct {
+	Globals []*GlobalDecl
+	Funcs   []*FuncDecl
+}

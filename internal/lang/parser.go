@@ -1,0 +1,588 @@
+package lang
+
+import "math"
+
+// ParseProgram parses idc source into an AST.
+func ParseProgram(src string) (*Program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &Program{}
+	for !p.atEOF() {
+		switch {
+		case p.peekIdent("global"):
+			g, err := p.parseGlobal()
+			if err != nil {
+				return nil, err
+			}
+			prog.Globals = append(prog.Globals, g)
+		case p.peekIdent("func"):
+			f, err := p.parseFunc()
+			if err != nil {
+				return nil, err
+			}
+			prog.Funcs = append(prog.Funcs, f)
+		default:
+			return nil, errf(p.cur().line, "expected 'global' or 'func', got %q", p.cur().text)
+		}
+	}
+	return prog, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) atEOF() bool { return p.cur().kind == tEOF }
+
+func (p *parser) peekIdent(name string) bool {
+	t := p.cur()
+	return t.kind == tIdent && t.text == name
+}
+
+func (p *parser) peekPunct(s string) bool {
+	t := p.cur()
+	return t.kind == tPunct && t.text == s
+}
+
+func (p *parser) next() token {
+	t := p.cur()
+	if t.kind != tEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expectPunct(s string) error {
+	if !p.peekPunct(s) {
+		return errf(p.cur().line, "expected %q, got %q", s, p.cur().text)
+	}
+	p.next()
+	return nil
+}
+
+func (p *parser) expectIdent() (string, int, error) {
+	t := p.cur()
+	if t.kind != tIdent {
+		return "", t.line, errf(t.line, "expected identifier, got %q", t.text)
+	}
+	p.next()
+	return t.text, t.line, nil
+}
+
+// parseType parses "int" or "float" with an optional "*".
+func (p *parser) parseType() (Ty, error) {
+	t := p.cur()
+	if t.kind != tIdent || (t.text != "int" && t.text != "float") {
+		return TyVoid, errf(t.line, "expected type, got %q", t.text)
+	}
+	p.next()
+	base := TyInt
+	if t.text == "float" {
+		base = TyFloat
+	}
+	if p.peekPunct("*") {
+		p.next()
+		return base.Ptr(), nil
+	}
+	return base, nil
+}
+
+func (p *parser) parseGlobal() (*GlobalDecl, error) {
+	line := p.cur().line
+	p.next() // global
+	elem, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	if elem.IsPtr() {
+		return nil, errf(line, "global pointers are not supported")
+	}
+	name, _, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	g := &GlobalDecl{Name: name, Elem: elem, Size: 1, Line: line}
+	if p.peekPunct("[") {
+		p.next()
+		t := p.next()
+		if t.kind != tInt || t.i <= 0 {
+			return nil, errf(t.line, "expected positive array size")
+		}
+		g.Size = t.i
+		g.IsArr = true
+		if err := p.expectPunct("]"); err != nil {
+			return nil, err
+		}
+	}
+	if p.peekPunct("=") {
+		p.next()
+		if p.peekPunct("{") {
+			p.next()
+			for !p.peekPunct("}") {
+				w, err := p.parseConstWord(elem)
+				if err != nil {
+					return nil, err
+				}
+				g.Init = append(g.Init, w)
+				if p.peekPunct(",") {
+					p.next()
+				}
+			}
+			p.next() // }
+		} else {
+			w, err := p.parseConstWord(elem)
+			if err != nil {
+				return nil, err
+			}
+			g.Init = append(g.Init, w)
+		}
+		if int64(len(g.Init)) > g.Size {
+			return nil, errf(line, "initializer longer than array")
+		}
+	}
+	return g, p.expectPunct(";")
+}
+
+// parseConstWord parses a (possibly negated) numeric literal as a raw
+// memory word of the given element type.
+func (p *parser) parseConstWord(elem Ty) (uint64, error) {
+	neg := false
+	if p.peekPunct("-") {
+		neg = true
+		p.next()
+	}
+	t := p.next()
+	switch t.kind {
+	case tInt:
+		if elem == TyFloat {
+			f := float64(t.i)
+			if neg {
+				f = -f
+			}
+			return math.Float64bits(f), nil
+		}
+		v := t.i
+		if neg {
+			v = -v
+		}
+		return uint64(v), nil
+	case tFloat:
+		if elem != TyFloat {
+			return 0, errf(t.line, "float initializer for int global")
+		}
+		f := t.f
+		if neg {
+			f = -f
+		}
+		return math.Float64bits(f), nil
+	}
+	return 0, errf(t.line, "expected numeric initializer")
+}
+
+func (p *parser) parseFunc() (*FuncDecl, error) {
+	line := p.cur().line
+	p.next() // func
+	name, _, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	f := &FuncDecl{Name: name, Line: line}
+	for !p.peekPunct(")") {
+		ty, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		pn, _, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		f.Params = append(f.Params, Param{Ty: ty, Name: pn})
+		if p.peekPunct(",") {
+			p.next()
+		}
+	}
+	p.next() // )
+	// Result type: "int", "float" or "void" (or nothing, meaning void).
+	f.Ret = TyVoid
+	if t := p.cur(); t.kind == tIdent && (t.text == "int" || t.text == "float" || t.text == "void") {
+		p.next()
+		switch t.text {
+		case "int":
+			f.Ret = TyInt
+		case "float":
+			f.Ret = TyFloat
+		}
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	f.Body = body
+	return f, nil
+}
+
+func (p *parser) parseBlock() (*BlockS, error) {
+	line := p.cur().line
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	b := &BlockS{Line: line}
+	for !p.peekPunct("}") {
+		if p.atEOF() {
+			return nil, errf(line, "unterminated block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	p.next() // }
+	return b, nil
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	t := p.cur()
+	switch {
+	case p.peekPunct("{"):
+		return p.parseBlock()
+	case t.kind == tIdent && (t.text == "int" || t.text == "float") && p.toks[p.pos+1].kind != tPunct:
+		return p.parseDecl()
+	case t.kind == tIdent && (t.text == "int" || t.text == "float") && p.toks[p.pos+1].text == "*":
+		return p.parseDecl()
+	case p.peekIdent("if"):
+		return p.parseIf()
+	case p.peekIdent("while"):
+		p.next()
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileS{Cond: cond, Body: body, Line: t.line}, nil
+	case p.peekIdent("for"):
+		return p.parseFor()
+	case p.peekIdent("return"):
+		p.next()
+		if p.peekPunct(";") {
+			p.next()
+			return &RetS{Line: t.line}, nil
+		}
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &RetS{X: x, Line: t.line}, p.expectPunct(";")
+	case p.peekIdent("break"):
+		p.next()
+		return &BreakS{Line: t.line}, p.expectPunct(";")
+	case p.peekIdent("continue"):
+		p.next()
+		return &ContinueS{Line: t.line}, p.expectPunct(";")
+	default:
+		return p.parseSimpleStmt(";")
+	}
+}
+
+// parseSimpleStmt parses an assignment or expression statement terminated
+// by term (";" normally, "" inside for-headers).
+func (p *parser) parseSimpleStmt(term string) (Stmt, error) {
+	line := p.cur().line
+	x, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.peekPunct("=") {
+		p.next()
+		rhs, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		switch x.(type) {
+		case *Ident, *Index:
+		default:
+			return nil, errf(line, "left side of assignment must be a variable or element")
+		}
+		if term != "" {
+			if err := p.expectPunct(term); err != nil {
+				return nil, err
+			}
+		}
+		return &AssignS{Lhs: x, Rhs: rhs, Line: line}, nil
+	}
+	if term != "" {
+		if err := p.expectPunct(term); err != nil {
+			return nil, err
+		}
+	}
+	return &ExprS{X: x, Line: line}, nil
+}
+
+func (p *parser) parseDecl() (Stmt, error) {
+	line := p.cur().line
+	ty, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	name, _, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	d := &DeclS{Ty: ty, Name: name, ArrSize: -1, Line: line}
+	if p.peekPunct("[") {
+		if ty.IsPtr() {
+			return nil, errf(line, "arrays of pointers are not supported")
+		}
+		p.next()
+		t := p.next()
+		if t.kind != tInt || t.i <= 0 {
+			return nil, errf(t.line, "expected positive array size")
+		}
+		d.ArrSize = t.i
+		if err := p.expectPunct("]"); err != nil {
+			return nil, err
+		}
+	}
+	if p.peekPunct("=") {
+		if d.ArrSize >= 0 {
+			return nil, errf(line, "local array initializers are not supported")
+		}
+		p.next()
+		init, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		d.Init = init
+	}
+	return d, p.expectPunct(";")
+}
+
+func (p *parser) parseIf() (Stmt, error) {
+	line := p.cur().line
+	p.next() // if
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	then, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	s := &IfS{Cond: cond, Then: then, Line: line}
+	if p.peekIdent("else") {
+		p.next()
+		if p.peekIdent("if") {
+			inner, err := p.parseIf()
+			if err != nil {
+				return nil, err
+			}
+			s.Else = &BlockS{Stmts: []Stmt{inner}, Line: inner.stmtLine()}
+		} else {
+			els, err := p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+			s.Else = els
+		}
+	}
+	return s, nil
+}
+
+func (p *parser) parseFor() (Stmt, error) {
+	line := p.cur().line
+	p.next() // for
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	s := &ForS{Line: line}
+	if !p.peekPunct(";") {
+		if t := p.cur(); t.kind == tIdent && (t.text == "int" || t.text == "float") {
+			d, err := p.parseDecl() // consumes the ';'
+			if err != nil {
+				return nil, err
+			}
+			s.Init = d
+		} else {
+			st, err := p.parseSimpleStmt(";")
+			if err != nil {
+				return nil, err
+			}
+			s.Init = st
+		}
+	} else {
+		p.next()
+	}
+	if !p.peekPunct(";") {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Cond = cond
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	if !p.peekPunct(")") {
+		st, err := p.parseSimpleStmt("")
+		if err != nil {
+			return nil, err
+		}
+		s.Post = st
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	s.Body = body
+	return s, nil
+}
+
+// Expression parsing: precedence climbing.
+
+var binPrec = map[string]int{
+	"||": 1,
+	"&&": 2,
+	"|":  3,
+	"^":  4,
+	"&":  5,
+	"==": 6, "!=": 6,
+	"<": 7, "<=": 7, ">": 7, ">=": 7,
+	"<<": 8, ">>": 8,
+	"+": 9, "-": 9,
+	"*": 10, "/": 10, "%": 10,
+}
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseBin(1) }
+
+func (p *parser) parseBin(minPrec int) (Expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind != tPunct {
+			return lhs, nil
+		}
+		prec, ok := binPrec[t.text]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		p.next()
+		rhs, err := p.parseBin(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &Binary{Op: t.text, X: lhs, Y: rhs, Line: t.line}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	t := p.cur()
+	if p.peekPunct("-") || p.peekPunct("!") {
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: t.text, X: x, Line: t.line}, nil
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() (Expr, error) {
+	x, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for p.peekPunct("[") {
+		line := p.cur().line
+		p.next()
+		idx, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("]"); err != nil {
+			return nil, err
+		}
+		x = &Index{Base: x, Idx: idx, Line: line}
+	}
+	return x, nil
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tInt:
+		p.next()
+		return &IntLit{Val: t.i, Line: t.line}, nil
+	case t.kind == tFloat:
+		p.next()
+		return &FloatLit{Val: t.f, Line: t.line}, nil
+	case p.peekPunct("("):
+		p.next()
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return x, p.expectPunct(")")
+	case t.kind == tIdent:
+		p.next()
+		// Cast or call?
+		if p.peekPunct("(") {
+			p.next()
+			if t.text == "int" || t.text == "float" {
+				x, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				to := TyInt
+				if t.text == "float" {
+					to = TyFloat
+				}
+				return &Cast{To: to, X: x, Line: t.line}, p.expectPunct(")")
+			}
+			call := &CallE{Name: t.text, Line: t.line}
+			for !p.peekPunct(")") {
+				a, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, a)
+				if p.peekPunct(",") {
+					p.next()
+				}
+			}
+			p.next() // )
+			return call, nil
+		}
+		return &Ident{Name: t.text, Line: t.line}, nil
+	}
+	return nil, errf(t.line, "unexpected token %q in expression", t.text)
+}

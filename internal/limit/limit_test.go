@@ -1,0 +1,192 @@
+package limit
+
+import (
+	"testing"
+
+	"idemproc/internal/codegen"
+	"idemproc/internal/core"
+	"idemproc/internal/ir"
+	"idemproc/internal/isa"
+	"idemproc/internal/machine"
+)
+
+// feed pushes a synthetic instruction stream through a tracker.
+func feed(t *Tracker, ins ...isa.Instr) {
+	for _, in := range ins {
+		addr := int64(0)
+		if in.IsMem() {
+			addr = in.Imm // tests encode the address in Imm
+		}
+		t.Instr(in, addr, 1<<40)
+	}
+}
+
+func ldr(addr int64) isa.Instr { return isa.Instr{Op: isa.LDR, Rd: isa.R1, Rs1: isa.R0, Imm: addr} }
+func str(addr int64) isa.Instr { return isa.Instr{Op: isa.STR, Rs1: isa.R0, Rs2: isa.R2, Imm: addr} }
+func alu(rd, rs isa.Reg) isa.Instr {
+	return isa.Instr{Op: isa.ADD, Rd: rd, Rs1: rs, Rs2: rs}
+}
+
+func TestMemoryClobberEndsPath(t *testing.T) {
+	tr := NewTracker()
+	// read 100; write 100 → clobber in all categories.
+	feed(tr, ldr(100), str(100))
+	res := tr.Results()
+	for c := Semantic; c <= SemanticArtificial; c++ {
+		if res[c].Paths != 2 {
+			t.Fatalf("%v: paths = %d, want 2 (one ended by the clobber, one at exit)", c, res[c].Paths)
+		}
+	}
+}
+
+func TestWriteBeforeReadIsNoClobber(t *testing.T) {
+	tr := NewTracker()
+	// write 100; read 100; write 100 → flow precedes the WAR: no clobber.
+	feed(tr, str(100), ldr(100), str(100))
+	res := tr.Results()
+	if res[Semantic].Paths != 1 {
+		t.Fatalf("paths = %d, want 1 (no clobber)", res[Semantic].Paths)
+	}
+	if res[Semantic].AvgPathLen != 3 {
+		t.Fatalf("avg = %f, want 3", res[Semantic].AvgPathLen)
+	}
+}
+
+func TestRegisterClobberOnlyInArtificial(t *testing.T) {
+	tr := NewTracker()
+	// r2 := r3 (r3 read); r3 := r4 (r3 overwritten after read, never
+	// written first) → artificial clobber only.
+	feed(tr,
+		isa.Instr{Op: isa.MOV, Rd: isa.R2, Rs1: isa.R3},
+		isa.Instr{Op: isa.MOV, Rd: isa.R3, Rs1: isa.R4},
+	)
+	res := tr.Results()
+	if res[Semantic].Paths != 1 || res[SemanticCalls].Paths != 1 {
+		t.Fatal("register clobber must not end semantic paths")
+	}
+	if res[SemanticArtificial].Paths != 2 {
+		t.Fatalf("artificial paths = %d, want 2", res[SemanticArtificial].Paths)
+	}
+}
+
+func TestCallsSplitMiddleCategory(t *testing.T) {
+	tr := NewTracker()
+	feed(tr, alu(isa.R1, isa.R0))
+	tr.Call()
+	feed(tr, alu(isa.R2, isa.R0))
+	tr.Ret()
+	feed(tr, alu(isa.R3, isa.R0))
+	res := tr.Results()
+	if res[Semantic].Paths != 1 {
+		t.Fatalf("semantic paths = %d, want 1 (calls crossed freely)", res[Semantic].Paths)
+	}
+	if res[SemanticCalls].Paths != 3 {
+		t.Fatalf("semantic+calls paths = %d, want 3", res[SemanticCalls].Paths)
+	}
+}
+
+func TestConventionRegistersIgnored(t *testing.T) {
+	tr := NewTracker()
+	// sp arithmetic looks like read-modify-write but is calling
+	// convention: ignored in all categories.
+	feed(tr,
+		isa.Instr{Op: isa.ADDI, Rd: isa.SP, Rs1: isa.SP, Imm: -4},
+		isa.Instr{Op: isa.ADDI, Rd: isa.SP, Rs1: isa.SP, Imm: 4},
+	)
+	res := tr.Results()
+	if res[SemanticArtificial].Paths != 1 {
+		t.Fatalf("sp updates must not clobber; paths = %d", res[SemanticArtificial].Paths)
+	}
+}
+
+func TestLocalStackOnlyArtificial(t *testing.T) {
+	tr := NewTracker()
+	// Simulate entering a function: frame [90, 100).
+	tr.Call()
+	// First instruction after the call carries the caller's sp (=100).
+	tr.Instr(alu(isa.R1, isa.R0), 0, 100)
+	// Read then write a local slot at address 95 with sp=90.
+	tr.Instr(isa.Instr{Op: isa.LDR, Rd: isa.R2, Rs1: isa.R0, Imm: 0}, 95, 90)
+	tr.Instr(isa.Instr{Op: isa.STR, Rs1: isa.R0, Rs2: isa.R3, Imm: 0}, 95, 90)
+	res := tr.Results()
+	// Local-stack clobber: artificial only.
+	if res[Semantic].Paths != 1 {
+		t.Fatalf("local-stack clobber leaked into semantic: %d paths", res[Semantic].Paths)
+	}
+	if res[SemanticArtificial].Paths < 2 {
+		t.Fatalf("artificial must see the spill-slot clobber: %d paths", res[SemanticArtificial].Paths)
+	}
+}
+
+func TestNonLocalStackIsSemantic(t *testing.T) {
+	tr := NewTracker()
+	tr.Call()
+	tr.Instr(alu(isa.R1, isa.R0), 0, 100)
+	// Address 150 is above the frame top (100): an ancestor frame —
+	// semantic memory.
+	tr.Instr(isa.Instr{Op: isa.LDR, Rd: isa.R2, Rs1: isa.R0, Imm: 0}, 150, 90)
+	tr.Instr(isa.Instr{Op: isa.STR, Rs1: isa.R0, Rs2: isa.R3, Imm: 0}, 150, 90)
+	res := tr.Results()
+	if res[Semantic].Paths != 2 {
+		t.Fatalf("non-local stack clobber must end semantic paths: %d", res[Semantic].Paths)
+	}
+}
+
+// TestEndToEndOrdering: on a real workload-style program, the category
+// averages must be ordered semantic ≥ semantic+calls ≥ artificial.
+func TestEndToEndOrdering(t *testing.T) {
+	src := `
+global @g [64]
+
+func @main(i64 %n) i64 {
+e:
+  %gb = global @g
+  br l
+l:
+  %i = phi [e: 0], [l: %i2]
+  %acc = phi [e: 0], [l: %acc2]
+  %idx = rem %i, 64
+  %p = add %gb, %idx
+  %x = load %p
+  %y = add %x, %i
+  store %p, %y
+  %acc2 = add %acc, %y
+  %i2 = add %i, 1
+  %c = lt %i2, %n
+  condbr %c, l, d
+d:
+  ret %acc2
+}
+`
+	m := ir.MustParse(src)
+	p, _, err := codegen.CompileModule(m, "main", 4096, false, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTracker()
+	mach := machine.New(p, machine.Config{Tracer: tr})
+	if _, err := mach.Run(500); err != nil {
+		t.Fatal(err)
+	}
+	res := tr.Results()
+	if !(res[Semantic].AvgPathLen >= res[SemanticCalls].AvgPathLen) {
+		t.Fatalf("semantic (%.1f) < semantic+calls (%.1f)", res[Semantic].AvgPathLen, res[SemanticCalls].AvgPathLen)
+	}
+	if !(res[SemanticCalls].AvgPathLen >= res[SemanticArtificial].AvgPathLen) {
+		t.Fatalf("semantic+calls (%.1f) < artificial (%.1f)", res[SemanticCalls].AvgPathLen, res[SemanticArtificial].AvgPathLen)
+	}
+	// The load-modify-store loop clobbers g[i%64] once per revisit, so
+	// semantic paths are finite and shorter than the whole run.
+	if res[SemanticCalls].Paths < 2 {
+		t.Fatal("expected multiple semantic paths in a read-modify-write loop")
+	}
+	if res[Semantic].MaxPathLen <= 0 {
+		t.Fatal("max path length not tracked")
+	}
+}
+
+func TestCategoryStrings(t *testing.T) {
+	if Semantic.String() == "?" || SemanticCalls.String() == "?" || SemanticArtificial.String() == "?" {
+		t.Fatal("category strings missing")
+	}
+}

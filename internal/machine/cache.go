@@ -1,0 +1,73 @@
+package machine
+
+// dcache models a small set-associative L1 data cache with LRU
+// replacement. It affects only timing (the simulator's memory is always
+// functionally coherent): hits cost the base load latency, misses add a
+// fill penalty. Store misses allocate (write-allocate) and stores hitting
+// the buffer or cache are cheap, approximating a write-back L1 like the
+// paper's gem5 ARM configuration.
+type dcache struct {
+	// sets × ways line tags; line granularity is lineWords words.
+	tags  [][]int64
+	lru   [][]int64
+	clock int64
+	sets  int
+	ways  int
+
+	Hits, Misses int64
+}
+
+// CacheConfig sizes the L1 model. The zero value disables it (flat
+// 2-cycle memory, the pre-cache behaviour).
+type CacheConfig struct {
+	// Sets and Ways size the cache (capacity = Sets*Ways*LineWords
+	// words). LineWords is the words-per-line granularity.
+	Sets, Ways, LineWords int
+	// MissPenalty is the extra cycles a miss costs.
+	MissPenalty int
+}
+
+// DefaultCache resembles a 32 KB 2-way L1 with 4-word (32-byte) lines:
+// 512 sets × 2 ways × 4 words × 8 bytes.
+func DefaultCache() CacheConfig {
+	return CacheConfig{Sets: 512, Ways: 2, LineWords: 4, MissPenalty: 12}
+}
+
+func newDCache(cfg CacheConfig) *dcache {
+	c := &dcache{sets: cfg.Sets, ways: cfg.Ways}
+	c.tags = make([][]int64, cfg.Sets)
+	c.lru = make([][]int64, cfg.Sets)
+	for i := range c.tags {
+		c.tags[i] = make([]int64, cfg.Ways)
+		c.lru[i] = make([]int64, cfg.Ways)
+		for w := range c.tags[i] {
+			c.tags[i][w] = -1
+		}
+	}
+	return c
+}
+
+// access touches addr; reports whether it hit.
+func (c *dcache) access(addr int64, lineWords int) bool {
+	line := addr / int64(lineWords)
+	set := int(line % int64(c.sets))
+	c.clock++
+	for w := 0; w < c.ways; w++ {
+		if c.tags[set][w] == line {
+			c.lru[set][w] = c.clock
+			c.Hits++
+			return true
+		}
+	}
+	// Miss: replace the LRU way.
+	victim := 0
+	for w := 1; w < c.ways; w++ {
+		if c.lru[set][w] < c.lru[set][victim] {
+			victim = w
+		}
+	}
+	c.tags[set][victim] = line
+	c.lru[set][victim] = c.clock
+	c.Misses++
+	return false
+}

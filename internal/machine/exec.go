@@ -1,0 +1,438 @@
+package machine
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"idemproc/internal/isa"
+)
+
+// step executes one instruction functionally against both the
+// architectural and the golden (fault-free) register state, applies any
+// scheduled fault injection, and feeds the pipeline model.
+func (m *Machine) step() error {
+	if m.PC < 0 || m.PC >= len(m.P.Instrs) {
+		return fmt.Errorf("machine: pc %d out of range", m.PC)
+	}
+	in := m.P.Instrs[m.PC]
+	seq := m.Stats.DynInstrs
+	m.Stats.DynInstrs++
+	m.pathLen++
+
+	// Shadow copies execute against the shadow bank: architecturally
+	// invisible, but they occupy pipeline slots and have dependencies.
+	if in.Shadow > 0 {
+		m.pipe.account(m, in)
+		m.execShadow(in)
+		m.PC++
+		return nil
+	}
+
+	var memAddr int64
+	taken := false
+	nextPC := m.PC + 1
+
+	src := func(r isa.Reg) uint64 {
+		if r.IsFloat() {
+			return m.FReg[r-16]
+		}
+		return m.Regs[r]
+	}
+	setReg := func(r isa.Reg, v uint64) {
+		if r.IsFloat() {
+			m.FReg[r-16] = v
+		} else {
+			m.Regs[r] = v
+		}
+	}
+
+	wroteRd := false
+	switch in.Op {
+	case isa.NOP:
+	case isa.LDR, isa.FLDR:
+		memAddr = int64(src(in.Rs1)) + in.Imm
+		v, err := m.loadMem(memAddr)
+		if err != nil {
+			// A corrupted address register (or a wrong-path walk) can
+			// wander out of bounds before the scheme's check fires;
+			// treat it as a detection.
+			if (m.tainted(in.Rs1) || m.wrongPath) && m.Cfg.Recovery != RecoverNone {
+				if m.recoverFault() {
+					m.pipe.account(m, in)
+					return nil
+				}
+			}
+			return err
+		}
+		setReg(in.Rd, v)
+		if m.injecting {
+			gAddr := int64(m.goldenOf(in.Rs1)) + in.Imm
+			gv, gerr := m.loadMem(gAddr)
+			if gerr != nil {
+				return gerr // a real program error, not a fault artifact
+			}
+			m.setGolden(in.Rd, gv)
+		}
+		wroteRd = true
+		m.Stats.Loads++
+		if m.cache != nil {
+			if m.cache.access(memAddr, m.Cfg.Cache.LineWords) {
+				m.Stats.CacheHits++
+			} else {
+				m.Stats.CacheMisses++
+				m.pipe.extraLat = m.Cfg.Cache.MissPenalty
+			}
+		}
+	case isa.STR, isa.FSTR:
+		memAddr = int64(src(in.Rs1)) + in.Imm
+		if err := m.storeMem(memAddr, src(in.Rs2)); err != nil {
+			if (m.tainted(in.Rs1) || m.wrongPath) && m.Cfg.Recovery != RecoverNone {
+				if m.recoverFault() {
+					m.pipe.account(m, in)
+					return nil
+				}
+			}
+			return err
+		}
+		m.Stats.Stores++
+		if m.cache != nil {
+			if m.cache.access(memAddr, m.Cfg.Cache.LineWords) {
+				m.Stats.CacheHits++
+			} else {
+				m.Stats.CacheMisses++
+				// Write-allocate fill: a short stall rather than a
+				// dependent-latency extension (nothing waits on a store).
+				m.pipe.extraStall = int64(m.Cfg.Cache.MissPenalty / 3)
+			}
+		}
+	case isa.B:
+		nextPC = int(in.Imm)
+		taken = true
+	case isa.CBZ, isa.CBNZ:
+		cond := src(in.Rs1) == 0
+		if in.Op == isa.CBNZ {
+			cond = !cond
+		}
+		// Scheduled control-flow error: the branch resolves the wrong way
+		// and execution continues speculatively down the wrong path.
+		if len(m.flipAt) > 0 && seq >= m.flipAt[0] && !m.wrongPath {
+			cond = !cond
+			m.wrongPath = true
+			m.Stats.Faults++
+			m.flipAt = m.flipAt[1:]
+		}
+		if cond {
+			nextPC = int(in.Imm)
+			taken = true
+		}
+	case isa.CALL:
+		m.Regs[isa.LR] = uint64(m.PC + 1)
+		m.golden[isa.LR] = uint64(m.PC + 1)
+		nextPC = int(in.Imm)
+		taken = true
+		if m.Cfg.Tracer != nil {
+			m.Cfg.Tracer.Call()
+		}
+	case isa.RET:
+		nextPC = int(m.Regs[isa.LR])
+		taken = true
+		if m.Cfg.Tracer != nil {
+			m.Cfg.Tracer.Ret()
+		}
+	case isa.HALT:
+		// A wrong path must not terminate the machine.
+		if m.wrongPath && m.Cfg.Recovery != RecoverNone && m.recoverFault() {
+			m.pipe.account(m, in)
+			return nil
+		}
+		m.halted = true
+		if m.Cfg.TrackPaths && m.pathLen > 0 {
+			m.Stats.PathLens[m.pathLen]++
+		}
+	case isa.MARK:
+		m.Stats.Marks++
+		// Control-flow verification at the boundary (§2.3): a wrong-path
+		// execution is detected here, before any of its stores commit.
+		if m.wrongPath && m.Cfg.Recovery != RecoverNone {
+			if m.recoverFault() {
+				m.pipe.account(m, in)
+				return nil
+			}
+		}
+		// Outstanding value divergence must also be resolved before the
+		// region's stores commit — except on the re-entry a recovery just
+		// jumped to, where stale (non-input) registers are expected until
+		// the re-execution rewrites them.
+		if m.justRecovered {
+			m.justRecovered = false
+		} else if m.anyTaint() && m.Cfg.Recovery != RecoverNone {
+			if debugReconcile {
+				fmt.Printf("MARK-DETECT pc=%d fn=%s rp=%d consec=%d\n", m.PC, m.fn(), m.rp, m.consecBoundary)
+			}
+			if m.boundaryRecoverOrReconcile() {
+				m.pipe.account(m, in)
+				return nil
+			}
+		}
+		m.lastRecoverPC = -1
+		m.consecBoundary = 0
+		m.commitRegion()
+	case isa.CHECK:
+		// DMR check: the redundant copy disagrees iff the value diverges
+		// from the golden mirror.
+		if m.tainted(in.Rs1) {
+			if debugReconcile {
+				fmt.Printf("CHECK-DETECT pc=%d fn=%s reg=%v arch=%d golden=%d rp=%d seq=%d\n", m.PC, m.fn(), in.Rs1, int64(m.Regs[in.Rs1]), int64(m.golden[in.Rs1]), m.rp, m.Stats.DynInstrs)
+			}
+			if !m.recoverFault() {
+				return ErrDetectedUnrecoverable
+			}
+			m.pipe.account(m, in)
+			return nil
+		}
+	case isa.MAJ:
+		// TMR majority vote: the two clean copies outvote the corrupt
+		// one, restoring the correct value in place.
+		if m.tainted(in.Rd) {
+			m.Stats.Detections++
+			setReg(in.Rd, m.goldenOf(in.Rd))
+		}
+	default:
+		v, err := evalALU(in, src)
+		if err != nil {
+			// Division by zero on a wrong path is a speculation artifact.
+			if m.wrongPath && m.Cfg.Recovery != RecoverNone && m.recoverFault() {
+				m.pipe.account(m, in)
+				return nil
+			}
+			return err
+		}
+		setReg(in.Rd, v)
+		if m.injecting {
+			gv, gerr := evalALU(in, m.goldenOf)
+			if gerr != nil {
+				return gerr
+			}
+			m.setGolden(in.Rd, gv)
+		}
+		wroteRd = true
+	}
+
+	// Scheduled fault injection: corrupt the just-written architectural
+	// destination (the golden mirror keeps the correct value).
+	// Instrumentation (Meta) is outside the fault sphere.
+	if len(m.faultAt) > 0 && !in.Meta && wroteRd && seq >= m.faultAt[0].step {
+		mask := m.faultAt[0].mask
+		m.faultAt = m.faultAt[1:]
+		if in.Rd.IsFloat() {
+			m.FReg[in.Rd-16] ^= mask
+		} else {
+			m.Regs[in.Rd] ^= mask
+		}
+		m.Stats.Faults++
+	}
+
+	// When no injection campaign is active, the golden mirror just tracks
+	// the architectural state (cheaply, on writes).
+	if !m.injecting && wroteRd {
+		m.setGolden(in.Rd, src(in.Rd))
+	}
+
+	// Checkpoint-and-log: the log pointer advances through rp; when the
+	// log fills, a (free) register checkpoint resets it.
+	if m.Cfg.Recovery == RecoverCheckpointLog && wroteRd && in.Rd == isa.RP {
+		m.logPtr = int64(m.Regs[isa.RP])
+		if m.logPtr >= m.Cfg.LogBase+m.Cfg.LogWords {
+			if m.anyTaint() {
+				if debugReconcile {
+					fmt.Printf("WRAP-DETECT pc=%d fn=%s ckptPC=%d consec=%d:", m.PC, m.fn(), m.ckptPC, m.consecBoundary)
+					for i := range m.Regs {
+						if m.Regs[i] != m.golden[i] {
+							fmt.Printf(" r%d(a=%d g=%d)", i, int64(m.Regs[i]), int64(m.golden[i]))
+						}
+					}
+					fmt.Println()
+				}
+				if !m.boundaryRecoverOrReconcile() {
+					return ErrDetectedUnrecoverable
+				}
+				m.pipe.account(m, in)
+				return nil
+			}
+			m.lastRecoverPC = -1
+			m.consecBoundary = 0
+			m.PC = nextPC
+			m.takeCheckpoint()
+			m.pipe.account(m, in)
+			if m.Cfg.Tracer != nil {
+				m.Cfg.Tracer.Instr(in, memAddr, m.Regs[isa.SP])
+			}
+			return nil
+		}
+	}
+
+	m.pipe.accountBranch(m, in, taken)
+	m.pipe.account(m, in)
+	if m.Cfg.Tracer != nil {
+		m.Cfg.Tracer.Instr(in, memAddr, m.Regs[isa.SP])
+	}
+	m.PC = nextPC
+	return nil
+}
+
+// boundaryRecoverOrReconcile handles divergence found at a region
+// boundary or checkpoint. Repeated recoveries at the same point mean the
+// remaining divergence is in registers the region never rewrites — dead
+// values the program can no longer read before a redefinition — so the
+// mirror is reconciled and execution proceeds. Returns true if a recovery
+// (re-execution) was initiated.
+func (m *Machine) boundaryRecoverOrReconcile() bool {
+	if m.lastRecoverPC == m.PC {
+		m.consecBoundary++
+	} else {
+		m.lastRecoverPC = m.PC
+		m.consecBoundary = 0
+	}
+	if m.consecBoundary >= 2 {
+		m.Stats.Reconciles++
+		if debugReconcile {
+			fmt.Printf("RECONCILE at pc=%d fn=%s:", m.PC, m.fn())
+			for i := range m.Regs {
+				if m.Regs[i] != m.golden[i] {
+					fmt.Printf(" r%d(arch=%d golden=%d)", i, int64(m.Regs[i]), int64(m.golden[i]))
+				}
+			}
+			for i := range m.FReg {
+				if m.FReg[i] != m.goldenF[i] {
+					fmt.Printf(" f%d", i)
+				}
+			}
+			fmt.Println()
+		}
+		m.reconcile()
+		m.lastRecoverPC = -1
+		m.consecBoundary = 0
+		return false
+	}
+	return m.recoverFault()
+}
+
+// evalALU computes a register-to-register operation from the given source
+// accessor (architectural or golden).
+func evalALU(in isa.Instr, src func(isa.Reg) uint64) (uint64, error) {
+	f := func(r isa.Reg) float64 { return math.Float64frombits(src(r)) }
+	b2u := func(b bool) uint64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	switch in.Op {
+	case isa.MOVI:
+		return uint64(in.Imm), nil
+	case isa.FMOVI:
+		return math.Float64bits(in.FImm), nil
+	case isa.MOV, isa.FMOV:
+		return src(in.Rs1), nil
+	case isa.ITOF:
+		return math.Float64bits(float64(int64(src(in.Rs1)))), nil
+	case isa.FTOI:
+		return uint64(int64(math.Float64frombits(src(in.Rs1)))), nil
+	case isa.ADD:
+		return uint64(int64(src(in.Rs1)) + int64(src(in.Rs2))), nil
+	case isa.SUB:
+		return uint64(int64(src(in.Rs1)) - int64(src(in.Rs2))), nil
+	case isa.MUL:
+		return uint64(int64(src(in.Rs1)) * int64(src(in.Rs2))), nil
+	case isa.DIV:
+		d := int64(src(in.Rs2))
+		if d == 0 {
+			return 0, errors.New("machine: integer division by zero")
+		}
+		return uint64(int64(src(in.Rs1)) / d), nil
+	case isa.REM:
+		d := int64(src(in.Rs2))
+		if d == 0 {
+			return 0, errors.New("machine: integer remainder by zero")
+		}
+		return uint64(int64(src(in.Rs1)) % d), nil
+	case isa.AND:
+		return src(in.Rs1) & src(in.Rs2), nil
+	case isa.ORR:
+		return src(in.Rs1) | src(in.Rs2), nil
+	case isa.EOR:
+		return src(in.Rs1) ^ src(in.Rs2), nil
+	case isa.LSL:
+		return uint64(int64(src(in.Rs1)) << (src(in.Rs2) & 63)), nil
+	case isa.ASR:
+		return uint64(int64(src(in.Rs1)) >> (src(in.Rs2) & 63)), nil
+	case isa.ADDI:
+		return uint64(int64(src(in.Rs1)) + in.Imm), nil
+	case isa.NEG:
+		return uint64(-int64(src(in.Rs1))), nil
+	case isa.MVN:
+		return ^src(in.Rs1), nil
+	case isa.SEQ:
+		return b2u(int64(src(in.Rs1)) == int64(src(in.Rs2))), nil
+	case isa.SNE:
+		return b2u(int64(src(in.Rs1)) != int64(src(in.Rs2))), nil
+	case isa.SLT:
+		return b2u(int64(src(in.Rs1)) < int64(src(in.Rs2))), nil
+	case isa.SLE:
+		return b2u(int64(src(in.Rs1)) <= int64(src(in.Rs2))), nil
+	case isa.SGT:
+		return b2u(int64(src(in.Rs1)) > int64(src(in.Rs2))), nil
+	case isa.SGE:
+		return b2u(int64(src(in.Rs1)) >= int64(src(in.Rs2))), nil
+	case isa.FADD:
+		return math.Float64bits(f(in.Rs1) + f(in.Rs2)), nil
+	case isa.FSUB:
+		return math.Float64bits(f(in.Rs1) - f(in.Rs2)), nil
+	case isa.FMUL:
+		return math.Float64bits(f(in.Rs1) * f(in.Rs2)), nil
+	case isa.FDIV:
+		return math.Float64bits(f(in.Rs1) / f(in.Rs2)), nil
+	case isa.FNEG:
+		return math.Float64bits(-f(in.Rs1)), nil
+	case isa.FSEQ:
+		return b2u(f(in.Rs1) == f(in.Rs2)), nil
+	case isa.FSNE:
+		return b2u(f(in.Rs1) != f(in.Rs2)), nil
+	case isa.FSLT:
+		return b2u(f(in.Rs1) < f(in.Rs2)), nil
+	case isa.FSLE:
+		return b2u(f(in.Rs1) <= f(in.Rs2)), nil
+	case isa.FSGT:
+		return b2u(f(in.Rs1) > f(in.Rs2)), nil
+	case isa.FSGE:
+		return b2u(f(in.Rs1) >= f(in.Rs2)), nil
+	}
+	return 0, fmt.Errorf("machine: unknown op %v", in.Op)
+}
+
+func hasRs2(op isa.Op) bool {
+	switch op {
+	case isa.ADD, isa.SUB, isa.MUL, isa.DIV, isa.REM, isa.AND, isa.ORR, isa.EOR,
+		isa.LSL, isa.ASR, isa.SEQ, isa.SNE, isa.SLT, isa.SLE, isa.SGT, isa.SGE,
+		isa.FADD, isa.FSUB, isa.FMUL, isa.FDIV,
+		isa.FSEQ, isa.FSNE, isa.FSLT, isa.FSLE, isa.FSGT, isa.FSGE,
+		isa.STR, isa.FSTR:
+		return true
+	}
+	return false
+}
+
+// execShadow executes a redundant copy against the shadow bank. Values
+// mirror the architectural computation; only timing matters.
+func (m *Machine) execShadow(in isa.Instr) {
+	bank := &m.shadow[in.Shadow-1]
+	if in.Rd.IsFloat() {
+		bank.freg[in.Rd-16] = m.FReg[in.Rd-16]
+	} else {
+		bank.regs[in.Rd] = m.Regs[in.Rd]
+	}
+}
+
+// debugReconcile enables reconcile diagnostics (tests may flip it).
+var debugReconcile = false

@@ -1,0 +1,221 @@
+package machine
+
+import (
+	"math"
+	"testing"
+
+	"idemproc/internal/isa"
+)
+
+// negWord returns the two's-complement word for -v.
+func negWord(v int64) uint64 { return uint64(-v) }
+
+// TestAllALUOps checks every ALU/compare/convert operation functionally,
+// including negative, zero and large operands.
+func TestAllALUOps(t *testing.T) {
+	type tc struct {
+		op   isa.Op
+		x, y uint64
+		want uint64
+	}
+	f := math.Float64bits
+	cases := []tc{
+		{isa.ADD, 5, 3, 8},
+		{isa.ADD, uint64(1<<63 - 1), 1, 1 << 63}, // wraparound
+		{isa.SUB, 3, 5, negWord(2)},
+		{isa.MUL, negWord(4), 3, negWord(12)},
+		{isa.DIV, negWord(7), 2, negWord(3)},
+		{isa.REM, negWord(7), 2, negWord(1)},
+		{isa.AND, 0b1100, 0b1010, 0b1000},
+		{isa.ORR, 0b1100, 0b1010, 0b1110},
+		{isa.EOR, 0b1100, 0b1010, 0b0110},
+		{isa.LSL, 3, 4, 48},
+		{isa.ASR, negWord(16), 2, negWord(4)},
+		{isa.SEQ, 4, 4, 1},
+		{isa.SNE, 4, 4, 0},
+		{isa.SLT, negWord(1), 0, 1},
+		{isa.SLE, 5, 5, 1},
+		{isa.SGT, 5, 4, 1},
+		{isa.SGE, 4, 5, 0},
+		{isa.FADD, f(1.5), f(2.25), f(3.75)},
+		{isa.FSUB, f(1.5), f(2.25), f(-0.75)},
+		{isa.FMUL, f(1.5), f(4), f(6)},
+		{isa.FDIV, f(3), f(2), f(1.5)},
+		{isa.FSEQ, f(2), f(2), 1},
+		{isa.FSNE, f(2), f(2), 0},
+		{isa.FSLT, f(-1), f(0), 1},
+		{isa.FSLE, f(2), f(2), 1},
+		{isa.FSGT, f(3), f(2), 1},
+		{isa.FSGE, f(1), f(2), 0},
+	}
+	for _, c := range cases {
+		// Build: movi r1/f1 = x; movi r2/f2 = y; op rd, r1, r2; halt.
+		srcIsF := c.op >= isa.FADD && c.op <= isa.FSGE || c.op == isa.FTOI
+		dstIsF := c.op >= isa.FADD && c.op <= isa.FNEG
+		var r1, r2, rd isa.Reg = isa.R1, isa.R2, isa.R3
+		if srcIsF {
+			r1, r2 = isa.F(1), isa.F(2)
+		}
+		if dstIsF {
+			rd = isa.F(3)
+		}
+		m := New(rawProgram(
+			isa.Instr{Op: isa.NOP},
+			isa.Instr{Op: c.op, Rd: rd, Rs1: r1, Rs2: r2},
+			isa.Instr{Op: isa.HALT},
+		), Config{})
+		if srcIsF {
+			m.FReg[1], m.FReg[2] = c.x, c.y
+		} else {
+			m.Regs[1], m.Regs[2] = c.x, c.y
+		}
+		if _, err := m.Run(); err != nil {
+			t.Fatalf("%v: %v", c.op, err)
+		}
+		var got uint64
+		if dstIsF {
+			got = m.FReg[3]
+		} else {
+			got = m.Regs[3]
+		}
+		if got != c.want {
+			t.Errorf("%v(%d, %d) = %#x, want %#x", c.op, int64(c.x), int64(c.y), got, c.want)
+		}
+	}
+}
+
+func TestUnaryAndConvertOps(t *testing.T) {
+	m := New(rawProgram(
+		isa.Instr{Op: isa.MOVI, Rd: isa.R1, Imm: -9},
+		isa.Instr{Op: isa.NEG, Rd: isa.R2, Rs1: isa.R1},
+		isa.Instr{Op: isa.MVN, Rd: isa.R3, Rs1: isa.R1},
+		isa.Instr{Op: isa.ITOF, Rd: isa.F(1), Rs1: isa.R2},
+		isa.Instr{Op: isa.FNEG, Rd: isa.F(2), Rs1: isa.F(1)},
+		isa.Instr{Op: isa.FTOI, Rd: isa.R4, Rs1: isa.F(2)},
+		isa.Instr{Op: isa.FMOVI, Rd: isa.F(3), FImm: 2.75},
+		isa.Instr{Op: isa.FMOV, Rd: isa.F(4), Rs1: isa.F(3)},
+		isa.Instr{Op: isa.MOV, Rd: isa.R5, Rs1: isa.R2},
+		isa.Instr{Op: isa.HALT},
+	), Config{})
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if int64(m.Regs[2]) != 9 || int64(m.Regs[3]) != ^int64(-9) {
+		t.Fatalf("neg/mvn wrong: %d %d", int64(m.Regs[2]), int64(m.Regs[3]))
+	}
+	if math.Float64frombits(m.FReg[1]) != 9 || math.Float64frombits(m.FReg[2]) != -9 {
+		t.Fatal("itof/fneg wrong")
+	}
+	if int64(m.Regs[4]) != -9 || m.Regs[5] != 9 {
+		t.Fatal("ftoi/mov wrong")
+	}
+	if math.Float64frombits(m.FReg[4]) != 2.75 {
+		t.Fatal("fmov wrong")
+	}
+}
+
+func TestDivideByZeroErrors(t *testing.T) {
+	for _, op := range []isa.Op{isa.DIV, isa.REM} {
+		m := New(rawProgram(
+			isa.Instr{Op: isa.MOVI, Rd: isa.R1, Imm: 7},
+			isa.Instr{Op: isa.MOVI, Rd: isa.R2, Imm: 0},
+			isa.Instr{Op: op, Rd: isa.R3, Rs1: isa.R1, Rs2: isa.R2},
+			isa.Instr{Op: isa.HALT},
+		), Config{})
+		if _, err := m.Run(); err == nil {
+			t.Fatalf("%v by zero must error", op)
+		}
+	}
+}
+
+func TestBranchDirections(t *testing.T) {
+	// CBZ taken and not taken; CBNZ both; unconditional B.
+	run := func(ins ...isa.Instr) uint64 {
+		m := New(rawProgram(ins...), Config{})
+		got, err := m.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	// r0 = 1 if branch taken path else 2.
+	if got := run(
+		isa.Instr{Op: isa.MOVI, Rd: isa.R1, Imm: 0},
+		isa.Instr{Op: isa.CBZ, Rs1: isa.R1, Imm: 4},
+		isa.Instr{Op: isa.MOVI, Rd: isa.R0, Imm: 2},
+		isa.Instr{Op: isa.HALT},
+		isa.Instr{Op: isa.MOVI, Rd: isa.R0, Imm: 1},
+		isa.Instr{Op: isa.HALT},
+	); got != 1 {
+		t.Fatalf("CBZ taken path = %d", got)
+	}
+	if got := run(
+		isa.Instr{Op: isa.MOVI, Rd: isa.R1, Imm: 5},
+		isa.Instr{Op: isa.CBZ, Rs1: isa.R1, Imm: 4},
+		isa.Instr{Op: isa.MOVI, Rd: isa.R0, Imm: 2},
+		isa.Instr{Op: isa.HALT},
+		isa.Instr{Op: isa.MOVI, Rd: isa.R0, Imm: 1},
+		isa.Instr{Op: isa.HALT},
+	); got != 2 {
+		t.Fatalf("CBZ fallthrough path = %d", got)
+	}
+	if got := run(
+		isa.Instr{Op: isa.B, Imm: 3},
+		isa.Instr{Op: isa.MOVI, Rd: isa.R0, Imm: 2},
+		isa.Instr{Op: isa.HALT},
+		isa.Instr{Op: isa.MOVI, Rd: isa.R0, Imm: 7},
+		isa.Instr{Op: isa.HALT},
+	); got != 7 {
+		t.Fatalf("B path = %d", got)
+	}
+}
+
+func TestStoreBufferForwarding(t *testing.T) {
+	// With buffering on, a load after a buffered store to the same
+	// address must see the buffered value; memory commits only at MARK.
+	m := New(rawProgram(
+		isa.Instr{Op: isa.MARK},
+		isa.Instr{Op: isa.MOVI, Rd: isa.R1, Imm: 50},
+		isa.Instr{Op: isa.MOVI, Rd: isa.R2, Imm: 99},
+		isa.Instr{Op: isa.STR, Rs1: isa.R1, Rs2: isa.R2},
+		isa.Instr{Op: isa.LDR, Rd: isa.R0, Rs1: isa.R1},
+		isa.Instr{Op: isa.HALT},
+	), Config{BufferStores: true})
+	got, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 99 {
+		t.Fatalf("buffered forwarding = %d, want 99", got)
+	}
+	// The store never committed (no MARK after it).
+	if m.Mem[50] != 0 {
+		t.Fatalf("uncommitted store leaked to memory: %d", m.Mem[50])
+	}
+
+	// With a trailing MARK it commits.
+	m2 := New(rawProgram(
+		isa.Instr{Op: isa.MARK},
+		isa.Instr{Op: isa.MOVI, Rd: isa.R1, Imm: 50},
+		isa.Instr{Op: isa.MOVI, Rd: isa.R2, Imm: 99},
+		isa.Instr{Op: isa.STR, Rs1: isa.R1, Rs2: isa.R2},
+		isa.Instr{Op: isa.MARK},
+		isa.Instr{Op: isa.HALT},
+	), Config{BufferStores: true})
+	if _, err := m2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m2.Mem[50] != 99 {
+		t.Fatalf("committed store missing: %d", m2.Mem[50])
+	}
+}
+
+func TestPCOutOfRange(t *testing.T) {
+	m := New(rawProgram(
+		isa.Instr{Op: isa.B, Imm: 999},
+		isa.Instr{Op: isa.HALT},
+	), Config{})
+	if _, err := m.Run(); err == nil {
+		t.Fatal("expected pc-out-of-range error")
+	}
+}

@@ -1,0 +1,493 @@
+// Package machine simulates the isa target: a two-issue in-order pipeline
+// (the paper's gem5 ARMv7 model stand-in) with functional execution,
+// cycle accounting, a store buffer that commits at region boundaries
+// (§2.3), dynamic idempotent-path tracking (Figures 8/9), fault injection
+// with taint-based DMR detection, and the three recovery schemes of §6.3.
+package machine
+
+import (
+	"errors"
+	"fmt"
+
+	"idemproc/internal/codegen"
+	"idemproc/internal/isa"
+)
+
+// Stats accumulates execution statistics.
+type Stats struct {
+	// DynInstrs counts executed instructions; Cycles is the pipeline
+	// model's time.
+	DynInstrs int64
+	Cycles    int64
+	// Loads/Stores/Marks count dynamic occurrences.
+	Loads, Stores, Marks int64
+	// Mispredicts counts branch mispredictions under the static
+	// backward-taken predictor.
+	Mispredicts int64
+	// PathLens histograms dynamic idempotent path lengths (instructions
+	// between consecutive region boundaries), when path tracking is on.
+	PathLens map[int64]int64
+	// Recoveries counts fault recoveries; Detections counts taint
+	// detections (≥ Recoveries for TMR, which corrects in place).
+	Recoveries, Detections int64
+	// Faults counts injected faults.
+	Faults int64
+	// Reconciles counts boundary reconciliations of dead divergence.
+	Reconciles int64
+	// CacheHits/CacheMisses count L1 data cache outcomes (when the cache
+	// model is enabled).
+	CacheHits, CacheMisses int64
+}
+
+// AvgPathLen returns the mean dynamic path length.
+func (s *Stats) AvgPathLen() float64 {
+	var n, sum int64
+	for l, c := range s.PathLens {
+		n += c
+		sum += l * c
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(sum) / float64(n)
+}
+
+// WeightedPathCDF returns (lengths, cumulative execution-time fraction)
+// pairs: each path weighted by its length, as in the paper's Figure 8.
+func (s *Stats) WeightedPathCDF() ([]int64, []float64) {
+	var lens []int64
+	var total float64
+	for l, c := range s.PathLens {
+		lens = append(lens, l)
+		total += float64(l * c)
+	}
+	sortInt64s(lens)
+	cdf := make([]float64, len(lens))
+	run := 0.0
+	for i, l := range lens {
+		run += float64(l * s.PathLens[l])
+		cdf[i] = run / total
+	}
+	return lens, cdf
+}
+
+func sortInt64s(a []int64) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// Recovery selects the fault recovery scheme (§6.3).
+type Recovery uint8
+
+const (
+	// RecoverNone halts with an error on detection.
+	RecoverNone Recovery = iota
+	// RecoverIdempotence re-executes from the register rp (the current
+	// region's entry), relying on the idempotent compilation.
+	RecoverIdempotence
+	// RecoverCheckpointLog rolls memory back through the undo log and
+	// restores the interval-start register checkpoint.
+	RecoverCheckpointLog
+	// RecoverTMR corrects values in place at MAJ instructions.
+	RecoverTMR
+)
+
+// Config controls optional machine features.
+type Config struct {
+	// BufferStores holds stores in a buffer until the next MARK (§2.3);
+	// required for RecoverIdempotence.
+	BufferStores bool
+	// TrackPaths records dynamic region path lengths.
+	TrackPaths bool
+	// Recovery selects the scheme driving CHECK/MAJ/MARK semantics.
+	Recovery Recovery
+	// LogBase/LogWords place the checkpoint-log scheme's undo log
+	// (defaults: just past the globals, 2048 words = 1K stores).
+	LogBase, LogWords int64
+	// MaxSteps bounds execution (default 500M).
+	MaxSteps int64
+	// Tracer, if set, observes every executed instruction.
+	Tracer Tracer
+	// Cache configures the L1 data cache timing model; the zero value
+	// means flat 2-cycle memory. Use DefaultCache() for the gem5-like
+	// configuration the experiment drivers use.
+	Cache CacheConfig
+}
+
+// Tracer observes execution (the limit study hooks in here).
+type Tracer interface {
+	// Instr is called after each instruction executes. memAddr is the
+	// effective address for memory ops (else 0); sp is the current stack
+	// pointer (for local-vs-non-local stack classification).
+	Instr(in isa.Instr, memAddr int64, sp uint64)
+	// Call/Ret are called at function boundaries.
+	Call()
+	Ret()
+}
+
+// Machine is one simulator instance.
+type Machine struct {
+	P    *codegen.Program
+	Cfg  Config
+	Regs [isa.NumIntRegs]uint64
+	FReg [isa.NumFloatRegs]uint64
+	Mem  []uint64
+	PC   int
+
+	Stats Stats
+
+	// Pipeline model state.
+	pipe  pipeline
+	cache *dcache
+
+	// Region / recovery state.
+	storeBuf   []bufEntry
+	rp         int
+	rpSP, rpLR uint64
+	pathLen    int64
+
+	// Golden state: a fault-free mirror of the register files, computed
+	// from golden sources in parallel with architectural execution. A
+	// register is "tainted" (holds a corrupted or corruption-derived
+	// value) exactly when its architectural and golden values differ —
+	// which is precisely what a DMR shadow copy detects.
+	golden    [isa.NumIntRegs]uint64
+	goldenF   [isa.NumFloatRegs]uint64
+	injecting bool
+	// Livelock guard: consecutive boundary recoveries at the same restart
+	// point reconcile dead corrupted registers (see mark handling).
+	lastRecoverPC  int
+	consecBoundary int
+
+	// Shadow register banks for the DMR/TMR duplicated computations.
+	shadow [2]shadowBank
+
+	// Checkpoint-log state.
+	logPtr   int64
+	ckptRegs [isa.NumIntRegs]uint64
+	ckptFReg [isa.NumFloatRegs]uint64
+	ckptPC   int
+	ckptLog  int64
+
+	// Pending fault injections, sorted by step: the first register-writing
+	// instruction at or after each step has one destination bit flipped.
+	faultAt []pendingFault
+	// Pending control-flow error injections (§2.3: branch misprediction
+	// style failures), sorted: the first conditional branch at or after
+	// each step takes the wrong direction.
+	flipAt []int64
+	// wrongPath is set while executing a mis-directed path; boundary
+	// verification at the next MARK detects it.
+	wrongPath bool
+	// justRecovered suppresses the boundary taint check at the MARK a
+	// recovery jumps to: corrupted non-input registers legitimately stay
+	// divergent until the region's re-execution rewrites them; the check
+	// there would otherwise livelock. Inputs are clean by construction
+	// (§4.4 live-ins are never redefined in-region, so the fault cannot
+	// have hit one).
+	justRecovered bool
+
+	halted bool
+}
+
+type shadowBank struct {
+	regs [isa.NumIntRegs]uint64
+	freg [isa.NumFloatRegs]uint64
+}
+
+type bufEntry struct {
+	addr int64
+	val  uint64
+}
+
+// ErrDetectedUnrecoverable reports a detection with RecoverNone.
+var ErrDetectedUnrecoverable = errors.New("machine: fault detected, no recovery scheme")
+
+// New creates a machine for p.
+func New(p *codegen.Program, cfg Config) *Machine {
+	if cfg.MaxSteps == 0 {
+		cfg.MaxSteps = 500_000_000
+	}
+	if cfg.LogWords == 0 {
+		cfg.LogWords = 2048
+	}
+	if cfg.LogBase == 0 {
+		cfg.LogBase = p.GlobalEnd
+	}
+	m := &Machine{P: p, Cfg: cfg}
+	m.Reset()
+	return m
+}
+
+// Reset reinitializes memory, registers and statistics.
+func (m *Machine) Reset() {
+	m.Mem = make([]uint64, m.P.MemWords)
+	for _, g := range m.P.Globals {
+		base := m.P.GlobalBase[g.Name]
+		for i, x := range g.Init {
+			m.Mem[base+int64(i)] = uint64(x)
+		}
+	}
+	m.Regs = [isa.NumIntRegs]uint64{}
+	m.FReg = [isa.NumFloatRegs]uint64{}
+	m.Stats = Stats{PathLens: map[int64]int64{}}
+	m.pipe = pipeline{}
+	if m.Cfg.Cache.Sets > 0 {
+		m.cache = newDCache(m.Cfg.Cache)
+	} else {
+		m.cache = nil
+	}
+	m.storeBuf = nil
+	m.golden = [isa.NumIntRegs]uint64{}
+	m.goldenF = [isa.NumFloatRegs]uint64{}
+	m.pathLen = 0
+	m.logPtr = m.Cfg.LogBase
+	m.ckptLog = m.Cfg.LogBase
+	m.halted = false
+}
+
+// pendingFault is one scheduled single-bit corruption.
+type pendingFault struct {
+	step int64
+	mask uint64
+}
+
+// InjectFault schedules a single-bit corruption of the destination value
+// of the first register-writing instruction executed at or after the
+// step'th dynamic instruction (recovery instrumentation and redundant
+// copies are outside the fault sphere and are skipped over).
+func (m *Machine) InjectFault(step int64, bit uint) {
+	i := 0
+	for i < len(m.faultAt) && m.faultAt[i].step < step {
+		i++
+	}
+	m.faultAt = append(m.faultAt, pendingFault{})
+	copy(m.faultAt[i+1:], m.faultAt[i:])
+	m.faultAt[i] = pendingFault{step: step, mask: 1 << (bit % 64)}
+	// Injection campaigns enable the golden mirror (it is pure overhead
+	// otherwise).
+	m.injecting = true
+}
+
+// InjectControlFlowError schedules a branch-direction failure: the first
+// conditional branch executed at or after the step'th dynamic instruction
+// goes the wrong way. The wrong path executes speculatively (stores stay
+// in the buffer) until the next region boundary's control-flow
+// verification detects the failure and recovery re-executes from rp
+// (§2.3, "tolerating control flow errors").
+func (m *Machine) InjectControlFlowError(step int64) {
+	i := 0
+	for i < len(m.flipAt) && m.flipAt[i] < step {
+		i++
+	}
+	m.flipAt = append(m.flipAt, 0)
+	copy(m.flipAt[i+1:], m.flipAt[i:])
+	m.flipAt[i] = step
+}
+
+// Run executes the program with up to four integer arguments, returning
+// the value of r0 at HALT.
+func (m *Machine) Run(args ...uint64) (uint64, error) {
+	for i, a := range args {
+		if i >= 4 {
+			return 0, errors.New("machine: more than 4 integer arguments")
+		}
+		m.Regs[i] = a
+		m.golden[i] = a
+	}
+	// Mirror any externally-set registers (e.g. float arguments placed in
+	// f0..f3 by the caller) into the golden file.
+	m.goldenF = m.FReg
+	m.PC = m.P.Entry
+	m.rp = m.PC
+	if m.Cfg.Recovery == RecoverCheckpointLog {
+		// The log pointer lives in rp (free in non-idempotent binaries);
+		// take the initial, cost-free register checkpoint.
+		m.Regs[isa.RP] = uint64(m.Cfg.LogBase)
+		m.takeCheckpoint()
+	}
+	for !m.halted {
+		if err := m.step(); err != nil {
+			return 0, err
+		}
+		if m.Stats.DynInstrs > m.Cfg.MaxSteps {
+			return 0, fmt.Errorf("machine: step limit (%d) exceeded", m.Cfg.MaxSteps)
+		}
+	}
+	return m.Regs[0], nil
+}
+
+func (m *Machine) loadMem(addr int64) (uint64, error) {
+	if addr <= 0 || addr >= int64(len(m.Mem)) {
+		return 0, fmt.Errorf("machine: load from invalid address %d (pc=%d, fn=%s)", addr, m.PC, m.fn())
+	}
+	// The store buffer forwards younger values.
+	for i := len(m.storeBuf) - 1; i >= 0; i-- {
+		if m.storeBuf[i].addr == addr {
+			return m.storeBuf[i].val, nil
+		}
+	}
+	return m.Mem[addr], nil
+}
+
+func (m *Machine) storeMem(addr int64, val uint64) error {
+	if addr <= 0 || addr >= int64(len(m.Mem)) {
+		return fmt.Errorf("machine: store to invalid address %d (pc=%d, fn=%s)", addr, m.PC, m.fn())
+	}
+	if m.Cfg.BufferStores {
+		m.storeBuf = append(m.storeBuf, bufEntry{addr, val})
+		return nil
+	}
+	m.Mem[addr] = val
+	return nil
+}
+
+func (m *Machine) fn() string {
+	if m.PC >= 0 && m.PC < len(m.P.FuncOf) {
+		return m.P.FuncOf[m.PC]
+	}
+	return "?"
+}
+
+// commitRegion commits buffered stores and opens a new region at pc.
+func (m *Machine) commitRegion() {
+	for _, e := range m.storeBuf {
+		m.Mem[e.addr] = e.val
+	}
+	m.storeBuf = m.storeBuf[:0]
+	m.rp = m.PC
+	m.rpSP = m.Regs[isa.SP]
+	m.rpLR = m.Regs[isa.LR]
+	if m.Cfg.TrackPaths {
+		if m.pathLen > 0 {
+			m.Stats.PathLens[m.pathLen]++
+		}
+		m.pathLen = 0
+	}
+}
+
+// recover performs the configured recovery action. Returns false when the
+// scheme cannot recover (RecoverNone).
+func (m *Machine) recoverFault() bool {
+	m.Stats.Detections++
+	switch m.Cfg.Recovery {
+	case RecoverIdempotence:
+		// Discard speculative stores, restore the calling-convention
+		// registers snapshotted at the boundary, clear taint, and
+		// re-execute from the region entry held in rp (§6.3).
+		m.storeBuf = m.storeBuf[:0]
+		m.Regs[isa.SP] = m.rpSP
+		m.Regs[isa.LR] = m.rpLR
+		// The calling-convention snapshot is trusted (verified at the
+		// boundary), so the golden mirror follows it.
+		m.golden[isa.SP] = m.rpSP
+		m.golden[isa.LR] = m.rpLR
+		m.wrongPath = false
+		m.justRecovered = true
+		m.PC = m.rp
+		m.pathLen = 0
+		m.Stats.Recoveries++
+		// Re-execution costs cycles; the pipeline model just keeps
+		// counting, which is exactly the re-execution penalty.
+		return true
+	case RecoverCheckpointLog:
+		// Unwind the undo log back to the checkpoint, restore the
+		// register checkpoint, and resume from the checkpoint PC.
+		for p := m.logPtr - 2; p >= m.ckptLog; p -= 2 {
+			val, addr := m.Mem[p], int64(m.Mem[p+1])
+			if addr > 0 && addr < int64(len(m.Mem)) {
+				m.Mem[addr] = val
+			}
+		}
+		m.logPtr = m.ckptLog
+		m.Regs = m.ckptRegs
+		m.FReg = m.ckptFReg
+		// The checkpoint was verified clean when taken.
+		m.golden = m.ckptRegs
+		m.goldenF = m.ckptFReg
+		m.PC = m.ckptPC
+		m.Stats.Recoveries++
+		return true
+	default:
+		return false
+	}
+}
+
+// takeCheckpoint snapshots registers and the resume PC for the
+// checkpoint-and-log scheme and resets the log (modelled as free, per the
+// paper's optimistic assumption for register checkpointing and polling).
+func (m *Machine) takeCheckpoint() {
+	m.Regs[isa.RP] = uint64(m.Cfg.LogBase)
+	// The log pointer is recovery infrastructure: its golden mirror
+	// follows the reset (otherwise every checkpoint would look like a
+	// divergence at the next wrap).
+	m.golden[isa.RP] = uint64(m.Cfg.LogBase)
+	m.ckptRegs = m.Regs
+	m.ckptFReg = m.FReg
+	m.ckptPC = m.PC
+	m.ckptLog = m.Cfg.LogBase
+	m.logPtr = m.Cfg.LogBase
+}
+
+// tainted reports whether r's architectural value diverges from the
+// golden mirror.
+func (m *Machine) tainted(r isa.Reg) bool {
+	if r.IsFloat() {
+		return m.FReg[r-16] != m.goldenF[r-16]
+	}
+	return m.Regs[r] != m.golden[r]
+}
+
+// anyTaint reports whether any register diverges (checked at region
+// boundaries and checkpoints).
+func (m *Machine) anyTaint() bool {
+	if !m.injecting {
+		return false
+	}
+	for i := range m.Regs {
+		if m.Regs[i] != m.golden[i] {
+			return true
+		}
+	}
+	for i := range m.FReg {
+		if m.FReg[i] != m.goldenF[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// reconcile resynchronizes the golden mirror for registers whose
+// corruption has proven dead: after a full re-execution of a region, any
+// remaining divergence is in registers the region never rewrites (so the
+// program never reads them before a rewrite either). Real DMR
+// implementations re-copy the live set at synchronization points; this is
+// the simulator's equivalent, and it breaks the boundary-recovery
+// livelock a dead corrupted register would otherwise cause.
+func (m *Machine) reconcile() {
+	m.golden = m.Regs
+	m.goldenF = m.FReg
+}
+
+// goldenOf reads r from the golden mirror.
+func (m *Machine) goldenOf(r isa.Reg) uint64 {
+	if r.IsFloat() {
+		return m.goldenF[r-16]
+	}
+	return m.golden[r]
+}
+
+// setGolden writes r in the golden mirror.
+func (m *Machine) setGolden(r isa.Reg, v uint64) {
+	if r.IsFloat() {
+		m.goldenF[r-16] = v
+	} else {
+		m.golden[r] = v
+	}
+}
+
+// DebugReconcile toggles reconcile diagnostics (test hook).
+func DebugReconcile(on bool) { debugReconcile = on }

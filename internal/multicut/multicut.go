@@ -1,0 +1,211 @@
+// Package multicut solves the cut-placement problem at the heart of the
+// paper's region construction (§4.2.1).
+//
+// Finding an optimal region decomposition reduces to minimum vertex
+// multicut, which is NP-complete for general directed graphs. Following
+// the paper, each antidependence pair (a, b) is associated with a single
+// candidate set Sᵢ of vertices (by Lemma 1: the vertices that dominate b
+// but not a, each of which lies on every a→b path), and a minimum hitting
+// set over {Sᵢ} is approximated greedily. The greedy choice has a
+// logarithmic approximation ratio (Cormen et al.).
+//
+// The §4.3 heuristic for dynamic behaviour is layered on top: candidates
+// at the outermost loop nesting depth are preferred, with ties broken by
+// the number of not-yet-hit sets a candidate intersects.
+package multicut
+
+import "sort"
+
+// Problem is a hitting set instance. Node identity is an opaque int; the
+// caller maps instructions to ints.
+type Problem struct {
+	// Sets lists the candidate sets; every set must be non-empty, and a
+	// valid solution intersects each one.
+	Sets [][]int
+	// Depth gives each node's loop nesting depth (0 = outside loops).
+	// Nil means all zero.
+	Depth map[int]int
+	// UseLoopHeuristic enables the §4.3 outermost-depth-first choice.
+	// When false, the plain greedy (most sets covered first) is used —
+	// kept switchable for the ablation benchmark.
+	UseLoopHeuristic bool
+	// Balanced enables the paper's suggested future-work heuristic ("a
+	// better heuristic most likely weighs both loop nesting depth and
+	// intersecting set information more evenly"): candidates score
+	// coverage discounted by 2^depth (a static estimate of execution
+	// frequency) instead of depth-lexicographic choice. Overrides
+	// UseLoopHeuristic.
+	Balanced bool
+}
+
+// Solve returns an approximate minimum hitting set, deterministically
+// (ties beyond the documented criteria break on smaller node id).
+func Solve(p Problem) []int {
+	remaining := make([]bool, len(p.Sets))
+	left := 0
+	for i, s := range p.Sets {
+		if len(s) == 0 {
+			panic("multicut: empty candidate set is unhittable")
+		}
+		remaining[i] = true
+		left++
+	}
+	// occurs: node -> indices of sets containing it.
+	occurs := map[int][]int{}
+	for i, s := range p.Sets {
+		for _, n := range s {
+			occurs[n] = append(occurs[n], i)
+		}
+	}
+	nodes := make([]int, 0, len(occurs))
+	for n := range occurs {
+		nodes = append(nodes, n)
+	}
+	sort.Ints(nodes)
+
+	depth := func(n int) int {
+		if p.Depth == nil {
+			return 0
+		}
+		return p.Depth[n]
+	}
+
+	var picked []int
+	for left > 0 {
+		best := -1
+		bestDepth, bestCover := 0, -1
+		for _, n := range nodes {
+			cover := 0
+			for _, si := range occurs[n] {
+				if remaining[si] {
+					cover++
+				}
+			}
+			if cover == 0 {
+				continue
+			}
+			d := depth(n)
+			better := false
+			switch {
+			case best == -1:
+				better = true
+			case p.Balanced:
+				// Coverage per unit of estimated dynamic frequency.
+				score := float64(cover) / float64(int64(1)<<min(uint(d), 30))
+				bestScore := float64(bestCover) / float64(int64(1)<<min(uint(bestDepth), 30))
+				better = score > bestScore
+			case p.UseLoopHeuristic:
+				// Outermost depth first; then most coverage; then id.
+				if d < bestDepth || (d == bestDepth && cover > bestCover) {
+					better = true
+				}
+			default:
+				better = cover > bestCover
+			}
+			if better {
+				best, bestDepth, bestCover = n, d, cover
+			}
+		}
+		if best == -1 {
+			panic("multicut: no candidate covers a remaining set")
+		}
+		picked = append(picked, best)
+		for _, si := range occurs[best] {
+			if remaining[si] {
+				remaining[si] = false
+				left--
+			}
+		}
+	}
+	sort.Ints(picked)
+	return picked
+}
+
+// Exact returns a true minimum hitting set by exhaustive search over
+// subset sizes. Exponential: for tests and tiny instances only.
+func Exact(sets [][]int) []int {
+	if len(sets) == 0 {
+		return nil
+	}
+	universe := map[int]bool{}
+	for _, s := range sets {
+		if len(s) == 0 {
+			panic("multicut: empty candidate set is unhittable")
+		}
+		for _, n := range s {
+			universe[n] = true
+		}
+	}
+	nodes := make([]int, 0, len(universe))
+	for n := range universe {
+		nodes = append(nodes, n)
+	}
+	sort.Ints(nodes)
+
+	hits := func(chosen []int) bool {
+		for _, s := range sets {
+			ok := false
+			for _, n := range s {
+				for _, c := range chosen {
+					if n == c {
+						ok = true
+						break
+					}
+				}
+				if ok {
+					break
+				}
+			}
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+
+	var search func(start int, chosen []int, k int) []int
+	search = func(start int, chosen []int, k int) []int {
+		if len(chosen) == k {
+			if hits(chosen) {
+				out := make([]int, k)
+				copy(out, chosen)
+				return out
+			}
+			return nil
+		}
+		for i := start; i < len(nodes); i++ {
+			if r := search(i+1, append(chosen, nodes[i]), k); r != nil {
+				return r
+			}
+		}
+		return nil
+	}
+	for k := 1; k <= len(nodes); k++ {
+		if r := search(0, nil, k); r != nil {
+			return r
+		}
+	}
+	panic("multicut: unreachable — full node set always hits")
+}
+
+// Covers reports whether the chosen nodes hit every set — a checkable
+// postcondition used by tests and the region verifier.
+func Covers(sets [][]int, chosen []int) bool {
+	in := map[int]bool{}
+	for _, c := range chosen {
+		in[c] = true
+	}
+	for _, s := range sets {
+		ok := false
+		for _, n := range s {
+			if in[n] {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

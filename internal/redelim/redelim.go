@@ -1,0 +1,103 @@
+// Package redelim implements the paper's Figure 5 transformation:
+// redundancy elimination that removes memory antidependences that are
+// *not* clobber antidependences.
+//
+// A load that must-alias a preceding store (with no intervening may-alias
+// write) re-reads a value the program already holds in a pseudoregister.
+// Forwarding the stored value deletes the load and with it the
+// non-clobber antidependence, so that after this pass every remaining
+// memory antidependence is a potential clobber antidependence — breaking
+// the circular dependence between region construction and live-in
+// identification (§4.1).
+package redelim
+
+import (
+	"idemproc/internal/alias"
+	"idemproc/internal/cfg"
+	"idemproc/internal/ir"
+)
+
+// Stats reports what the pass eliminated.
+type Stats struct {
+	// ForwardedStores counts loads replaced by a preceding store's value.
+	ForwardedStores int
+	// ForwardedLoads counts loads replaced by an earlier load's value.
+	ForwardedLoads int
+}
+
+// availEntry is one available memory fact: the word at Addr holds Val.
+type availEntry struct {
+	Addr *ir.Value
+	Val  *ir.Value
+	// FromStore marks facts established by a store (vs by a load), for
+	// statistics only.
+	FromStore bool
+}
+
+// Run performs store-to-load and load-to-load forwarding on f, which must
+// be in SSA form. Facts propagate within blocks and across single-
+// predecessor edges (where dominance is guaranteed); joins clear the
+// table, which is conservative but sound.
+func Run(f *ir.Func, ai *alias.Info) Stats {
+	var st Stats
+	f.RemoveUnreachable()
+	info := cfg.Compute(f)
+
+	exitState := make([][]availEntry, len(f.Blocks))
+	for _, b := range info.RPO {
+		var avail []availEntry
+		if len(b.Preds) == 1 {
+			p := b.Preds[0]
+			// RPO guarantees p processed first except on back edges; a
+			// back edge's state is unavailable, so start empty then.
+			if info.RPONum[p.Index] < info.RPONum[b.Index] {
+				avail = append(avail, exitState[p.Index]...)
+			}
+		}
+		for _, v := range b.Instrs {
+			switch v.Op {
+			case ir.OpLoad:
+				addr := v.Args[0]
+				forwarded := false
+				for _, e := range avail {
+					if e.Val.Type == v.Type && ai.MustAlias(e.Addr, addr) {
+						// Rewrite the load into a copy of the known value.
+						if e.FromStore {
+							st.ForwardedStores++
+						} else {
+							st.ForwardedLoads++
+						}
+						v.Op = ir.OpCopy
+						v.Args = []*ir.Value{e.Val}
+						forwarded = true
+						break
+					}
+				}
+				if !forwarded {
+					avail = append(avail, availEntry{Addr: addr, Val: v})
+				}
+			case ir.OpStore:
+				addr, val := v.Args[0], v.Args[1]
+				kept := avail[:0]
+				for _, e := range avail {
+					if !ai.MayAlias(e.Addr, addr) {
+						kept = append(kept, e)
+					}
+				}
+				avail = append(kept, availEntry{Addr: addr, Val: val, FromStore: true})
+			case ir.OpCall:
+				// The callee may write any memory that is not a
+				// non-escaped local; drop facts about aliasable storage.
+				kept := avail[:0]
+				for _, e := range avail {
+					if l := ai.LocOf(e.Addr); l.Kind == alias.BaseAlloca && !ai.Escaped(l.Obj) {
+						kept = append(kept, e)
+					}
+				}
+				avail = kept
+			}
+		}
+		exitState[b.Index] = avail
+	}
+	return st
+}

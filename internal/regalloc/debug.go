@@ -1,0 +1,67 @@
+package regalloc
+
+import (
+	"fmt"
+	"strings"
+
+	"idemproc/internal/isa"
+)
+
+// DebugDump renders the virtual code with positions, the regions, the
+// per-region live-ins, and (if as != nil) the allocation — a diagnostic
+// for the §4.4 machinery.
+func DebugDump(vf *VFunc, as *Assignment) string {
+	lin, blockStart := linearize(vf)
+	live := liveness(vf, lin, blockStart)
+	var b strings.Builder
+	fmt.Fprintf(&b, "func %s: %d vregs\n", vf.Name, vf.NumVRegs)
+	loc := func(v VReg) string {
+		if v == NoVReg {
+			return "-"
+		}
+		if as == nil {
+			return fmt.Sprintf("v%d", v)
+		}
+		if as.Spilled[v] {
+			return fmt.Sprintf("v%d[slot%d]", v, as.SlotOf[v])
+		}
+		return fmt.Sprintf("v%d(%s)", v, as.RegOf[v])
+	}
+	for pos, ref := range lin {
+		in := instrAt(vf, ref)
+		kind := ""
+		switch in.Kind {
+		case KMark:
+			kind = "MARK"
+		case KCall:
+			kind = "CALL " + in.Sym
+		case KRet:
+			kind = "RET"
+		case KParam:
+			kind = fmt.Sprintf("PARAM %d", in.Imm)
+		case KAlloca:
+			kind = "ALLOCA"
+		default:
+			kind = in.Op.String()
+		}
+		fmt.Fprintf(&b, "%5d: %-12s rd=%-12s rs1=%-12s rs2=%-12s\n", pos, kind, loc(in.Rd), loc(in.Rs1), loc(in.Rs2))
+	}
+	for _, r := range vf.Regions {
+		min, max := r.Header, r.Header
+		for _, p := range r.Positions {
+			if p < min {
+				min = p
+			}
+			if p > max {
+				max = p
+			}
+		}
+		fmt.Fprintf(&b, "region header=%d span=[%d,%d] size=%d live-in:", r.Header, min, max, len(r.Positions))
+		for _, v := range live[r.Header].order {
+			fmt.Fprintf(&b, " %s", loc(v))
+		}
+		b.WriteString("\n")
+	}
+	_ = isa.R0
+	return b.String()
+}

@@ -1,0 +1,201 @@
+package regalloc
+
+import (
+	"errors"
+	"testing"
+
+	"idemproc/internal/isa"
+)
+
+// straightLine builds a single-block VFunc from the given instructions.
+func straightLine(numVRegs int, floats []bool, instrs ...VInstr) *VFunc {
+	if floats == nil {
+		floats = make([]bool, numVRegs)
+	}
+	return &VFunc{
+		Name:     "t",
+		Blocks:   []VBlock{{Instrs: instrs}},
+		NumVRegs: numVRegs,
+		FloatReg: floats,
+	}
+}
+
+func movi(rd VReg) VInstr {
+	return VInstr{Op: isa.MOVI, Rd: rd, Rs1: NoVReg, Rs2: NoVReg}
+}
+func add(rd, a, b VReg) VInstr {
+	return VInstr{Op: isa.ADD, Rd: rd, Rs1: a, Rs2: b}
+}
+func ret(v VReg) VInstr {
+	return VInstr{Kind: KRet, Rd: NoVReg, Rs1: v, Rs2: NoVReg}
+}
+
+func TestSimpleAssignment(t *testing.T) {
+	vf := straightLine(3, nil, movi(0), movi(1), add(2, 0, 1), ret(2))
+	as, err := Allocate(vf, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 3; v++ {
+		if as.Spilled[v] {
+			t.Fatalf("vreg %d spilled with plenty of registers", v)
+		}
+	}
+	// Values 0 and 1 are simultaneously live: distinct registers.
+	if as.RegOf[0] == as.RegOf[1] {
+		t.Fatal("overlapping intervals share a register")
+	}
+}
+
+func TestRegisterReuseAfterDeath(t *testing.T) {
+	// v0 dies at the add; v3 can reuse its register.
+	vf := straightLine(4, nil,
+		movi(0), movi(1), add(2, 0, 1), movi(3), add(3, 3, 2), ret(3))
+	as, err := Allocate(vf, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if as.FrameSlots != 0 {
+		t.Fatal("nothing should spill")
+	}
+}
+
+func TestSpillUnderPressure(t *testing.T) {
+	// 14 concurrently-live integer vregs > 11 allocatable registers.
+	n := 14
+	var ins []VInstr
+	for i := 0; i < n; i++ {
+		ins = append(ins, movi(VReg(i)))
+	}
+	acc := VReg(n)
+	ins = append(ins, movi(acc))
+	for i := 0; i < n; i++ {
+		ins = append(ins, add(acc, acc, VReg(i)))
+	}
+	ins = append(ins, ret(acc))
+	vf := straightLine(n+1, nil, ins...)
+	as, err := Allocate(vf, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spilled := 0
+	for v := 0; v <= n; v++ {
+		if as.Spilled[v] {
+			spilled++
+		}
+	}
+	if spilled == 0 {
+		t.Fatal("pressure must cause spills")
+	}
+	if as.FrameSlots != spilled {
+		t.Fatalf("FrameSlots = %d, spilled = %d", as.FrameSlots, spilled)
+	}
+	// No two register-allocated, simultaneously-live vregs share.
+	seen := map[isa.Reg]VReg{}
+	for v := 0; v < n; v++ { // all of 0..n-1 are simultaneously live
+		if as.Spilled[VReg(v)] {
+			continue
+		}
+		if prev, dup := seen[as.RegOf[v]]; dup {
+			t.Fatalf("vregs %d and %d share %v while both live", prev, v, as.RegOf[v])
+		}
+		seen[as.RegOf[v]] = VReg(v)
+	}
+}
+
+func TestFloatPoolSeparate(t *testing.T) {
+	floats := []bool{false, true}
+	vf := straightLine(2, floats,
+		movi(0),
+		VInstr{Op: isa.FMOVI, Rd: 1, Rs1: NoVReg, Rs2: NoVReg},
+		ret(0))
+	as, err := Allocate(vf, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if as.RegOf[1].IsFloat() == false {
+		t.Fatal("float vreg got an integer register")
+	}
+	if as.RegOf[0].IsFloat() {
+		t.Fatal("int vreg got a float register")
+	}
+}
+
+func TestCallForcesSpill(t *testing.T) {
+	vf := straightLine(2, nil,
+		movi(0),
+		VInstr{Kind: KCall, Rd: NoVReg, Rs1: NoVReg, Rs2: NoVReg, Sym: "g"},
+		add(1, 0, 0),
+		ret(1))
+	as, err := Allocate(vf, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !as.Spilled[0] {
+		t.Fatal("value live across a call must be spilled (all registers caller-saved)")
+	}
+}
+
+func TestRegionLiveInExtension(t *testing.T) {
+	// v0 is live-in to a region whose span covers the def of v1; without
+	// the §4.4 extension v1 could reuse v0's register after v0's last
+	// use. With Idempotent on, they must differ.
+	ins := []VInstr{
+		movi(0), // pos 0
+		{Kind: KMark, Rd: NoVReg, Rs1: NoVReg, Rs2: NoVReg}, // pos 1: region header
+		add(1, 0, 0), // pos 2: last use of v0
+		movi(2),      // pos 3
+		add(3, 1, 2), // pos 4
+		ret(3),       // pos 5
+	}
+	mk := func(idem bool) (*Assignment, error) {
+		vf := straightLine(4, nil, ins...)
+		vf.Regions = []Region{{Header: 1, Positions: []int{2, 3, 4, 5}}}
+		return Allocate(vf, Options{Idempotent: idem})
+	}
+	as, err := mk(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// v0 live-in at the mark: its register must not be reused by v2 or
+	// v3, whose intervals lie inside the region.
+	for _, v := range []VReg{2, 3} {
+		if !as.Spilled[v] && !as.Spilled[0] && as.RegOf[v] == as.RegOf[0] {
+			t.Fatalf("vreg %d reuses the live-in's register inside the region", v)
+		}
+	}
+}
+
+func TestLiveInViolationDetected(t *testing.T) {
+	// v0 is live-in to the region (used at pos 2) and redefined at pos 3
+	// inside it: the §4.2.2 guarantee is broken and must be reported.
+	ins := []VInstr{
+		movi(0),
+		{Kind: KMark, Rd: NoVReg, Rs1: NoVReg, Rs2: NoVReg},
+		add(1, 0, 0),
+		movi(0), // redefinition of a live-in... but v0 is dead here
+		ret(1),
+	}
+	// Make v0 genuinely live-in AND redefined: use it again after.
+	ins = append(ins[:4:4], add(2, 0, 0), ret(2))
+	vf := straightLine(3, nil, ins...)
+	vf.Blocks[0].Instrs[3] = movi(0)
+	vf.Regions = []Region{{Header: 1, Positions: []int{2, 3, 4, 5}}}
+	_, err := Allocate(vf, Options{Idempotent: true})
+	var viol *LiveInViolation
+	if !errors.As(err, &viol) {
+		t.Fatalf("expected LiveInViolation, got %v", err)
+	}
+	if viol.DefPos != 3 || viol.Header != 1 {
+		t.Fatalf("violation = %+v", viol)
+	}
+}
+
+func TestUsesHelper(t *testing.T) {
+	in := VInstr{Kind: KCall, Rd: 5, Rs1: NoVReg, Rs2: NoVReg, Args: []VReg{1, 2}}
+	var buf []VReg
+	buf = in.Uses(buf)
+	if len(buf) != 2 || buf[0] != 1 || buf[1] != 2 {
+		t.Fatalf("Uses = %v", buf)
+	}
+}

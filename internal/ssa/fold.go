@@ -1,0 +1,296 @@
+package ssa
+
+import (
+	"math"
+
+	"idemproc/internal/ir"
+)
+
+// FoldConstants performs constant folding and algebraic simplification on
+// an SSA-form function: constant binary/unary operations are evaluated,
+// identities (x+0, x*1, x&x, …) are reduced to copies, and conditional
+// branches on constants become unconditional (pruning the dead edge and
+// any unreachable blocks). It returns the number of rewritten values.
+//
+// Both compilation pipelines run it, so the conventional baseline really
+// is an "optimizing compiler" flow and the idempotence analysis sees the
+// same cleaned-up code an LLVM -O pipeline would produce.
+func FoldConstants(f *ir.Func) int {
+	changed := 0
+	for {
+		n := foldOnce(f)
+		changed += n
+		if n == 0 {
+			break
+		}
+		PropagateCopies(f)
+		EliminateDeadValues(f)
+	}
+	return changed
+}
+
+func foldOnce(f *ir.Func) int {
+	n := 0
+	for _, b := range f.Blocks {
+		for _, v := range b.Instrs {
+			if rewriteValue(f, v) {
+				n++
+			}
+		}
+	}
+	// Branch folding second: it edits the CFG.
+	for _, b := range f.Blocks {
+		t := b.Terminator()
+		if t == nil || t.Op != ir.OpCondBr {
+			continue
+		}
+		c := t.Args[0]
+		if c.Op != ir.OpConst {
+			continue
+		}
+		// Rewrite into an unconditional branch to the live successor.
+		live, dead := b.Succs[0], b.Succs[1]
+		if c.ConstInt == 0 {
+			live, dead = dead, live
+		}
+		t.Op = ir.OpBr
+		t.Args = nil
+		b.Succs = []*ir.Block{live}
+		// Drop the dead edge's pred entry (one entry even if both
+		// targets were the same block).
+		dead.RemovePred(b)
+		n++
+	}
+	if n > 0 {
+		f.RemoveUnreachable()
+	}
+	return n
+}
+
+// rewriteValue folds one instruction in place; reports whether it changed.
+func rewriteValue(f *ir.Func, v *ir.Value) bool {
+	constInt := func(a *ir.Value) (int64, bool) {
+		if a.Op == ir.OpConst && a.Type == ir.I64 {
+			return a.ConstInt, true
+		}
+		return 0, false
+	}
+	constFloat := func(a *ir.Value) (float64, bool) {
+		if a.Op == ir.OpConst && a.Type == ir.F64 {
+			return a.ConstFloat, true
+		}
+		return 0, false
+	}
+	toConstInt := func(c int64) {
+		v.Op = ir.OpConst
+		v.Args = nil
+		v.ConstInt = c
+	}
+	toConstFloat := func(c float64) {
+		v.Op = ir.OpConst
+		v.Args = nil
+		v.ConstFloat = c
+	}
+	toCopy := func(src *ir.Value) {
+		v.Op = ir.OpCopy
+		v.Args = []*ir.Value{src}
+	}
+	b2i := func(b bool) int64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+
+	switch v.Op {
+	case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpShl, ir.OpShr,
+		ir.OpEq, ir.OpNe, ir.OpLt, ir.OpLe, ir.OpGt, ir.OpGe:
+		x, xok := constInt(v.Args[0])
+		y, yok := constInt(v.Args[1])
+		if xok && yok {
+			var r int64
+			switch v.Op {
+			case ir.OpAdd:
+				r = x + y
+			case ir.OpSub:
+				r = x - y
+			case ir.OpMul:
+				r = x * y
+			case ir.OpAnd:
+				r = x & y
+			case ir.OpOr:
+				r = x | y
+			case ir.OpXor:
+				r = x ^ y
+			case ir.OpShl:
+				r = x << (uint64(y) & 63)
+			case ir.OpShr:
+				r = x >> (uint64(y) & 63)
+			case ir.OpEq:
+				r = b2i(x == y)
+			case ir.OpNe:
+				r = b2i(x != y)
+			case ir.OpLt:
+				r = b2i(x < y)
+			case ir.OpLe:
+				r = b2i(x <= y)
+			case ir.OpGt:
+				r = b2i(x > y)
+			case ir.OpGe:
+				r = b2i(x >= y)
+			}
+			toConstInt(r)
+			return true
+		}
+		// Identities.
+		switch v.Op {
+		case ir.OpAdd:
+			if yok && y == 0 {
+				toCopy(v.Args[0])
+				return true
+			}
+			if xok && x == 0 {
+				toCopy(v.Args[1])
+				return true
+			}
+		case ir.OpSub:
+			if yok && y == 0 {
+				toCopy(v.Args[0])
+				return true
+			}
+			if v.Args[0] == v.Args[1] {
+				toConstInt(0)
+				return true
+			}
+		case ir.OpMul:
+			if (yok && y == 1) || (xok && x == 1) {
+				src := v.Args[0]
+				if xok {
+					src = v.Args[1]
+				}
+				toCopy(src)
+				return true
+			}
+			if (yok && y == 0) || (xok && x == 0) {
+				toConstInt(0)
+				return true
+			}
+		case ir.OpAnd:
+			if v.Args[0] == v.Args[1] {
+				toCopy(v.Args[0])
+				return true
+			}
+			if (yok && y == 0) || (xok && x == 0) {
+				toConstInt(0)
+				return true
+			}
+		case ir.OpOr:
+			if v.Args[0] == v.Args[1] || (yok && y == 0) {
+				toCopy(v.Args[0])
+				return true
+			}
+			if xok && x == 0 {
+				toCopy(v.Args[1])
+				return true
+			}
+		case ir.OpXor:
+			if v.Args[0] == v.Args[1] {
+				toConstInt(0)
+				return true
+			}
+		case ir.OpShl, ir.OpShr:
+			if yok && y == 0 {
+				toCopy(v.Args[0])
+				return true
+			}
+		}
+
+	case ir.OpDiv, ir.OpRem:
+		x, xok := constInt(v.Args[0])
+		y, yok := constInt(v.Args[1])
+		if xok && yok && y != 0 { // fold only well-defined divisions
+			if v.Op == ir.OpDiv {
+				toConstInt(x / y)
+			} else {
+				toConstInt(x % y)
+			}
+			return true
+		}
+		if yok && y == 1 {
+			if v.Op == ir.OpDiv {
+				toCopy(v.Args[0])
+			} else {
+				toConstInt(0)
+			}
+			return true
+		}
+
+	case ir.OpNeg:
+		if x, ok := constInt(v.Args[0]); ok {
+			toConstInt(-x)
+			return true
+		}
+	case ir.OpNot:
+		if x, ok := constInt(v.Args[0]); ok {
+			toConstInt(^x)
+			return true
+		}
+
+	case ir.OpFAdd, ir.OpFSub, ir.OpFMul, ir.OpFDiv,
+		ir.OpFEq, ir.OpFNe, ir.OpFLt, ir.OpFLe, ir.OpFGt, ir.OpFGe:
+		x, xok := constFloat(v.Args[0])
+		y, yok := constFloat(v.Args[1])
+		if !xok || !yok {
+			return false
+		}
+		switch v.Op {
+		case ir.OpFAdd:
+			toConstFloat(x + y)
+		case ir.OpFSub:
+			toConstFloat(x - y)
+		case ir.OpFMul:
+			toConstFloat(x * y)
+		case ir.OpFDiv:
+			toConstFloat(x / y)
+		case ir.OpFEq:
+			toConstInt(b2i(x == y))
+		case ir.OpFNe:
+			toConstInt(b2i(x != y))
+		case ir.OpFLt:
+			toConstInt(b2i(x < y))
+		case ir.OpFLe:
+			toConstInt(b2i(x <= y))
+		case ir.OpFGt:
+			toConstInt(b2i(x > y))
+		case ir.OpFGe:
+			toConstInt(b2i(x >= y))
+		}
+		return true
+
+	case ir.OpFNeg:
+		if x, ok := constFloat(v.Args[0]); ok {
+			toConstFloat(-x)
+			return true
+		}
+	case ir.OpIToF:
+		if x, ok := constInt(v.Args[0]); ok {
+			toConstFloat(float64(x))
+			return true
+		}
+	case ir.OpFToI:
+		if x, ok := constFloat(v.Args[0]); ok && !math.IsNaN(x) && !math.IsInf(x, 0) {
+			toConstInt(int64(x))
+			return true
+		}
+
+	case ir.OpPhi:
+		// Fold only single-predecessor φs (left behind by branch
+		// folding); every φ of such a block folds at once, so the
+		// φs-at-head invariant survives.
+		if len(v.Block.Preds) == 1 {
+			toCopy(v.Args[0])
+			return true
+		}
+	}
+	return false
+}

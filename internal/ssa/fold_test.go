@@ -1,0 +1,252 @@
+package ssa
+
+import (
+	"math/rand"
+	"testing"
+
+	"idemproc/internal/ir"
+)
+
+func countOp(f *ir.Func, op ir.Op) int {
+	n := 0
+	for _, b := range f.Blocks {
+		for _, v := range b.Instrs {
+			if v.Op == op {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func TestFoldArithmetic(t *testing.T) {
+	src := `
+func @f(i64 %a) i64 {
+e:
+  %two = const 2
+  %three = const 3
+  %six = mul %two, %three
+  %r = add %a, %six
+  ret %r
+}
+`
+	m := ir.MustParse(src)
+	f := m.Func("f")
+	if FoldConstants(f) == 0 {
+		t.Fatal("nothing folded")
+	}
+	if countOp(f, ir.OpMul) != 0 {
+		t.Fatal("mul not folded")
+	}
+	in := ir.NewInterp(m, 64)
+	got, err := in.Run("f", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 16 {
+		t.Fatalf("f(10) = %d, want 16", got)
+	}
+}
+
+func TestFoldIdentities(t *testing.T) {
+	src := `
+func @f(i64 %a) i64 {
+e:
+  %z = const 0
+  %one = const 1
+  %x1 = add %a, %z
+  %x2 = mul %x1, %one
+  %x3 = sub %x2, %z
+  %x4 = xor %x3, %x3
+  %x5 = add %x2, %x4
+  ret %x5
+}
+`
+	m := ir.MustParse(src)
+	f := m.Func("f")
+	FoldConstants(f)
+	// Everything reduces to "ret %a" modulo a surviving constant or two.
+	for _, op := range []ir.Op{ir.OpMul, ir.OpSub, ir.OpXor} {
+		if countOp(f, op) != 0 {
+			t.Fatalf("%v survived folding:\n%s", op, ir.FuncString(f))
+		}
+	}
+	in := ir.NewInterp(m, 64)
+	got, err := in.Run("f", 123)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 123 {
+		t.Fatalf("f(123) = %d, want 123", got)
+	}
+}
+
+func TestFoldBranches(t *testing.T) {
+	src := `
+func @f(i64 %a) i64 {
+e:
+  %c = const 1
+  condbr %c, yes, no
+yes:
+  %r1 = add %a, 10
+  ret %r1
+no:
+  %r2 = add %a, 20
+  ret %r2
+}
+`
+	m := ir.MustParse(src)
+	f := m.Func("f")
+	FoldConstants(f)
+	if len(f.Blocks) != 2 {
+		t.Fatalf("dead branch not pruned; %d blocks:\n%s", len(f.Blocks), ir.FuncString(f))
+	}
+	if countOp(f, ir.OpCondBr) != 0 {
+		t.Fatal("condbr survived")
+	}
+	in := ir.NewInterp(m, 64)
+	got, err := in.Run("f", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 11 {
+		t.Fatalf("f(1) = %d, want 11", got)
+	}
+}
+
+func TestFoldBranchWithPhis(t *testing.T) {
+	src := `
+func @f(i64 %a) i64 {
+e:
+  %c = const 0
+  condbr %c, yes, no
+yes:
+  br j
+no:
+  br j
+j:
+  %r = phi [yes: 1], [no: 2]
+  %s = add %r, %a
+  ret %s
+}
+`
+	m := ir.MustParse(src)
+	f := m.Func("f")
+	FoldConstants(f)
+	if err := ir.Verify(f); err != nil {
+		t.Fatalf("Verify: %v\n%s", err, ir.FuncString(f))
+	}
+	in := ir.NewInterp(m, 64)
+	got, err := in.Run("f", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 7 {
+		t.Fatalf("f(5) = %d, want 7 (no-branch: φ = 2)", got)
+	}
+}
+
+func TestFoldFloatOps(t *testing.T) {
+	src := `
+func @f() f64 {
+e:
+  %a = const 2.5
+  %b = const 4.0
+  %m = fmul %a, %b
+  %i = const 3
+  %fi = i2f %i
+  %r = fadd %m, %fi
+  ret %r
+}
+`
+	m := ir.MustParse(src)
+	f := m.Func("f")
+	FoldConstants(f)
+	if countOp(f, ir.OpFMul)+countOp(f, ir.OpFAdd)+countOp(f, ir.OpIToF) != 0 {
+		t.Fatalf("float ops survived:\n%s", ir.FuncString(f))
+	}
+	in := ir.NewInterp(m, 64)
+	got, err := in.Run("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ir.W2F(got) != 13 {
+		t.Fatalf("f() = %g, want 13", ir.W2F(got))
+	}
+}
+
+func TestFoldDivisionGuards(t *testing.T) {
+	// Division by a constant zero must NOT fold (the runtime trap is the
+	// program's semantics).
+	src := `
+func @f(i64 %a) i64 {
+e:
+  %z = const 0
+  %r = div %a, %z
+  ret %r
+}
+`
+	m := ir.MustParse(src)
+	f := m.Func("f")
+	FoldConstants(f)
+	if countOp(f, ir.OpDiv) != 1 {
+		t.Fatal("div-by-zero folded away")
+	}
+	in := ir.NewInterp(m, 64)
+	if _, err := in.Run("f", 3); err == nil {
+		t.Fatal("expected trap")
+	}
+}
+
+// Property: folding preserves semantics on random expression programs.
+func TestFoldRandomPrograms(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ops := []string{"add", "sub", "mul", "and", "or", "xor"}
+	for trial := 0; trial < 60; trial++ {
+		src := "\nfunc @f(i64 %a, i64 %b) i64 {\ne:\n"
+		vals := []string{"%a", "%b"}
+		for k := 0; k < 2+rng.Intn(8); k++ {
+			v := "%v" + string(rune('0'+k))
+			var x, y string
+			if rng.Intn(2) == 0 {
+				x = vals[rng.Intn(len(vals))]
+			} else {
+				x = itoa(rng.Intn(20) - 10)
+			}
+			if rng.Intn(2) == 0 {
+				y = vals[rng.Intn(len(vals))]
+			} else {
+				y = itoa(rng.Intn(20) - 10)
+			}
+			src += "  " + v + " = " + ops[rng.Intn(len(ops))] + " " + x + ", " + y + "\n"
+			vals = append(vals, v)
+		}
+		src += "  ret " + vals[len(vals)-1] + "\n}\n"
+
+		ref := ir.MustParse(src)
+		subj := ir.MustParse(src)
+		FoldConstants(subj.Func("f"))
+		if err := ir.Verify(subj.Func("f")); err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, src)
+		}
+		for _, args := range [][2]ir.Word{{0, 0}, {5, 3}, {^ir.Word(0), 7}} {
+			a := ir.NewInterp(ref, 64)
+			b := ir.NewInterp(subj, 64)
+			ra, ea := a.Run("f", args[0], args[1])
+			rb, eb := b.Run("f", args[0], args[1])
+			if (ea == nil) != (eb == nil) || (ea == nil && ra != rb) {
+				t.Fatalf("trial %d diverges on %v: %d/%v vs %d/%v\n%s", trial, args, ra, ea, rb, eb, src)
+			}
+		}
+	}
+}
+
+func itoa(i int) string {
+	if i < 0 {
+		return "-" + itoa(-i)
+	}
+	if i < 10 {
+		return string(rune('0' + i))
+	}
+	return itoa(i/10) + string(rune('0'+i%10))
+}

@@ -1,0 +1,121 @@
+package ssa
+
+import "idemproc/internal/ir"
+
+// PromoteAllocas rewrites single-word, non-escaping stack slots into
+// pseudoregister assignments (the LLVM mem2reg equivalent). A slot is
+// promotable when every use of its address is directly the address operand
+// of a load or store. Loads become copies of the slot's current value and
+// stores become named reassignments; a subsequent Build renames them into
+// SSA, which is exactly the §4.1 transformation that turns would-be memory
+// antidependences on scalar locals into artificial (register) ones that
+// SSA then eliminates.
+//
+// PromoteAllocas must run before Build. It returns the number of slots
+// promoted.
+func PromoteAllocas(f *ir.Func) int {
+	// Find promotable allocas.
+	addrUses := map[*ir.Value]int{}  // alloca -> #uses as load/store address
+	totalUses := map[*ir.Value]int{} // alloca -> #uses anywhere
+	var allocas []*ir.Value
+	for _, b := range f.Blocks {
+		for _, v := range b.Instrs {
+			if v.Op == ir.OpAlloca && v.ConstInt == 1 {
+				allocas = append(allocas, v)
+			}
+			for i, a := range v.Args {
+				if a.Op != ir.OpAlloca {
+					continue
+				}
+				totalUses[a]++
+				if (v.Op == ir.OpLoad && i == 0) || (v.Op == ir.OpStore && i == 0) {
+					addrUses[a]++
+				}
+			}
+		}
+	}
+	var promote []*ir.Value
+	for _, a := range allocas {
+		if addrUses[a] == totalUses[a] {
+			promote = append(promote, a)
+		}
+	}
+	if len(promote) == 0 {
+		return 0
+	}
+	promoteSet := map[*ir.Value]bool{}
+	varName := map[*ir.Value]string{}
+	slotType := map[*ir.Value]ir.Type{}
+	for _, a := range promote {
+		promoteSet[a] = true
+		varName[a] = f.FreshName()
+		slotType[a] = ir.I64
+	}
+	// Infer the slot's element type from its first typed access.
+	for _, b := range f.Blocks {
+		for _, v := range b.Instrs {
+			switch v.Op {
+			case ir.OpLoad:
+				if promoteSet[v.Args[0]] {
+					slotType[v.Args[0]] = v.Type
+				}
+			case ir.OpStore:
+				if promoteSet[v.Args[0]] {
+					slotType[v.Args[0]] = v.Args[1].Type
+				}
+			}
+		}
+	}
+
+	// Rewrite. Every promoted slot gets an initializing zero in the entry
+	// block so a load on a path without stores reads a defined value.
+	entry := f.Entry()
+	for _, a := range promote {
+		z := f.NewValue(ir.OpConst, slotType[a])
+		z.Name = varName[a]
+		// Replace the alloca instruction itself with the initializer.
+		for i, v := range entry.Instrs {
+			if v == a {
+				entry.Instrs[i] = z
+				z.Block = entry
+				break
+			}
+		}
+	}
+	for _, b := range f.Blocks {
+		for i, v := range b.Instrs {
+			switch v.Op {
+			case ir.OpLoad:
+				if a := v.Args[0]; promoteSet[a] {
+					// Load becomes a read of the variable: a copy whose
+					// argument names the variable (Build keys on Name).
+					v.Op = ir.OpCopy
+					v.Type = slotType[a]
+					v.Args = []*ir.Value{anyDefOf(f, varName[a])}
+				}
+			case ir.OpStore:
+				if a := v.Args[0]; promoteSet[a] {
+					// Store becomes a named reassignment.
+					val := v.Args[1]
+					v.Op = ir.OpCopy
+					v.Type = val.Type
+					v.Name = varName[a]
+					v.Args = []*ir.Value{val}
+					b.Instrs[i] = v
+				}
+			}
+		}
+	}
+	return len(promote)
+}
+
+func anyDefOf(f *ir.Func, name string) *ir.Value {
+	for _, b := range f.Blocks {
+		for _, v := range b.Instrs {
+			if v.Name == name {
+				return v
+			}
+		}
+	}
+	panic("ssa: no definition of " + name)
+}

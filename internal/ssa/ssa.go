@@ -1,0 +1,369 @@
+// Package ssa converts ir functions into and out of static single
+// assignment form.
+//
+// The paper's region construction requires SSA (§4.1): "the conversion of
+// all pseudoregister assignments to SSA form ... effectively eliminates all
+// artificial clobber antidependences" except the self-dependent ones that
+// manifest as φ-nodes at loop headers. Frontends emit non-SSA code in which
+// a pseudoregister name may be assigned repeatedly; Build renames those
+// apart, inserting φ-nodes at iterated dominance frontiers (Cytron et al.).
+// Destruct lowers φ-nodes back to copies ahead of code generation.
+package ssa
+
+import (
+	"fmt"
+
+	"idemproc/internal/cfg"
+	"idemproc/internal/ir"
+)
+
+// Build converts f to SSA form in place. Names assigned more than once are
+// treated as variables: φ-nodes are placed at the iterated dominance
+// frontier of their definition blocks and every definition gets a fresh
+// name. Uses reachable by no definition read an implicit zero constant
+// (the frontend guarantees this never happens on meaningful paths).
+func Build(f *ir.Func) {
+	f.RemoveUnreachable()
+	info := cfg.Compute(f)
+
+	// Group definitions by name; only multiply-defined names need the
+	// treatment. origName snapshots names before renaming so that uses
+	// processed later in the dominator walk still identify their variable
+	// after its definitions have been renamed.
+	defs := map[string][]*ir.Value{}
+	origName := map[*ir.Value]string{}
+	for _, b := range f.Blocks {
+		for _, v := range b.Instrs {
+			if v.Defines() {
+				defs[v.Name] = append(defs[v.Name], v)
+				origName[v] = v.Name
+			}
+		}
+	}
+	vars := map[string]bool{}
+	for name, ds := range defs {
+		if len(ds) > 1 {
+			vars[name] = true
+		}
+	}
+	if len(vars) == 0 {
+		return
+	}
+
+	varType := map[string]ir.Type{}
+	for name := range vars {
+		varType[name] = defs[name][0].Type
+	}
+
+	// Insert φ-nodes at the iterated dominance frontier of each variable's
+	// definition blocks.
+	phiGroup := map[*ir.Value]string{} // inserted φ → variable name
+	for name := range vars {
+		defBlocks := map[*ir.Block]bool{}
+		for _, d := range defs[name] {
+			defBlocks[d.Block] = true
+		}
+		work := make([]*ir.Block, 0, len(defBlocks))
+		for _, b := range f.Blocks { // deterministic order
+			if defBlocks[b] {
+				work = append(work, b)
+			}
+		}
+		hasPhi := map[*ir.Block]bool{}
+		for len(work) > 0 {
+			b := work[len(work)-1]
+			work = work[:len(work)-1]
+			for _, d := range info.Frontier[b.Index] {
+				if hasPhi[d] {
+					continue
+				}
+				hasPhi[d] = true
+				phi := f.NewValue(ir.OpPhi, varType[name], make([]*ir.Value, len(d.Preds))...)
+				phi.Block = d
+				// φs go at the head, after any params.
+				at := 0
+				for at < len(d.Instrs) && (d.Instrs[at].Op == ir.OpParam || d.Instrs[at].Op == ir.OpPhi) {
+					at++
+				}
+				d.Instrs = append(d.Instrs, nil)
+				copy(d.Instrs[at+1:], d.Instrs[at:])
+				d.Instrs[at] = phi
+				phiGroup[phi] = name
+				if !defBlocks[d] {
+					defBlocks[d] = true
+					work = append(work, d)
+				}
+			}
+		}
+	}
+
+	// Rename via dominator-tree walk with per-variable stacks.
+	stacks := map[string][]*ir.Value{}
+	// zeroFor lazily materializes an entry-block zero for paths where a
+	// variable is read before any definition.
+	zeros := map[ir.Type]*ir.Value{}
+	zeroFor := func(t ir.Type) *ir.Value {
+		if z, ok := zeros[t]; ok {
+			return z
+		}
+		z := f.NewValue(ir.OpConst, t)
+		entry := f.Entry()
+		at := 0
+		for at < len(entry.Instrs) && entry.Instrs[at].Op == ir.OpParam {
+			at++
+		}
+		entry.Instrs = append(entry.Instrs, nil)
+		copy(entry.Instrs[at+1:], entry.Instrs[at:])
+		entry.Instrs[at] = z
+		z.Block = entry
+		zeros[t] = z
+		return z
+	}
+	top := func(name string, t ir.Type) *ir.Value {
+		s := stacks[name]
+		if len(s) == 0 {
+			return zeroFor(t)
+		}
+		return s[len(s)-1]
+	}
+
+	var rename func(b *ir.Block)
+	rename = func(b *ir.Block) {
+		var pushed []string
+		for _, v := range b.Instrs {
+			if g, isPhi := phiGroup[v]; isPhi {
+				v.Name = f.FreshName()
+				stacks[g] = append(stacks[g], v)
+				pushed = append(pushed, g)
+				continue
+			}
+			if v.Op != ir.OpPhi { // pre-existing φs keep their args
+				for i, a := range v.Args {
+					if a != nil && vars[origName[a]] {
+						v.Args[i] = top(origName[a], a.Type)
+					}
+				}
+			}
+			if v.Defines() && vars[origName[v]] {
+				g := origName[v]
+				v.Name = f.FreshName()
+				stacks[g] = append(stacks[g], v)
+				pushed = append(pushed, g)
+			}
+		}
+		for _, s := range b.Succs {
+			for pi, p := range s.Preds {
+				if p != b {
+					continue // a block may be a duplicate predecessor
+				}
+				for _, phi := range s.Phis() {
+					g, ours := phiGroup[phi]
+					if !ours {
+						continue
+					}
+					phi.Args[pi] = top(g, phi.Type)
+				}
+			}
+		}
+		for _, c := range info.DomChildren[b.Index] {
+			rename(c)
+		}
+		for _, g := range pushed {
+			stacks[g] = stacks[g][:len(stacks[g])-1]
+		}
+	}
+	rename(f.Entry())
+
+	if err := ir.Verify(f); err != nil {
+		panic(fmt.Sprintf("ssa.Build produced invalid IR: %v", err))
+	}
+	if err := VerifySSA(f); err != nil {
+		panic(fmt.Sprintf("ssa.Build produced invalid SSA: %v", err))
+	}
+}
+
+// VerifySSA checks SSA invariants: unique names, definitions dominate
+// uses, and φ arguments' definitions dominate the corresponding
+// predecessor's exit.
+func VerifySSA(f *ir.Func) error {
+	info := cfg.Compute(f)
+	seen := map[string]*ir.Value{}
+	order := map[*ir.Value]int{}
+	for _, b := range f.Blocks {
+		for i, v := range b.Instrs {
+			order[v] = i
+			if !v.Defines() {
+				continue
+			}
+			if prev, dup := seen[v.Name]; dup {
+				return fmt.Errorf("ssa: name %%%s defined by both %s and %s", v.Name, prev.LongString(), v.LongString())
+			}
+			seen[v.Name] = v
+		}
+	}
+	domValue := func(def, use *ir.Value) bool {
+		if def.Block == use.Block {
+			return order[def] < order[use]
+		}
+		return info.StrictlyDominates(def.Block, use.Block)
+	}
+	for _, b := range f.Blocks {
+		for _, v := range b.Instrs {
+			if v.Op == ir.OpPhi {
+				for i, a := range v.Args {
+					pred := b.Preds[i]
+					if a.Block != pred && !info.Dominates(a.Block, pred) {
+						return fmt.Errorf("ssa: φ %s arg %s does not dominate pred %s", v.LongString(), a, pred.Name)
+					}
+				}
+				continue
+			}
+			for _, a := range v.Args {
+				if !domValue(a, v) {
+					return fmt.Errorf("ssa: use of %s in %s not dominated by its definition", a, v.LongString())
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// PropagateCopies replaces every use of "v = copy x" with x and removes v.
+// Valid only in SSA form.
+func PropagateCopies(f *ir.Func) {
+	// Resolve chains first.
+	resolve := map[*ir.Value]*ir.Value{}
+	var root func(v *ir.Value) *ir.Value
+	root = func(v *ir.Value) *ir.Value {
+		if v.Op != ir.OpCopy {
+			return v
+		}
+		if r, ok := resolve[v]; ok {
+			return r
+		}
+		r := root(v.Args[0])
+		resolve[v] = r
+		return r
+	}
+	for _, b := range f.Blocks {
+		for _, v := range b.Instrs {
+			for i, a := range v.Args {
+				v.Args[i] = root(a)
+			}
+		}
+	}
+	for _, b := range f.Blocks {
+		kept := b.Instrs[:0]
+		for _, v := range b.Instrs {
+			if v.Op == ir.OpCopy {
+				continue
+			}
+			kept = append(kept, v)
+		}
+		b.Instrs = kept
+	}
+}
+
+// EliminateDeadValues removes instructions whose results are unused and
+// that have no side effects, iterating to a fixed point. Valid in SSA.
+func EliminateDeadValues(f *ir.Func) {
+	for {
+		used := map[*ir.Value]bool{}
+		for _, b := range f.Blocks {
+			for _, v := range b.Instrs {
+				for _, a := range v.Args {
+					used[a] = true
+				}
+			}
+		}
+		removed := false
+		for _, b := range f.Blocks {
+			kept := b.Instrs[:0]
+			for _, v := range b.Instrs {
+				if v.Defines() && !used[v] && !v.Op.HasSideEffects() && v.Op != ir.OpParam && v.Op != ir.OpAlloca {
+					removed = true
+					continue
+				}
+				kept = append(kept, v)
+			}
+			b.Instrs = kept
+		}
+		if !removed {
+			return
+		}
+	}
+}
+
+// Destruct converts f out of SSA form: critical edges are split and each
+// φ-node is replaced by copies — "tmp = arg" at the end of each
+// predecessor and "phi = tmp" at the φ's position. The two-stage copy via
+// a single shared temporary is immune to the lost-copy and swap problems.
+// The result is non-SSA (tmp has multiple definitions sharing one name),
+// which code generation accepts (it allocates storage per name).
+func Destruct(f *ir.Func) {
+	SplitCriticalEdges(f)
+	for _, b := range f.Blocks {
+		phis := b.Phis()
+		if len(phis) == 0 {
+			continue
+		}
+		for _, phi := range phis {
+			tmpName := f.FreshName()
+			for i, a := range phi.Args {
+				pred := b.Preds[i]
+				cp := f.NewValue(ir.OpCopy, phi.Type, a)
+				cp.Name = tmpName
+				pred.InsertBefore(cp, pred.Terminator())
+			}
+			// Rewrite the φ itself into "phi = copy tmp". Any definition
+			// of tmp reaching b has the right value; codegen allocates
+			// storage per name, so the arg pointer only needs to carry
+			// the name and type — point it at the first copy.
+			phi.Op = ir.OpCopy
+			phi.Args = []*ir.Value{firstDefOf(f, tmpName)}
+		}
+	}
+	if err := ir.Verify(f); err != nil {
+		panic(fmt.Sprintf("ssa.Destruct produced invalid IR: %v", err))
+	}
+}
+
+func firstDefOf(f *ir.Func, name string) *ir.Value {
+	for _, b := range f.Blocks {
+		for _, v := range b.Instrs {
+			if v.Name == name {
+				return v
+			}
+		}
+	}
+	panic("ssa: no definition of " + name)
+}
+
+// SplitCriticalEdges inserts an empty block on every edge whose source has
+// multiple successors and whose destination has multiple predecessors.
+func SplitCriticalEdges(f *ir.Func) {
+	// Collect first: we mutate the block list.
+	type edge struct{ from, to *ir.Block }
+	var critical []edge
+	for _, b := range f.Blocks {
+		if len(b.Succs) < 2 {
+			continue
+		}
+		for _, s := range b.Succs {
+			if len(s.Preds) >= 2 {
+				critical = append(critical, edge{b, s})
+			}
+		}
+	}
+	for _, e := range critical {
+		mid := f.NewBlock()
+		br := f.NewValue(ir.OpBr, ir.Void)
+		br.Block = mid
+		mid.Instrs = []*ir.Value{br}
+		e.from.ReplaceSucc(e.to, mid)
+		mid.Preds = []*ir.Block{e.from}
+		mid.Succs = []*ir.Block{e.to}
+		e.to.ReplacePred(e.from, mid)
+	}
+	f.Renumber()
+}

@@ -1,0 +1,364 @@
+package workloads
+
+// specFP2 returns the remaining SPEC FP-like kernels.
+func specFP2() []Workload {
+	return []Workload{
+		{
+			Name: "sphinx3", Suite: SpecFP, Args: []uint64{40}, MemWords: 65536,
+			// Acoustic scoring: Gaussian-mixture log-likelihood over
+			// feature frames — dense FP reads, per-frame best-score write.
+			Source: `
+global float means[256];
+global float vars[256];
+global float feats[512];
+global float scores[32];
+
+func init(int seed) void {
+    int s = seed;
+    for (int i = 0; i < 256; i = i + 1) {
+        s = s * 48271 % 2147483647;
+        means[i] = float(s % 200 - 100) / 20.0;
+        s = s * 48271 % 2147483647;
+        vars[i] = float(s % 90 + 10) / 50.0;
+    }
+    for (int i = 0; i < 512; i = i + 1) {
+        s = s * 48271 % 2147483647;
+        feats[i] = float(s % 200 - 100) / 20.0;
+    }
+}
+
+func score(int frame, int mix) float {
+    float acc = 0.0;
+    for (int d = 0; d < 8; d = d + 1) {
+        float diff = feats[(frame * 8 + d) % 512] - means[mix * 8 + d];
+        acc = acc - diff * diff / vars[mix * 8 + d];
+    }
+    return acc;
+}
+
+func main(int frames) int {
+    init(37);
+    float total = 0.0;
+    for (int f = 0; f < frames; f = f + 1) {
+        float best = -1000000.0;
+        for (int m = 0; m < 32; m = m + 1) {
+            float sc = score(f, m);
+            if (sc > best) { best = sc; }
+        }
+        scores[f % 32] = best;
+        total = total + best;
+    }
+    return int(-total);
+}
+`,
+		},
+		{
+			Name: "GemsFDTD", Suite: SpecFP, Args: []uint64{18}, MemWords: 65536,
+			// Finite-difference time-domain field update: two coupled 2D
+			// grids updated alternately (streaming, like the paper's FDTD).
+			Source: `
+global float ez[400];
+global float hx[400];
+global float hy[400];
+
+func init(int seed) void {
+    int s = seed;
+    for (int i = 0; i < 400; i = i + 1) {
+        s = s * 48271 % 2147483647;
+        ez[i] = float(s % 100) / 1000.0;
+        hx[i] = 0.0;
+        hy[i] = 0.0;
+    }
+}
+
+func stepH() void {
+    for (int r = 0; r < 19; r = r + 1) {
+        for (int c = 0; c < 19; c = c + 1) {
+            int i = r * 20 + c;
+            hx[i] = hx[i] - (ez[i + 20] - ez[i]) * 0.5;
+            hy[i] = hy[i] + (ez[i + 1] - ez[i]) * 0.5;
+        }
+    }
+}
+
+func stepE() void {
+    for (int r = 1; r < 20; r = r + 1) {
+        for (int c = 1; c < 20; c = c + 1) {
+            int i = r * 20 + c;
+            ez[i] = ez[i] + (hy[i] - hy[i - 1] - hx[i] + hx[i - 20]) * 0.5;
+        }
+    }
+}
+
+func main(int steps) int {
+    init(9);
+    for (int t = 0; t < steps; t = t + 1) {
+        stepH();
+        stepE();
+        ez[210] = ez[210] + 1.0;  // point source
+    }
+    float energy = 0.0;
+    for (int i = 0; i < 400; i = i + 1) {
+        energy = energy + ez[i] * ez[i];
+    }
+    return int(energy);
+}
+`,
+		},
+	}
+}
+
+// parsec2 returns the remaining PARSEC-like kernels.
+func parsec2() []Workload {
+	return []Workload{
+		{
+			Name: "dedup", Suite: Parsec, Args: []uint64{8}, MemWords: 65536,
+			// Content-defined chunking and deduplication: rolling hash to
+			// split a stream, fingerprint table to dedupe chunks.
+			Source: `
+global int stream[1024];
+global int fingerprints[256];
+global int uniq = 0;
+global int dups = 0;
+
+func genstream(int seed) void {
+    int s = seed;
+    for (int i = 0; i < 1024; i = i + 1) {
+        s = s * 1103515245 + 12345;
+        int v = (s >> 16) % 64;
+        if (v < 0) { v = -v; }
+        // Repeat earlier content often so duplicates exist.
+        if (i >= 512 && s % 3 != 0) {
+            stream[i] = stream[i - 512];
+        } else {
+            stream[i] = v;
+        }
+    }
+}
+
+func chunkAndDedupe() void {
+    int roll = 0;
+    int start = 0;
+    for (int i = 0; i < 1024; i = i + 1) {
+        roll = (roll * 33 + stream[i]) % 65536;
+        int boundary = 0;
+        if (roll % 64 == 13) { boundary = 1; }
+        if (i - start >= 128) { boundary = 1; }
+        if (boundary == 1 || i == 1023) {
+            int fp = 5381;
+            for (int j = start; j <= i; j = j + 1) {
+                fp = (fp * 31 + stream[j]) % 1000000007;
+            }
+            int slot = fp % 256;
+            if (fp < 0) { slot = (-fp) % 256; }
+            if (fingerprints[slot] == fp) {
+                dups = dups + 1;
+            } else {
+                fingerprints[slot] = fp;
+                uniq = uniq + 1;
+            }
+            start = i + 1;
+        }
+    }
+}
+
+func main(int rounds) int {
+    for (int r = 0; r < rounds; r = r + 1) {
+        genstream(r * 77 + 1);
+        chunkAndDedupe();
+    }
+    return uniq * 10000 + dups;
+}
+`,
+		},
+		{
+			Name: "x264", Suite: Parsec, Args: []uint64{40}, MemWords: 65536,
+			// Block transform + quantization: 4x4 Hadamard-ish transform,
+			// quantize, reconstruct, accumulate distortion.
+			Source: `
+global int pix[1024];
+global int coeff[16];
+
+func genpix(int seed) void {
+    int s = seed;
+    for (int i = 0; i < 1024; i = i + 1) {
+        s = s * 1103515245 + 12345;
+        int v = (s >> 18) % 256;
+        if (v < 0) { v = -v; }
+        pix[i] = v;
+    }
+}
+
+func transform(int base) void {
+    for (int r = 0; r < 4; r = r + 1) {
+        int a = pix[base + r * 32 + 0];
+        int b = pix[base + r * 32 + 1];
+        int c = pix[base + r * 32 + 2];
+        int d = pix[base + r * 32 + 3];
+        coeff[r * 4 + 0] = a + b + c + d;
+        coeff[r * 4 + 1] = a - b + c - d;
+        coeff[r * 4 + 2] = a + b - c - d;
+        coeff[r * 4 + 3] = a - b - c + d;
+    }
+}
+
+func quantize(int q) int {
+    int nz = 0;
+    for (int i = 0; i < 16; i = i + 1) {
+        coeff[i] = coeff[i] / q;
+        if (coeff[i] != 0) { nz = nz + 1; }
+    }
+    return nz;
+}
+
+func main(int frames) int {
+    int check = 0;
+    for (int fr = 0; fr < frames; fr = fr + 1) {
+        genpix(fr * 13 + 3);
+        for (int by = 0; by < 8; by = by + 1) {
+            for (int bx = 0; bx < 8; bx = bx + 1) {
+                transform(by * 128 + bx * 4);
+                int nz = quantize(8 + fr % 24);
+                int energy = 0;
+                for (int i = 0; i < 16; i = i + 1) {
+                    energy = energy + coeff[i] * coeff[i];
+                }
+                check = (check + nz * 1000 + energy) % 1000000007;
+            }
+        }
+    }
+    return check;
+}
+`,
+		},
+		{
+			Name: "raytrace", Suite: Parsec, Args: []uint64{500}, MemWords: 65536,
+			// Hierarchical intersection: rays walk a two-level bounding
+			// grid before exact sphere tests (branchier than povray).
+			Source: `
+global float cx[64];
+global float cy[64];
+global float cr[64];
+global int cellStart[16];
+global int cellList[128];
+
+func init(int seed) void {
+    int s = seed;
+    int li = 0;
+    for (int cell = 0; cell < 16; cell = cell + 1) {
+        cellStart[cell] = li;
+        int cnt = cell % 3 + 2;
+        for (int k = 0; k < cnt && li < 128; k = k + 1) {
+            int obj = (cell * 4 + k) % 64;
+            cellList[li] = obj;
+            li = li + 1;
+        }
+    }
+    for (int i = 0; i < 64; i = i + 1) {
+        s = s * 48271 % 2147483647;
+        cx[i] = float(s % 160) / 10.0;
+        s = s * 48271 % 2147483647;
+        cy[i] = float(s % 160) / 10.0;
+        cr[i] = float(i % 5) / 4.0 + 0.3;
+    }
+}
+
+func hit(float ox, float oy, int obj) int {
+    float dx = cx[obj] - ox;
+    float dy = cy[obj] - oy;
+    return int(dx * dx + dy * dy < cr[obj] * cr[obj] + 4.0);
+}
+
+func trace(float ox, float oy) int {
+    int cellX = int(ox / 4.0);
+    int cellY = int(oy / 4.0);
+    if (cellX < 0) { cellX = 0; }
+    if (cellX > 3) { cellX = 3; }
+    if (cellY < 0) { cellY = 0; }
+    if (cellY > 3) { cellY = 3; }
+    int cell = cellY * 4 + cellX;
+    int from = cellStart[cell];
+    int to = 128;
+    if (cell < 15) { to = cellStart[cell + 1]; }
+    int hits = 0;
+    for (int li = from; li < to; li = li + 1) {
+        hits = hits + hit(ox, oy, cellList[li]);
+    }
+    return hits;
+}
+
+func main(int rays) int {
+    init(43);
+    int total = 0;
+    int s = 3;
+    for (int r = 0; r < rays; r = r + 1) {
+        s = s * 48271 % 2147483647;
+        float ox = float(s % 160) / 10.0;
+        s = s * 48271 % 2147483647;
+        float oy = float(s % 160) / 10.0;
+        total = total + trace(ox, oy);
+    }
+    return total;
+}
+`,
+		},
+		{
+			Name: "facesim", Suite: Parsec, Args: []uint64{30}, MemWords: 65536,
+			// Mass–spring mesh relaxation: per-vertex force accumulation
+			// from neighbours, then integration (regular FP streaming).
+			Source: `
+global float posx[100];
+global float posy[100];
+global float velx[100];
+global float vely[100];
+
+func init() void {
+    for (int r = 0; r < 10; r = r + 1) {
+        for (int c = 0; c < 10; c = c + 1) {
+            posx[r * 10 + c] = float(c);
+            posy[r * 10 + c] = float(r);
+            velx[r * 10 + c] = 0.0;
+            vely[r * 10 + c] = 0.0;
+        }
+    }
+    posx[55] = 5.8;  // perturb one vertex
+    posy[55] = 5.8;
+}
+
+func springStep() void {
+    for (int r = 0; r < 10; r = r + 1) {
+        for (int c = 0; c < 10; c = c + 1) {
+            int i = r * 10 + c;
+            float fx = 0.0;
+            float fy = 0.0;
+            if (c > 0) { fx = fx + posx[i - 1] - posx[i] + 1.0; fy = fy + posy[i - 1] - posy[i]; }
+            if (c < 9) { fx = fx + posx[i + 1] - posx[i] - 1.0; fy = fy + posy[i + 1] - posy[i]; }
+            if (r > 0) { fx = fx + posx[i - 10] - posx[i]; fy = fy + posy[i - 10] - posy[i] + 1.0; }
+            if (r < 9) { fx = fx + posx[i + 10] - posx[i]; fy = fy + posy[i + 10] - posy[i] - 1.0; }
+            velx[i] = (velx[i] + fx * 0.1) * 0.98;
+            vely[i] = (vely[i] + fy * 0.1) * 0.98;
+        }
+    }
+    for (int i = 0; i < 100; i = i + 1) {
+        posx[i] = posx[i] + velx[i] * 0.1;
+        posy[i] = posy[i] + vely[i] * 0.1;
+    }
+}
+
+func main(int steps) int {
+    init();
+    for (int t = 0; t < steps; t = t + 1) { springStep(); }
+    float drift = 0.0;
+    for (int r = 0; r < 10; r = r + 1) {
+        for (int c = 0; c < 10; c = c + 1) {
+            float dx = posx[r * 10 + c] - float(c);
+            float dy = posy[r * 10 + c] - float(r);
+            drift = drift + dx * dx + dy * dy;
+        }
+    }
+    return int(drift * 100000.0);
+}
+`,
+		},
+	}
+}

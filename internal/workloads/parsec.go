@@ -1,0 +1,388 @@
+package workloads
+
+// parsec returns the PARSEC-like kernels: streaming, data-parallel codes
+// that read input arrays and write mostly-disjoint outputs — the
+// memory-streaming character the paper credits for PARSEC's long
+// idempotent paths and low overheads.
+func parsec() []Workload {
+	return []Workload{
+		{
+			Name: "blackscholes", Suite: Parsec, Args: []uint64{500}, MemWords: 32768,
+			// Option pricing over a portfolio: pure per-element
+			// computation streaming into a result array (rational
+			// approximations replace exp/log/CDF).
+			Source: `
+global float spot[128];
+global float strike[128];
+global float tte[128];
+global float price[128];
+
+func init(int seed) void {
+    int s = seed;
+    for (int i = 0; i < 128; i = i + 1) {
+        s = s * 48271 % 2147483647;
+        spot[i] = float(s % 100 + 50);
+        s = s * 48271 % 2147483647;
+        strike[i] = float(s % 100 + 50);
+        tte[i] = float(i % 24 + 1) / 12.0;
+    }
+}
+
+// ncdf approximates the standard normal CDF with a logistic curve.
+func ncdf(float x) float {
+    float t = 1.0 + x * x * 0.15;
+    float z = x * 1.702 / t + x * 0.1;
+    // logistic(z) = 1 / (1 + e^-z), e^-z ~ rational approx
+    float ez = 1.0 - z / 2.0 + z * z / 8.0 - z * z * z / 48.0;
+    if (ez < 0.01) { ez = 0.01; }
+    return 1.0 / (1.0 + ez * ez);
+}
+
+func bs(int i) float {
+    float m = spot[i] / strike[i] - 1.0;     // moneyness proxy for log
+    float v = 0.3;
+    float sq = tte[i];
+    sq = (sq + tte[i] / sq) * 0.5;
+    sq = (sq + tte[i] / sq) * 0.5;
+    float d1 = (m + v * v * tte[i] * 0.5) / (v * sq);
+    float d2 = d1 - v * sq;
+    return spot[i] * ncdf(d1) - strike[i] * ncdf(d2) * (1.0 - 0.05 * tte[i]);
+}
+
+func main(int rounds) int {
+    init(41);
+    float acc = 0.0;
+    for (int r = 0; r < rounds; r = r + 1) {
+        int i = r % 128;
+        price[i] = bs(i);
+        acc = acc + price[i];
+    }
+    return int(acc);
+}
+`,
+		},
+		{
+			Name: "bodytrack", Suite: Parsec, Args: []uint64{40}, MemWords: 32768,
+			// Particle-filter weight update and resampling accumulation.
+			Source: `
+global float particles[128];
+global float weights[128];
+global float observation = 3.7;
+
+func init(int seed) void {
+    int s = seed;
+    for (int i = 0; i < 128; i = i + 1) {
+        s = s * 48271 % 2147483647;
+        particles[i] = float(s % 1000) / 100.0;
+    }
+}
+
+func reweigh() float {
+    float total = 0.0;
+    for (int i = 0; i < 128; i = i + 1) {
+        float d = particles[i] - observation;
+        float w = 1.0 / (1.0 + d * d);
+        weights[i] = w;
+        total = total + w;
+    }
+    return total;
+}
+
+func drift(int seed) void {
+    int s = seed;
+    for (int i = 0; i < 128; i = i + 1) {
+        s = s * 48271 % 2147483647;
+        particles[i] = particles[i] * 0.98 + float(s % 100) / 500.0;
+    }
+}
+
+func main(int steps) int {
+    init(29);
+    float acc = 0.0;
+    for (int t = 0; t < steps; t = t + 1) {
+        acc = acc + reweigh();
+        drift(t * 17 + 1);
+    }
+    return int(acc * 100.0);
+}
+`,
+		},
+		{
+			Name: "canneal", Suite: Parsec, Args: []uint64{800}, MemWords: 32768,
+			// Simulated-annealing element swaps with cost deltas: random
+			// access, occasional in-place swaps.
+			Source: `
+global int placement[256];
+global int netA[256];
+global int netB[256];
+
+func init(int seed) void {
+    int s = seed;
+    for (int i = 0; i < 256; i = i + 1) {
+        placement[i] = i;
+        s = s * 48271 % 2147483647;
+        netA[i] = s % 256;
+        s = s * 48271 % 2147483647;
+        netB[i] = s % 256;
+    }
+}
+
+func netcost(int n) int {
+    int d = placement[netA[n]] - placement[netB[n]];
+    if (d < 0) { d = -d; }
+    return d;
+}
+
+func main(int swaps) int {
+    init(53);
+    int s = 99;
+    int accepted = 0;
+    int cost = 0;
+    for (int n = 0; n < 256; n = n + 1) { cost = cost + netcost(n); }
+    for (int k = 0; k < swaps; k = k + 1) {
+        s = s * 48271 % 2147483647;
+        int a = s % 256;
+        s = s * 48271 % 2147483647;
+        int b = s % 256;
+        int before = netcost(a) + netcost(b);
+        int tmp = placement[a];
+        placement[a] = placement[b];
+        placement[b] = tmp;
+        int after = netcost(a) + netcost(b);
+        int delta = after - before;
+        int temp = 100 - k * 100 / swaps;
+        if (delta < temp) {
+            accepted = accepted + 1;
+            cost = cost + delta;
+        } else {
+            tmp = placement[a];
+            placement[a] = placement[b];
+            placement[b] = tmp;
+        }
+    }
+    return cost * 1000 + accepted % 1000;
+}
+`,
+		},
+		{
+			Name: "fluidanimate", Suite: Parsec, Args: []uint64{12}, MemWords: 65536,
+			// Particle-grid density: bin particles, accumulate cell
+			// densities, stream updated velocities.
+			Source: `
+global float posx[200];
+global float posy[200];
+global float velx[200];
+global float vely[200];
+global float density[64];
+
+func init(int seed) void {
+    int s = seed;
+    for (int i = 0; i < 200; i = i + 1) {
+        s = s * 48271 % 2147483647;
+        posx[i] = float(s % 800) / 100.0;
+        s = s * 48271 % 2147483647;
+        posy[i] = float(s % 800) / 100.0;
+        velx[i] = 0.0;
+        vely[i] = 0.0;
+    }
+}
+
+func cellOf(int i) int {
+    int cx = int(posx[i]);
+    int cy = int(posy[i]);
+    if (cx > 7) { cx = 7; }
+    if (cy > 7) { cy = 7; }
+    if (cx < 0) { cx = 0; }
+    if (cy < 0) { cy = 0; }
+    return cy * 8 + cx;
+}
+
+func step() void {
+    for (int c = 0; c < 64; c = c + 1) { density[c] = 0.0; }
+    for (int i = 0; i < 200; i = i + 1) {
+        int c = cellOf(i);
+        density[c] = density[c] + 1.0;
+    }
+    for (int i = 0; i < 200; i = i + 1) {
+        int c = cellOf(i);
+        float push = density[c] * 0.01;
+        velx[i] = velx[i] * 0.95 + push;
+        vely[i] = vely[i] * 0.95 - push * 0.5;
+        posx[i] = posx[i] + velx[i] * 0.1;
+        posy[i] = posy[i] + vely[i] * 0.1;
+        if (posx[i] < 0.0) { posx[i] = 0.0; velx[i] = -velx[i]; }
+        if (posx[i] > 8.0) { posx[i] = 8.0; velx[i] = -velx[i]; }
+        if (posy[i] < 0.0) { posy[i] = 0.0; vely[i] = -vely[i]; }
+        if (posy[i] > 8.0) { posy[i] = 8.0; vely[i] = -vely[i]; }
+    }
+}
+
+func main(int steps) int {
+    init(61);
+    for (int t = 0; t < steps; t = t + 1) { step(); }
+    float acc = 0.0;
+    for (int i = 0; i < 200; i = i + 1) { acc = acc + posx[i] + posy[i]; }
+    return int(acc * 10.0);
+}
+`,
+		},
+		{
+			Name: "streamcluster", Suite: Parsec, Args: []uint64{15}, MemWords: 65536,
+			// k-median assignment: distance computation streaming over
+			// points, writing only assignment/cost outputs.
+			Source: `
+global float pts[512];
+global float centers[32];
+global int assign[128];
+
+func init(int seed) void {
+    int s = seed;
+    for (int i = 0; i < 512; i = i + 1) {
+        s = s * 48271 % 2147483647;
+        pts[i] = float(s % 1000) / 100.0;
+    }
+    for (int c = 0; c < 32; c = c + 1) {
+        centers[c] = pts[c * 16 % 512];
+    }
+}
+
+func assignAll() float {
+    float total = 0.0;
+    for (int p = 0; p < 128; p = p + 1) {
+        float best = 1000000.0;
+        int bi = 0;
+        for (int c = 0; c < 8; c = c + 1) {
+            float d = 0.0;
+            for (int k = 0; k < 4; k = k + 1) {
+                float diff = pts[p * 4 + k] - centers[c * 4 + k];
+                d = d + diff * diff;
+            }
+            if (d < best) { best = d; bi = c; }
+        }
+        assign[p] = bi;
+        total = total + best;
+    }
+    return total;
+}
+
+func recenter() void {
+    for (int c = 0; c < 8; c = c + 1) {
+        for (int k = 0; k < 4; k = k + 1) {
+            float sum = 0.0;
+            float n = 0.0;
+            for (int p = 0; p < 128; p = p + 1) {
+                if (assign[p] == c) {
+                    sum = sum + pts[p * 4 + k];
+                    n = n + 1.0;
+                }
+            }
+            if (n > 0.0) { centers[c * 4 + k] = sum / n; }
+        }
+    }
+}
+
+func main(int iters) int {
+    init(67);
+    float cost = 0.0;
+    for (int t = 0; t < iters; t = t + 1) {
+        cost = assignAll();
+        recenter();
+    }
+    return int(cost * 10.0);
+}
+`,
+		},
+		{
+			Name: "swaptions", Suite: Parsec, Args: []uint64{300}, MemWords: 32768,
+			// Monte-Carlo path simulation accumulating payoffs: long
+			// compute chains per path, one output write per path.
+			Source: `
+global float payoff[64];
+
+func lcg(int s) int {
+    return s * 48271 % 2147483647;
+}
+
+func simulate(int seed, int steps) float {
+    float rate = 0.05;
+    int s = seed;
+    for (int t = 0; t < steps; t = t + 1) {
+        s = lcg(s);
+        float shock = float(s % 200 - 100) / 5000.0;
+        rate = rate + rate * shock + 0.0001;
+        if (rate < 0.001) { rate = 0.001; }
+    }
+    float val = rate - 0.05;
+    if (val < 0.0) { val = 0.0; }
+    return val;
+}
+
+func main(int paths) int {
+    float acc = 0.0;
+    for (int p = 0; p < paths; p = p + 1) {
+        float v = simulate(p * 2654435761 % 2147483647 + 1, 50);
+        payoff[p % 64] = v;
+        acc = acc + v;
+    }
+    return int(acc * 100000.0);
+}
+`,
+		},
+		{
+			Name: "ferret", Suite: Parsec, Args: []uint64{60}, MemWords: 65536,
+			// Feature-vector similarity ranking: streaming distance
+			// computations with a small in-place top-k list.
+			Source: `
+global float db[1024];
+global float query[16];
+global int topIdx[4];
+global float topDist[4];
+
+func init(int seed) void {
+    int s = seed;
+    for (int i = 0; i < 1024; i = i + 1) {
+        s = s * 48271 % 2147483647;
+        db[i] = float(s % 1000) / 1000.0;
+    }
+}
+
+func rank(int qseed) int {
+    int s = qseed;
+    for (int k = 0; k < 16; k = k + 1) {
+        s = s * 48271 % 2147483647;
+        query[k] = float(s % 1000) / 1000.0;
+    }
+    for (int t = 0; t < 4; t = t + 1) { topIdx[t] = -1; topDist[t] = 1000000.0; }
+    for (int v = 0; v < 64; v = v + 1) {
+        float d = 0.0;
+        for (int k = 0; k < 16; k = k + 1) {
+            float diff = db[v * 16 + k] - query[k];
+            d = d + diff * diff;
+        }
+        // Insert into the top-4 list.
+        int pos = 3;
+        if (d < topDist[3]) {
+            while (pos > 0 && d < topDist[pos - 1]) {
+                topDist[pos] = topDist[pos - 1];
+                topIdx[pos] = topIdx[pos - 1];
+                pos = pos - 1;
+            }
+            topDist[pos] = d;
+            topIdx[pos] = v;
+        }
+    }
+    return topIdx[0];
+}
+
+func main(int queries) int {
+    init(71);
+    int check = 0;
+    for (int q = 0; q < queries; q = q + 1) {
+        check = (check * 31 + rank(q * 13 + 5)) % 1000000007;
+    }
+    return check;
+}
+`,
+		},
+	}
+}

@@ -1,0 +1,310 @@
+package workloads
+
+// specFP returns the SPEC FP-like kernels: regular floating-point loop
+// nests over array state. They overwrite their inputs comparatively
+// rarely (streaming or ping-pong buffers) and lean on the 32-register
+// float file, which is why the paper sees lower overheads here.
+func specFP() []Workload {
+	return []Workload{
+		{
+			Name: "milc", Suite: SpecFP, Args: []uint64{20}, MemWords: 32768,
+			// 2D Jacobi-style stencil relaxation with ping-pong buffers.
+			Source: `
+global float a[400];
+global float b[400];
+
+func init(int seed) void {
+    int s = seed;
+    for (int i = 0; i < 400; i = i + 1) {
+        s = s * 1103515245 + 12345;
+        int v = (s >> 16) % 1000;
+        if (v < 0) { v = -v; }
+        a[i] = float(v) / 1000.0;
+    }
+}
+
+func sweep() void {
+    for (int r = 1; r < 19; r = r + 1) {
+        for (int c = 1; c < 19; c = c + 1) {
+            int i = r * 20 + c;
+            b[i] = (a[i - 1] + a[i + 1] + a[i - 20] + a[i + 20]) * 0.25;
+        }
+    }
+    for (int r = 1; r < 19; r = r + 1) {
+        for (int c = 1; c < 19; c = c + 1) {
+            int i = r * 20 + c;
+            a[i] = b[i];
+        }
+    }
+}
+
+func main(int iters) int {
+    init(77);
+    for (int k = 0; k < iters; k = k + 1) { sweep(); }
+    float sum = 0.0;
+    for (int i = 0; i < 400; i = i + 1) { sum = sum + a[i]; }
+    return int(sum * 1000.0);
+}
+`,
+		},
+		{
+			Name: "namd", Suite: SpecFP, Args: []uint64{10}, MemWords: 32768,
+			// N-body force accumulation: compute-dense inner loop reading
+			// positions, accumulating forces.
+			Source: `
+global float px[64];
+global float py[64];
+global float fx[64];
+global float fy[64];
+
+func init(int seed) void {
+    int s = seed;
+    for (int i = 0; i < 64; i = i + 1) {
+        s = s * 48271 % 2147483647;
+        px[i] = float(s % 1000) / 100.0;
+        s = s * 48271 % 2147483647;
+        py[i] = float(s % 1000) / 100.0;
+    }
+}
+
+func forces() void {
+    for (int i = 0; i < 64; i = i + 1) {
+        float ax = 0.0;
+        float ay = 0.0;
+        for (int j = 0; j < 64; j = j + 1) {
+            if (j != i) {
+                float dx = px[j] - px[i];
+                float dy = py[j] - py[i];
+                float r2 = dx * dx + dy * dy + 0.01;
+                float inv = 1.0 / r2;
+                ax = ax + dx * inv;
+                ay = ay + dy * inv;
+            }
+        }
+        fx[i] = ax;
+        fy[i] = ay;
+    }
+}
+
+func step() void {
+    for (int i = 0; i < 64; i = i + 1) {
+        px[i] = px[i] + fx[i] * 0.001;
+        py[i] = py[i] + fy[i] * 0.001;
+    }
+}
+
+func main(int iters) int {
+    init(3);
+    for (int k = 0; k < iters; k = k + 1) { forces(); step(); }
+    float sum = 0.0;
+    for (int i = 0; i < 64; i = i + 1) { sum = sum + fx[i] * fx[i] + fy[i] * fy[i]; }
+    return int(sum * 100.0);
+}
+`,
+		},
+		{
+			Name: "dealII", Suite: SpecFP, Args: []uint64{25}, MemWords: 32768,
+			// Gauss–Seidel iterations on a dense SPD-ish system: in-place
+			// solution updates (shorter FP paths, like the paper's
+			// dealII outlier behaviour).
+			Source: `
+global float mat[400];
+global float rhs[20];
+global float x[20];
+
+func init(int seed) void {
+    int s = seed;
+    for (int i = 0; i < 20; i = i + 1) {
+        for (int j = 0; j < 20; j = j + 1) {
+            s = s * 48271 % 2147483647;
+            float v = float(s % 100) / 100.0;
+            if (i == j) { v = v + 25.0; }
+            mat[i * 20 + j] = v;
+        }
+        s = s * 48271 % 2147483647;
+        rhs[i] = float(s % 1000) / 10.0;
+        x[i] = 0.0;
+    }
+}
+
+func sweep() void {
+    for (int i = 0; i < 20; i = i + 1) {
+        float acc = rhs[i];
+        for (int j = 0; j < 20; j = j + 1) {
+            if (j != i) { acc = acc - mat[i * 20 + j] * x[j]; }
+        }
+        x[i] = acc / mat[i * 20 + i];
+    }
+}
+
+func main(int iters) int {
+    init(11);
+    for (int k = 0; k < iters; k = k + 1) { sweep(); }
+    float sum = 0.0;
+    for (int i = 0; i < 20; i = i + 1) { sum = sum + x[i]; }
+    return int(sum * 1000.0);
+}
+`,
+		},
+		{
+			Name: "soplex", Suite: SpecFP, Args: []uint64{18}, MemWords: 32768,
+			// Simplex-style pivoting on a small dense tableau.
+			Source: `
+global float tab[336];
+
+func init(int seed) void {
+    int s = seed;
+    for (int i = 0; i < 336; i = i + 1) {
+        s = s * 48271 % 2147483647;
+        tab[i] = float(s % 200 - 100) / 50.0;
+    }
+}
+
+func pivot(int pr, int pc) void {
+    float p = tab[pr * 21 + pc];
+    if (p < 0.0001 && p > -0.0001) { return; }
+    for (int j = 0; j < 21; j = j + 1) {
+        tab[pr * 21 + j] = tab[pr * 21 + j] / p;
+    }
+    for (int i = 0; i < 16; i = i + 1) {
+        if (i != pr) {
+            float f = tab[i * 21 + pc];
+            for (int j = 0; j < 21; j = j + 1) {
+                tab[i * 21 + j] = tab[i * 21 + j] - f * tab[pr * 21 + j];
+            }
+        }
+    }
+}
+
+func main(int iters) int {
+    init(19);
+    for (int k = 0; k < iters; k = k + 1) {
+        pivot(k % 16, (k * 5 + 1) % 21);
+    }
+    float sum = 0.0;
+    for (int i = 0; i < 336; i = i + 1) {
+        float v = tab[i];
+        if (v < 0.0) { v = -v; }
+        if (v < 1000.0) { sum = sum + v; }
+    }
+    return int(sum);
+}
+`,
+		},
+		{
+			Name: "povray", Suite: SpecFP, Args: []uint64{900}, MemWords: 32768,
+			// Batched ray–sphere intersection: long straight-line FP
+			// computation per ray, writes only to an output buffer.
+			Source: `
+global float sx[16];
+global float sy[16];
+global float sz[16];
+global float sr[16];
+global float img[256];
+
+func init(int seed) void {
+    int s = seed;
+    for (int i = 0; i < 16; i = i + 1) {
+        s = s * 48271 % 2147483647;
+        sx[i] = float(s % 100) / 10.0;
+        s = s * 48271 % 2147483647;
+        sy[i] = float(s % 100) / 10.0;
+        s = s * 48271 % 2147483647;
+        sz[i] = float(s % 50) / 10.0 + 5.0;
+        sr[i] = float(i % 4) / 2.0 + 0.5;
+    }
+}
+
+func trace(float ox, float oy) float {
+    float best = 1000000.0;
+    for (int i = 0; i < 16; i = i + 1) {
+        float dx = sx[i] - ox;
+        float dy = sy[i] - oy;
+        float dz = sz[i];
+        float b = dz;                      // ray direction (0,0,1)
+        float c = dx * dx + dy * dy + dz * dz - sr[i] * sr[i];
+        float disc = b * b - c;
+        if (disc > 0.0) {
+            // Newton iterations for sqrt(disc).
+            float s = disc;
+            if (s > 1.0) { s = disc / 2.0 + 0.5; }
+            s = (s + disc / s) * 0.5;
+            s = (s + disc / s) * 0.5;
+            s = (s + disc / s) * 0.5;
+            float t = b - s;
+            if (t > 0.0 && t < best) { best = t; }
+        }
+    }
+    return best;
+}
+
+func main(int rays) int {
+    init(23);
+    float acc = 0.0;
+    for (int r = 0; r < rays; r = r + 1) {
+        float ox = float(r % 16) - 8.0;
+        float oy = float(r / 16 % 16) - 8.0;
+        float t = trace(ox, oy);
+        if (t < 1000000.0) {
+            img[r % 256] = t;
+            acc = acc + t;
+        }
+    }
+    return int(acc);
+}
+`,
+		},
+		{
+			Name: "lbm", Suite: SpecFP, Args: []uint64{15}, MemWords: 65536,
+			// Lattice streaming update: pure streaming from one buffer to
+			// another (the paper's long-ideal-path outlier).
+			Source: `
+global float f0[512];
+global float f1[512];
+global float f2[512];
+global float g0[512];
+global float g1[512];
+global float g2[512];
+
+func init(int seed) void {
+    int s = seed;
+    for (int i = 0; i < 512; i = i + 1) {
+        s = s * 48271 % 2147483647;
+        f0[i] = float(s % 100) / 100.0 + 1.0;
+        f1[i] = float(s % 70) / 100.0;
+        f2[i] = float(s % 30) / 100.0;
+    }
+}
+
+func stream() void {
+    for (int i = 1; i < 511; i = i + 1) {
+        float rho = f0[i] + f1[i] + f2[i];
+        float u = (f1[i] - f2[i]) / rho;
+        float eq0 = rho * (1.0 - u * u) * 0.666;
+        float eq1 = rho * (u * u + u) * 0.5 + rho * 0.166;
+        float eq2 = rho * (u * u - u) * 0.5 + rho * 0.166;
+        g0[i] = f0[i] + (eq0 - f0[i]) * 0.6;
+        g1[i + 1] = f1[i] + (eq1 - f1[i]) * 0.6;
+        g2[i - 1] = f2[i] + (eq2 - f2[i]) * 0.6;
+    }
+}
+
+func swapback() void {
+    for (int i = 0; i < 512; i = i + 1) {
+        f0[i] = g0[i];
+        f1[i] = g1[i];
+        f2[i] = g2[i];
+    }
+}
+
+func main(int iters) int {
+    init(7);
+    for (int k = 0; k < iters; k = k + 1) { stream(); swapback(); }
+    float mass = 0.0;
+    for (int i = 0; i < 512; i = i + 1) { mass = mass + f0[i] + f1[i] + f2[i]; }
+    return int(mass * 100.0);
+}
+`,
+		},
+	}
+}

@@ -1,0 +1,486 @@
+package workloads
+
+// specInt returns the SPEC INT-like kernels: branchy, pointer- and
+// hash-heavy integer codes that update their data structures in place
+// (frequent input overwrites → shorter idempotent paths, higher register
+// pressure on the 16-register integer file).
+func specInt() []Workload {
+	return []Workload{
+		{
+			Name: "perlbench", Suite: SpecInt, Args: []uint64{900}, MemWords: 16384,
+			// String hashing and hash-table updates over synthetic text.
+			Source: `
+global int text[256];
+global int table[128];
+global int probes = 0;
+
+func fill(int n) void {
+    int s = 12345;
+    for (int i = 0; i < n; i = i + 1) {
+        s = s * 1103515245 + 12345;
+        int c = s >> 16;
+        if (c < 0) { c = -c; }
+        text[i % 256] = c % 96 + 32;
+    }
+}
+
+func hash(int from, int len) int {
+    int h = 5381;
+    for (int i = 0; i < len; i = i + 1) {
+        h = h * 33 + text[(from + i) % 256];
+    }
+    if (h < 0) { h = -h; }
+    return h;
+}
+
+func insert(int h) int {
+    int slot = h % 128;
+    int tries = 0;
+    while (table[slot] != 0 && table[slot] != h && tries < 128) {
+        slot = (slot + 1) % 128;
+        tries = tries + 1;
+        probes = probes + 1;
+    }
+    if (table[slot] == 0) { table[slot] = h; return 1; }
+    return 0;
+}
+
+func main(int n) int {
+    fill(256);
+    int fresh = 0;
+    for (int i = 0; i < n; i = i + 1) {
+        int h = hash(i % 200, 5 + i % 11);
+        fresh = fresh + insert(h);
+    }
+    return fresh * 10000 + probes % 10000;
+}
+`,
+		},
+		{
+			Name: "bzip2", Suite: SpecInt, Args: []uint64{6}, MemWords: 16384,
+			// Run-length encoding + move-to-front over a synthetic block.
+			Source: `
+global int block[512];
+global int mtf[64];
+global int out[1024];
+
+func genblock(int seed) void {
+    int s = seed;
+    int i = 0;
+    while (i < 512) {
+        s = s * 1103515245 + 12345;
+        int v = (s >> 13) % 64;
+        if (v < 0) { v = -v; }
+        int run = (s >> 7) % 6;
+        if (run < 0) { run = -run; }
+        run = run + 1;
+        for (int k = 0; k < run; k = k + 1) {
+            if (i < 512) { block[i] = v; i = i + 1; }
+        }
+    }
+}
+
+func mtfinit() void {
+    for (int i = 0; i < 64; i = i + 1) { mtf[i] = i; }
+}
+
+func mtfenc(int v) int {
+    int pos = 0;
+    while (mtf[pos] != v) { pos = pos + 1; }
+    for (int j = pos; j > 0; j = j - 1) { mtf[j] = mtf[j - 1]; }
+    mtf[0] = v;
+    return pos;
+}
+
+func main(int rounds) int {
+    int check = 0;
+    for (int r = 0; r < rounds; r = r + 1) {
+        genblock(r * 7 + 1);
+        mtfinit();
+        int o = 0;
+        int i = 0;
+        while (i < 512) {
+            int v = block[i];
+            int run = 0;
+            while (i < 512 && block[i] == v) { run = run + 1; i = i + 1; }
+            out[o % 1024] = mtfenc(v);
+            out[(o + 1) % 1024] = run;
+            o = o + 2;
+        }
+        check = check + o;
+        for (int k = 0; k < o && k < 1024; k = k + 1) {
+            check = check + out[k] * (k + 1);
+        }
+    }
+    return check;
+}
+`,
+		},
+		{
+			Name: "gcc", Suite: SpecInt, Args: []uint64{400}, MemWords: 16384,
+			// A stack-based evaluator over a synthetic RPN token stream —
+			// compiler-style dispatch-heavy control flow.
+			Source: `
+global int toks[512];
+global int stack[64];
+
+func gen(int seed, int n) void {
+    int s = seed;
+    int depth = 0;
+    for (int i = 0; i < n; i = i + 1) {
+        s = s * 48271 % 2147483647;
+        int r = s % 5;
+        if (depth < 2 || r == 0) {
+            toks[i] = 100 + s % 50;   // literal
+            depth = depth + 1;
+        } else {
+            toks[i] = s % 4;          // op: + - * min
+            depth = depth - 1;
+        }
+    }
+    // Flush remaining depth with adds.
+    int i = n;
+    while (depth > 1 && i < 512) {
+        toks[i] = 0;
+        depth = depth - 1;
+        i = i + 1;
+    }
+    toks[i] = -1;
+}
+
+func eval() int {
+    int sp = 0;
+    int i = 0;
+    while (toks[i] != -1) {
+        int t = toks[i];
+        if (t >= 100) {
+            stack[sp] = t - 100;
+            sp = sp + 1;
+        } else {
+            int b = stack[sp - 1];
+            int a = stack[sp - 2];
+            sp = sp - 2;
+            int v = 0;
+            if (t == 0) { v = a + b; }
+            else if (t == 1) { v = a - b; }
+            else if (t == 2) { v = a * b % 65536; }
+            else {
+                if (a < b) { v = a; } else { v = b; }
+            }
+            stack[sp] = v;
+            sp = sp + 1;
+        }
+        i = i + 1;
+    }
+    return stack[0];
+}
+
+func main(int rounds) int {
+    int check = 0;
+    for (int r = 0; r < rounds; r = r + 1) {
+        gen(r * 31 + 7, 200 + r % 200);
+        check = (check + eval()) % 1000000007;
+    }
+    return check;
+}
+`,
+		},
+		{
+			Name: "mcf", Suite: SpecInt, Args: []uint64{40}, MemWords: 32768,
+			// Bellman–Ford relaxation on a synthetic sparse graph:
+			// repeated in-place distance updates (classic semantic
+			// clobbers).
+			Source: `
+global int head[64];
+global int nextE[512];
+global int dest[512];
+global int weight[512];
+global int dist[64];
+
+func build(int seed) void {
+    for (int i = 0; i < 64; i = i + 1) { head[i] = -1; }
+    int s = seed;
+    for (int e = 0; e < 512; e = e + 1) {
+        s = s * 48271 % 2147483647;
+        int u = s % 64;
+        s = s * 48271 % 2147483647;
+        int v = s % 64;
+        s = s * 48271 % 2147483647;
+        dest[e] = v;
+        weight[e] = s % 100 + 1;
+        nextE[e] = head[u];
+        head[u] = e;
+    }
+}
+
+func relax() int {
+    for (int i = 0; i < 64; i = i + 1) { dist[i] = 1000000; }
+    dist[0] = 0;
+    int changed = 1;
+    int rounds = 0;
+    while (changed == 1 && rounds < 64) {
+        changed = 0;
+        for (int u = 0; u < 64; u = u + 1) {
+            if (dist[u] < 1000000) {
+                int e = head[u];
+                while (e != -1) {
+                    int nd = dist[u] + weight[e];
+                    if (nd < dist[dest[e]]) {
+                        dist[dest[e]] = nd;
+                        changed = 1;
+                    }
+                    e = nextE[e];
+                }
+            }
+        }
+        rounds = rounds + 1;
+    }
+    int sum = 0;
+    for (int i = 0; i < 64; i = i + 1) {
+        if (dist[i] < 1000000) { sum = sum + dist[i]; }
+    }
+    return sum;
+}
+
+func main(int rounds) int {
+    int check = 0;
+    for (int r = 0; r < rounds; r = r + 1) {
+        build(r * 1217 + 3);
+        check = (check + relax()) % 1000000007;
+    }
+    return check;
+}
+`,
+		},
+		{
+			Name: "gobmk", Suite: SpecInt, Args: []uint64{60}, MemWords: 16384,
+			// Branchy board-pattern scoring: dense conditionals and
+			// in-place board mutation (the paper's predication-sensitive
+			// outlier).
+			Source: `
+global int board[81];
+
+func setup(int seed) void {
+    int s = seed;
+    for (int i = 0; i < 81; i = i + 1) {
+        s = s * 1103515245 + 12345;
+        int v = (s >> 20) % 3;
+        if (v < 0) { v = -v; }
+        board[i] = v;
+    }
+}
+
+func liberties(int pos) int {
+    int libs = 0;
+    int r = pos / 9;
+    int c = pos % 9;
+    if (r > 0 && board[pos - 9] == 0) { libs = libs + 1; }
+    if (r < 8 && board[pos + 9] == 0) { libs = libs + 1; }
+    if (c > 0 && board[pos - 1] == 0) { libs = libs + 1; }
+    if (c < 8 && board[pos + 1] == 0) { libs = libs + 1; }
+    return libs;
+}
+
+func score(int color) int {
+    int sc = 0;
+    for (int p = 0; p < 81; p = p + 1) {
+        if (board[p] == color) {
+            int l = liberties(p);
+            if (l == 0) { sc = sc - 10; }
+            else if (l == 1) { sc = sc - 3; }
+            else if (l >= 3) { sc = sc + 2; }
+            else { sc = sc + 1; }
+        }
+    }
+    return sc;
+}
+
+func play(int moves) int {
+    int captured = 0;
+    int s = moves * 2654435761;
+    for (int mv = 0; mv < moves; mv = mv + 1) {
+        s = s * 48271 % 2147483647;
+        int p = s % 81;
+        if (p < 0) { p = -p; }
+        if (board[p] == 0) {
+            board[p] = mv % 2 + 1;
+            if (liberties(p) == 0) {
+                board[p] = 0;
+                captured = captured + 1;
+            }
+        }
+    }
+    return captured;
+}
+
+func main(int rounds) int {
+    int check = 0;
+    for (int r = 0; r < rounds; r = r + 1) {
+        setup(r * 97 + 5);
+        int cap = play(60);
+        check = check + score(1) - score(2) + cap * 7;
+    }
+    return check;
+}
+`,
+		},
+		{
+			Name: "hmmer", Suite: SpecInt, Args: []uint64{30}, MemWords: 32768,
+			// Viterbi-style integer dynamic programming: streaming row
+			// updates with few input overwrites (the paper's aliasing
+			// outlier with long ideal paths).
+			Source: `
+global int scoreM[128];
+global int scoreI[128];
+global int prevM[128];
+global int prevI[128];
+global int emit[256];
+
+func geninput(int seed) void {
+    int s = seed;
+    for (int i = 0; i < 256; i = i + 1) {
+        s = s * 48271 % 2147483647;
+        emit[i] = s % 16 - 8;
+    }
+}
+
+func viterbi(int cols) int {
+    for (int j = 0; j < 128; j = j + 1) { prevM[j] = -100000; prevI[j] = -100000; }
+    prevM[0] = 0;
+    for (int t = 1; t < cols; t = t + 1) {
+        for (int j = 1; j < 128; j = j + 1) {
+            int m = prevM[j - 1] + emit[(t * 7 + j) % 256];
+            int i = prevI[j - 1] + emit[(t * 3 + j) % 256] - 2;
+            int best = m;
+            if (i > best) { best = i; }
+            scoreM[j] = best;
+            int keep = prevM[j] - 3;
+            int ext = prevI[j] - 1;
+            if (keep > ext) { scoreI[j] = keep; } else { scoreI[j] = ext; }
+        }
+        for (int j = 0; j < 128; j = j + 1) {
+            prevM[j] = scoreM[j];
+            prevI[j] = scoreI[j];
+        }
+    }
+    int best = -100000;
+    for (int j = 0; j < 128; j = j + 1) {
+        if (prevM[j] > best) { best = prevM[j]; }
+    }
+    return best;
+}
+
+func main(int rounds) int {
+    int check = 0;
+    for (int r = 0; r < rounds; r = r + 1) {
+        geninput(r * 13 + 1);
+        check = check + viterbi(24 + r % 8);
+    }
+    return check;
+}
+`,
+		},
+		{
+			Name: "sjeng", Suite: SpecInt, Args: []uint64{7}, MemWords: 65536,
+			// Recursive negamax over a synthetic game tree: deep call
+			// chains and per-node branching.
+			Source: `
+global int nodes = 0;
+
+func evalleaf(int state) int {
+    int v = state * 2654435761;
+    v = v ^ (v >> 11);
+    return v % 200 - 100;
+}
+
+func negamax(int state, int depth) int {
+    nodes = nodes + 1;
+    if (depth == 0) { return evalleaf(state); }
+    int best = -1000000;
+    int s = state;
+    for (int mv = 0; mv < 4; mv = mv + 1) {
+        s = s * 48271 % 2147483647;
+        if (s % 3 == 0 && mv > 0) { continue; }  // pruned move
+        int child = s ^ (depth * 7919);
+        int v = -negamax(child, depth - 1);
+        if (v > best) { best = v; }
+        if (best > 80) { break; }                // beta cutoff
+    }
+    return best;
+}
+
+func main(int depth) int {
+    int v = negamax(12345, depth);
+    return v * 100000 + nodes % 100000;
+}
+`,
+		},
+		{
+			Name: "astar", Suite: SpecInt, Args: []uint64{12}, MemWords: 32768,
+			// Grid shortest-path search with an open list updated in
+			// place.
+			Source: `
+global int grid[256];
+global int dist[256];
+global int open[256];
+
+func genmaze(int seed) void {
+    int s = seed;
+    for (int i = 0; i < 256; i = i + 1) {
+        s = s * 1103515245 + 12345;
+        int v = (s >> 18) % 4;
+        if (v < 0) { v = -v; }
+        if (v == 0) { grid[i] = 9999; } else { grid[i] = v; }
+    }
+    grid[0] = 1;
+    grid[255] = 1;
+}
+
+func search() int {
+    for (int i = 0; i < 256; i = i + 1) { dist[i] = 1000000; open[i] = 0; }
+    dist[0] = 0;
+    open[0] = 1;
+    int iter = 0;
+    while (iter < 1024) {
+        // Pick the open cell with the smallest distance.
+        int best = -1;
+        int bestd = 1000000;
+        for (int i = 0; i < 256; i = i + 1) {
+            if (open[i] == 1 && dist[i] < bestd) { best = i; bestd = dist[i]; }
+        }
+        if (best < 0) { break; }
+        open[best] = 0;
+        if (best == 255) { return dist[255]; }
+        int r = best / 16;
+        int c = best % 16;
+        for (int d = 0; d < 4; d = d + 1) {
+            int nr = r; int nc = c;
+            if (d == 0) { nr = r - 1; }
+            else if (d == 1) { nr = r + 1; }
+            else if (d == 2) { nc = c - 1; }
+            else { nc = c + 1; }
+            if (nr >= 0 && nr < 16 && nc >= 0 && nc < 16) {
+                int np = nr * 16 + nc;
+                if (grid[np] < 9999) {
+                    int nd = dist[best] + grid[np];
+                    if (nd < dist[np]) { dist[np] = nd; open[np] = 1; }
+                }
+            }
+        }
+        iter = iter + 1;
+    }
+    return dist[255];
+}
+
+func main(int rounds) int {
+    int check = 0;
+    for (int r = 0; r < rounds; r = r + 1) {
+        genmaze(r * 331 + 11);
+        check = (check + search()) % 1000000007;
+    }
+    return check;
+}
+`,
+		},
+	}
+}

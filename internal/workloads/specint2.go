@@ -1,0 +1,260 @@
+package workloads
+
+// specInt2 returns the second half of the SPEC INT-like kernels.
+func specInt2() []Workload {
+	return []Workload{
+		{
+			Name: "libquantum", Suite: SpecInt, Args: []uint64{60}, MemWords: 32768,
+			// Quantum register gate simulation: bit-twiddling over a
+			// state-amplitude table, updated in place per gate.
+			Source: `
+global int state[256];
+
+func initreg(int seed) void {
+    int s = seed;
+    for (int i = 0; i < 256; i = i + 1) {
+        s = s * 48271 % 2147483647;
+        state[i] = s % 1024;
+    }
+}
+
+func cnot(int control, int target) void {
+    int cm = 1 << control;
+    int tm = 1 << target;
+    for (int i = 0; i < 256; i = i + 1) {
+        if ((i & cm) != 0 && (i & tm) == 0) {
+            int j = i | tm;
+            int tmp = state[i];
+            state[i] = state[j];
+            state[j] = tmp;
+        }
+    }
+}
+
+func hadamardish(int target) void {
+    int tm = 1 << target;
+    for (int i = 0; i < 256; i = i + 1) {
+        if ((i & tm) == 0) {
+            int j = i | tm;
+            int a = state[i];
+            int b = state[j];
+            state[i] = (a + b) / 2;
+            state[j] = (a - b) / 2;
+        }
+    }
+}
+
+func main(int gates) int {
+    initreg(17);
+    int s = 5;
+    for (int g = 0; g < gates; g = g + 1) {
+        s = s * 48271 % 2147483647;
+        int t = s % 8;
+        if (s % 3 == 0) {
+            hadamardish(t);
+        } else {
+            cnot(t, (t + 1 + s % 7) % 8);
+        }
+    }
+    int check = 0;
+    for (int i = 0; i < 256; i = i + 1) {
+        check = (check * 31 + state[i]) % 1000000007;
+    }
+    return check;
+}
+`,
+		},
+		{
+			Name: "h264ref", Suite: SpecInt, Args: []uint64{50}, MemWords: 65536,
+			// Motion estimation: sum-of-absolute-differences search over a
+			// reference frame — streaming reads, one best-match write.
+			Source: `
+global int frame[1024];
+global int block[16];
+
+func genframe(int seed) void {
+    int s = seed;
+    for (int i = 0; i < 1024; i = i + 1) {
+        s = s * 1103515245 + 12345;
+        int v = (s >> 16) % 256;
+        if (v < 0) { v = -v; }
+        frame[i] = v;
+    }
+}
+
+func sad(int bx, int by) int {
+    int total = 0;
+    for (int r = 0; r < 4; r = r + 1) {
+        for (int c = 0; c < 4; c = c + 1) {
+            int d = block[r * 4 + c] - frame[((by + r) % 32) * 32 + (bx + c) % 32];
+            if (d < 0) { d = -d; }
+            total = total + d;
+        }
+    }
+    return total;
+}
+
+func search() int {
+    int best = 1000000;
+    int bestpos = 0;
+    for (int y = 0; y < 28; y = y + 2) {
+        for (int x = 0; x < 28; x = x + 2) {
+            int s = sad(x, y);
+            if (s < best) { best = s; bestpos = y * 32 + x; }
+        }
+    }
+    return bestpos * 1000000 + best;
+}
+
+func main(int blocks) int {
+    genframe(3);
+    int check = 0;
+    int s = 7;
+    for (int b = 0; b < blocks; b = b + 1) {
+        for (int i = 0; i < 16; i = i + 1) {
+            s = s * 48271 % 2147483647;
+            block[i] = s % 256;
+        }
+        check = (check * 131 + search()) % 1000000007;
+    }
+    return check;
+}
+`,
+		},
+		{
+			Name: "omnetpp", Suite: SpecInt, Args: []uint64{900}, MemWords: 32768,
+			// Discrete-event simulation: a binary-heap event queue with
+			// constant insert/pop churn (in-place heap updates).
+			Source: `
+global int heapT[256];
+global int heapK[256];
+global int size = 0;
+global int stations[16];
+
+func push(int t, int kind) void {
+    int i = size;
+    heapT[i] = t;
+    heapK[i] = kind;
+    size = size + 1;
+    while (i > 0 && heapT[(i - 1) / 2] > heapT[i]) {
+        int p = (i - 1) / 2;
+        int tt = heapT[p]; heapT[p] = heapT[i]; heapT[i] = tt;
+        int kk = heapK[p]; heapK[p] = heapK[i]; heapK[i] = kk;
+        i = p;
+    }
+}
+
+func pop() int {
+    int top = heapT[0] * 100 + heapK[0];
+    size = size - 1;
+    heapT[0] = heapT[size];
+    heapK[0] = heapK[size];
+    int i = 0;
+    while (1) {
+        int l = 2 * i + 1;
+        int r = 2 * i + 2;
+        int m = i;
+        if (l < size && heapT[l] < heapT[m]) { m = l; }
+        if (r < size && heapT[r] < heapT[m]) { m = r; }
+        if (m == i) { break; }
+        int tt = heapT[m]; heapT[m] = heapT[i]; heapT[i] = tt;
+        int kk = heapK[m]; heapK[m] = heapK[i]; heapK[i] = kk;
+        i = m;
+    }
+    return top;
+}
+
+func main(int events) int {
+    int s = 13;
+    int now = 0;
+    int check = 0;
+    push(1, 0);
+    for (int e = 0; e < events; e = e + 1) {
+        if (size == 0) { push(now + 1, e % 16); }
+        int ev = pop();
+        now = ev / 100;
+        int k = ev % 100;
+        stations[k % 16] = stations[k % 16] + 1;
+        s = s * 48271 % 2147483647;
+        if (size < 200) {
+            push(now + s % 50 + 1, s % 16);
+            if (s % 4 == 0 && size < 200) {
+                push(now + s % 20 + 1, (s / 16) % 16);
+            }
+        }
+        check = (check + now) % 1000000007;
+    }
+    return check;
+}
+`,
+		},
+		{
+			Name: "xalancbmk", Suite: SpecInt, Args: []uint64{120}, MemWords: 65536,
+			// Tree transformation: build a random n-ary document tree
+			// (array-encoded), then repeatedly match-and-rewrite patterns.
+			Source: `
+global int tag[512];
+global int firstChild[512];
+global int nextSib[512];
+global int nodes = 0;
+
+func build(int parent, int depth, int seed) int {
+    if (nodes >= 500) { return seed; }
+    int me = nodes;
+    nodes = nodes + 1;
+    int s = seed * 48271 % 2147483647;
+    tag[me] = s % 8;
+    firstChild[me] = -1;
+    nextSib[me] = -1;
+    if (parent >= 0) {
+        nextSib[me] = firstChild[parent];
+        firstChild[parent] = me;
+    }
+    if (depth > 0) {
+        int kids = s % 4;
+        for (int k = 0; k < kids; k = k + 1) {
+            s = build(me, depth - 1, s + k + 1);
+        }
+    }
+    return s;
+}
+
+// rewrite: a node tagged 3 whose first child is tagged 5 becomes tag 7.
+func rewrite() int {
+    int hits = 0;
+    for (int n = 0; n < nodes; n = n + 1) {
+        if (tag[n] == 3) {
+            int c = firstChild[n];
+            if (c >= 0 && tag[c] == 5) {
+                tag[n] = 7;
+                hits = hits + 1;
+            }
+        }
+        if (tag[n] == 7) {
+            // renumber children cyclically
+            int c = firstChild[n];
+            while (c >= 0) {
+                tag[c] = (tag[c] + 1) % 8;
+                c = nextSib[c];
+            }
+        }
+    }
+    return hits;
+}
+
+func main(int passes) int {
+    nodes = 0;
+    build(-1, 6, 911);
+    int check = nodes;
+    for (int p = 0; p < passes; p = p + 1) {
+        check = (check * 31 + rewrite()) % 1000000007;
+    }
+    for (int n = 0; n < nodes; n = n + 1) {
+        check = (check * 7 + tag[n]) % 1000000007;
+    }
+    return check;
+}
+`,
+		},
+	}
+}

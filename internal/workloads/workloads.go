@@ -1,0 +1,83 @@
+// Package workloads provides the benchmark suite: synthetic kernels
+// written in idc that substitute for the paper's SPEC CPU2006 and PARSEC
+// programs (which are unavailable here). Each kernel mirrors the
+// *character* of its namesake — SPEC INT: pointer-chasing, branchy,
+// hash/DP/search-style integer codes; SPEC FP: regular floating-point
+// loop nests; PARSEC: streaming, data-parallel kernels that rarely
+// overwrite their inputs — because those characteristics, not the exact
+// programs, drive the paper's trends (input-overwrite frequency sets
+// idempotent path lengths, §3; register pressure and FP-vs-INT register
+// counts set the overheads, §6.2).
+package workloads
+
+import (
+	"fmt"
+
+	"idemproc/internal/ir"
+	"idemproc/internal/lang"
+)
+
+// Suite labels a benchmark group.
+type Suite string
+
+const (
+	SpecInt Suite = "SPEC INT"
+	SpecFP  Suite = "SPEC FP"
+	Parsec  Suite = "PARSEC"
+)
+
+// Workload is one benchmark program.
+type Workload struct {
+	// Name follows the substituted benchmark's name.
+	Name  string
+	Suite Suite
+	// Source is the idc program; execution starts at "main".
+	Source string
+	// Args are the arguments to main (problem size first).
+	Args []uint64
+	// MemWords sizes the machine memory.
+	MemWords int
+}
+
+// Module compiles a fresh IR module for the workload (each caller gets
+// its own copy, since compilation pipelines mutate IR in place).
+func (w Workload) Module() *ir.Module {
+	m, err := lang.Compile(w.Source)
+	if err != nil {
+		panic(fmt.Sprintf("workloads: %s does not compile: %v", w.Name, err))
+	}
+	return m
+}
+
+// All returns every workload, SPEC INT then SPEC FP then PARSEC.
+func All() []Workload {
+	var out []Workload
+	out = append(out, specInt()...)
+	out = append(out, specInt2()...)
+	out = append(out, specFP()...)
+	out = append(out, specFP2()...)
+	out = append(out, parsec()...)
+	out = append(out, parsec2()...)
+	return out
+}
+
+// BySuite filters All by suite.
+func BySuite(s Suite) []Workload {
+	var out []Workload
+	for _, w := range All() {
+		if w.Suite == s {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// ByName returns the named workload.
+func ByName(name string) (Workload, bool) {
+	for _, w := range All() {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return Workload{}, false
+}

@@ -1,0 +1,100 @@
+package workloads
+
+import (
+	"testing"
+
+	"idemproc/internal/codegen"
+	"idemproc/internal/core"
+	"idemproc/internal/ir"
+	"idemproc/internal/machine"
+	"idemproc/internal/ssa"
+)
+
+func TestSuiteComposition(t *testing.T) {
+	all := All()
+	if len(all) != 31 {
+		t.Fatalf("suite has %d workloads, want 31", len(all))
+	}
+	counts := map[Suite]int{}
+	names := map[string]bool{}
+	for _, w := range all {
+		counts[w.Suite]++
+		if names[w.Name] {
+			t.Fatalf("duplicate workload name %q", w.Name)
+		}
+		names[w.Name] = true
+		if len(w.Args) == 0 || w.MemWords == 0 {
+			t.Fatalf("%s: missing args or memory size", w.Name)
+		}
+	}
+	if counts[SpecInt] != 12 || counts[SpecFP] != 8 || counts[Parsec] != 11 {
+		t.Fatalf("suite split = %v", counts)
+	}
+	if _, ok := ByName("lbm"); !ok {
+		t.Fatal("ByName(lbm) failed")
+	}
+}
+
+// interpResult runs the workload under the reference interpreter.
+func interpResult(t *testing.T, w Workload) ir.Word {
+	t.Helper()
+	m := w.Module()
+	for _, f := range m.Funcs {
+		ssa.PromoteAllocas(f)
+		ssa.Build(f)
+	}
+	in := ir.NewInterp(m, w.MemWords)
+	in.MaxSteps = 500_000_000
+	args := make([]ir.Word, len(w.Args))
+	for i, a := range w.Args {
+		args[i] = ir.Word(a)
+	}
+	got, err := in.Run("main", args...)
+	if err != nil {
+		t.Fatalf("%s: interp: %v", w.Name, err)
+	}
+	return got
+}
+
+func TestAllWorkloadsInterp(t *testing.T) {
+	seen := map[ir.Word]int{}
+	for _, w := range All() {
+		got := interpResult(t, w)
+		// Determinism across runs.
+		if again := interpResult(t, w); again != got {
+			t.Fatalf("%s: nondeterministic (%d vs %d)", w.Name, got, again)
+		}
+		seen[got]++
+	}
+	// Checksums should be varied (kernels actually compute something).
+	if len(seen) < 15 {
+		t.Fatalf("checksums suspiciously uniform: %v", seen)
+	}
+}
+
+func TestAllWorkloadsBothBinaries(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			want := interpResult(t, w)
+			for _, idem := range []bool{false, true} {
+				m := w.Module()
+				p, _, err := codegen.CompileModule(m, "main", w.MemWords, idem, core.DefaultOptions())
+				if err != nil {
+					t.Fatalf("idem=%v: %v", idem, err)
+				}
+				mach := machine.New(p, machine.Config{BufferStores: idem, TrackPaths: idem})
+				got, err := mach.Run(w.Args...)
+				if err != nil {
+					t.Fatalf("idem=%v: %v", idem, err)
+				}
+				if got != uint64(want) {
+					t.Fatalf("idem=%v: machine %d, interp %d", idem, got, want)
+				}
+				if idem && mach.Stats.Marks == 0 {
+					t.Fatal("idempotent binary executed no region boundaries")
+				}
+			}
+		})
+	}
+}
