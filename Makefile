@@ -1,0 +1,31 @@
+# Standard entry points. `make ci` is the full gate: build, vet, and the
+# test suite under the race detector (the campaign engine is the main
+# concurrent component — see docs/faultengine.md).
+
+GO ?= go
+
+.PHONY: all build vet test race race-fault bench ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The race detector multiplies runtime; race-fault covers the concurrent
+# campaign engine quickly, race runs the whole tree.
+race-fault:
+	$(GO) test -race ./internal/fault/... ./internal/machine/...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+ci: build vet race

@@ -7,11 +7,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"idemproc/internal/experiments"
+	"idemproc/internal/fault"
 	"idemproc/internal/workloads"
 )
 
@@ -28,6 +30,9 @@ func main() {
 		chars  = flag.Bool("characteristics", false, "static region characteristics")
 		ablate = flag.Bool("ablations", false, "design-choice ablations")
 		sweep  = flag.Bool("sweep", false, "region-size trade-off sweep (§6.2)")
+		resil  = flag.Bool("resilience", false, "fault-injection resilience table (§6.3, see docs/faultengine.md)")
+		rruns  = flag.Int("resilience-runs", 100, "injection runs per (workload, scheme) campaign")
+		rseed  = flag.Uint64("resilience-seed", fault.DefaultSeed, "campaign seed (tables reproduce exactly from it)")
 		suite  = flag.String("suite", "", "restrict to one suite (SPEC INT, SPEC FP, PARSEC)")
 		bench  = flag.String("workload", "", "restrict to one workload by name")
 	)
@@ -157,6 +162,17 @@ func main() {
 			}
 			fmt.Println(experiments.FormatSweep(w.Name, pts))
 		}
+	}
+
+	// -resilience is opt-in only (not part of -all): campaigns run
+	// 4 schemes × N injections per workload and dominate the runtime.
+	if *resil {
+		ran = true
+		res, err := experiments.Resilience(context.Background(), ws, *rruns, *rseed)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(res.Format())
 	}
 
 	if !ran {

@@ -5,12 +5,22 @@
 //	idemsim -workload mcf -scheme idem          # idempotence-based recovery
 //	idemsim -workload mcf -scheme idem -faults 25
 //	idemsim -src prog.idc -args 100 -scheme cl
+//
+// Campaigns are parallel, seeded and resumable (see docs/faultengine.md):
+//
+//	idemsim -workload mcf -scheme idem -campaign 500 -seed 7 -models all \
+//	        -workers 8 -checkpoint mcf.ckpt.json -json mcf.json
+//	idemsim ... -campaign 500 -seed 7 -checkpoint mcf.ckpt.json -resume
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 
@@ -33,6 +43,16 @@ func main() {
 		branches = flag.Int("branch-faults", 0, "inject N control-flow errors (wrong-direction branches)")
 		campaign = flag.Int("campaign", 0, "run an N-injection campaign and report the aggregate")
 		paths    = flag.Bool("paths", false, "report dynamic region path statistics")
+
+		seed       = flag.Uint64("seed", fault.DefaultSeed, "campaign PRNG seed (campaigns replay exactly from it)")
+		workers    = flag.Int("workers", 0, "campaign worker pool size (0 = GOMAXPROCS)")
+		models     = flag.String("models", "reg", "comma-separated campaign fault models: reg,burst,mem,cf,boundary,nested or 'all'")
+		jsonOut    = flag.String("json", "", "write the campaign aggregate as JSON to this file ('-' for stdout)")
+		records    = flag.Bool("records", false, "include per-run records in the JSON aggregate")
+		checkpoint = flag.String("checkpoint", "", "campaign checkpoint file (written periodically; enables -resume)")
+		ckptEvery  = flag.Int("checkpoint-every", 50, "completed runs between checkpoint writes")
+		resume     = flag.Bool("resume", false, "resume the campaign from -checkpoint, skipping completed runs")
+		timeout    = flag.Duration("timeout", 0, "abort the campaign after this duration (0 = none); a checkpoint is written on abort")
 	)
 	flag.Parse()
 
@@ -117,13 +137,75 @@ func main() {
 		if !hasScheme {
 			fail(fmt.Errorf("-campaign requires a -scheme"))
 		}
-		res, err := fault.Campaign(p, schemeID, *campaign, runArgs...)
+		ms, err := fault.ParseModels(*models)
 		if err != nil {
 			fail(err)
 		}
+		spec := fault.Spec{
+			Scheme:          schemeID,
+			Runs:            *campaign,
+			Seed:            *seed,
+			Workers:         *workers,
+			Models:          ms,
+			Args:            runArgs,
+			KeepRecords:     *records,
+			CheckpointPath:  *checkpoint,
+			CheckpointEvery: *ckptEvery,
+			Resume:          *resume,
+		}
+
+		// Ctrl-C (and an optional -timeout) cancel the campaign cleanly:
+		// the engine writes a final checkpoint before returning, so the
+		// run can be picked up again with -resume.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stop()
+		if *timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *timeout)
+			defer cancel()
+		}
+
+		res, err := fault.RunCampaign(ctx, p, spec)
+		if err != nil {
+			if (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) && *checkpoint != "" {
+				fmt.Fprintf(os.Stderr, "idemsim: %v (checkpoint saved to %s; rerun with -resume)\n", err, *checkpoint)
+				os.Exit(3)
+			}
+			fail(err)
+		}
+
 		fmt.Printf("campaign (%s): %d runs, %d landed, %d detected, %d recovered, %d correct\n",
 			schemeID, res.Runs, res.Landed, res.Detected, res.Recovered, res.Correct)
-		fmt.Printf("mean re-execution cost: %.2f%% extra instructions\n", res.ExtraInstrPct)
+		fmt.Printf("outcomes: %d vacuous, %d benign, %d corrected, %d SDC, %d halted, %d livelock, %d crash\n",
+			res.Vacuous, res.Benign, res.Corrected, res.SDC, res.DetectedHalt, res.Livelocks, res.Crashes)
+		fmt.Printf("rates: SDC %.2f%%, detection %.2f%%, recovery %.2f%%\n",
+			100*res.SDCRate, 100*res.DetectionRate, 100*res.RecoveryRate)
+		if res.MeanDetectLatency > 0 {
+			fmt.Printf("mean detection latency: %.1f dynamic instructions\n", res.MeanDetectLatency)
+		}
+		fmt.Printf("mean re-execution cost: %.2f%% extra instructions (p50 %.2f%%, p90 %.2f%%, p99 %.2f%%)\n",
+			res.ExtraInstrPct, res.InflationP50, res.InflationP90, res.InflationP99)
+		for _, k := range fault.AllModels() {
+			st, ok := res.ByModel[k.String()]
+			if !ok {
+				continue
+			}
+			fmt.Printf("  model %-8s %4d runs, %4d landed, %4d benign, %4d corrected, %4d SDC\n",
+				k, st.Runs, st.Landed, st.Benign, st.Corrected, st.SDC)
+		}
+
+		if *jsonOut != "" {
+			data, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				fail(err)
+			}
+			data = append(data, '\n')
+			if *jsonOut == "-" {
+				os.Stdout.Write(data)
+			} else if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+				fail(err)
+			}
+		}
 		return
 	}
 

@@ -1,0 +1,109 @@
+package fault
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Checkpoint is the on-disk snapshot of a partially completed campaign:
+// the spec it was launched with, the reference run's fingerprint (span
+// and result, guarding against resuming onto a different program or
+// arguments), and every completed run record. Checkpoints are written
+// atomically (temp file + rename), so a kill mid-write leaves the
+// previous snapshot intact.
+type Checkpoint struct {
+	Version int   `json:"version"`
+	Spec    Spec  `json:"spec"`
+	Span    int64 `json:"span"`
+	// Want is the fault-free reference result.
+	Want    uint64      `json:"want"`
+	Records []RunRecord `json:"records"`
+}
+
+// checkpointVersion guards the schema.
+const checkpointVersion = 1
+
+// errCheckpointMissing distinguishes "no checkpoint yet" (fresh start)
+// from a corrupt or mismatched one (hard error).
+var errCheckpointMissing = errors.New("fault: no checkpoint")
+
+// LoadCheckpoint reads a campaign checkpoint.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, fmt.Errorf("%w at %s", errCheckpointMissing, path)
+		}
+		return nil, fmt.Errorf("fault: reading checkpoint: %w", err)
+	}
+	var ck Checkpoint
+	if err := json.Unmarshal(data, &ck); err != nil {
+		return nil, fmt.Errorf("fault: corrupt checkpoint %s: %w", path, err)
+	}
+	if ck.Version != checkpointVersion {
+		return nil, fmt.Errorf("fault: checkpoint %s has version %d, want %d", path, ck.Version, checkpointVersion)
+	}
+	return &ck, nil
+}
+
+// validate checks that a loaded checkpoint belongs to the campaign being
+// resumed: same seed, scheme, run count, model mix, and the same
+// reference fingerprint.
+func (ck *Checkpoint) validate(spec Spec, span int64, want uint64) error {
+	switch {
+	case ck.Spec.Seed != spec.Seed:
+		return fmt.Errorf("fault: checkpoint seed %d != campaign seed %d", ck.Spec.Seed, spec.Seed)
+	case ck.Spec.Scheme != spec.Scheme:
+		return fmt.Errorf("fault: checkpoint scheme %v != campaign scheme %v", ck.Spec.Scheme, spec.Scheme)
+	case ck.Spec.Runs != spec.Runs:
+		return fmt.Errorf("fault: checkpoint runs %d != campaign runs %d", ck.Spec.Runs, spec.Runs)
+	case len(ck.Spec.Models) != len(spec.Models):
+		return fmt.Errorf("fault: checkpoint model mix differs")
+	case ck.Span != span || ck.Want != want:
+		return fmt.Errorf("fault: checkpoint reference (span=%d result=%d) does not match this program (span=%d result=%d)",
+			ck.Span, ck.Want, span, want)
+	}
+	for i := range ck.Spec.Models {
+		if ck.Spec.Models[i] != spec.Models[i] {
+			return fmt.Errorf("fault: checkpoint model mix differs at %d: %v != %v", i, ck.Spec.Models[i], spec.Models[i])
+		}
+	}
+	return nil
+}
+
+// saveCheckpoint atomically writes the completed records to path.
+func saveCheckpoint(path string, spec Spec, span int64, want uint64, records []*RunRecord) error {
+	ck := Checkpoint{Version: checkpointVersion, Spec: spec, Span: span, Want: want}
+	for _, r := range records {
+		if r != nil {
+			ck.Records = append(ck.Records, *r)
+		}
+	}
+	sort.Slice(ck.Records, func(i, j int) bool { return ck.Records[i].Index < ck.Records[j].Index })
+	data, err := json.MarshalIndent(&ck, "", " ")
+	if err != nil {
+		return fmt.Errorf("fault: encoding checkpoint: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".ckpt-*")
+	if err != nil {
+		return fmt.Errorf("fault: writing checkpoint: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("fault: writing checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("fault: writing checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("fault: writing checkpoint: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,46 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+
+	"idemproc/internal/codegen"
+	"idemproc/internal/core"
+	"idemproc/internal/workloads"
+)
+
+// TestBuildDeterminism guards the toolchain invariant the campaign engine
+// depends on: compiling the same source twice must yield bit-identical
+// instruction streams (before and after recovery instrumentation), or
+// seeded injections stop being reproducible across rebuilds. A map-
+// iteration-ordered φ-insertion in ssa.Build once broke this.
+func TestBuildDeterminism(t *testing.T) {
+	w, ok := workloads.ByName("blackscholes")
+	if !ok {
+		t.Fatal("blackscholes workload missing")
+	}
+	for _, idem := range []bool{false, true} {
+		build := func() *codegen.Program {
+			p, _, err := codegen.CompileModuleOpts(w.Module(), "main", w.MemWords,
+				codegen.ModuleOptions{Idempotent: idem, Core: core.DefaultOptions()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return p
+		}
+		p1, p2 := build(), build()
+		if !reflect.DeepEqual(p1.Instrs, p2.Instrs) {
+			t.Fatalf("idem=%v: codegen produced different instruction streams for identical input", idem)
+		}
+		schemes := []Scheme{SchemeDMR, SchemeTMR, SchemeCheckpointLog}
+		if idem {
+			schemes = []Scheme{SchemeIdempotence}
+		}
+		for _, s := range schemes {
+			a, b := Apply(p1, s), Apply(p2, s)
+			if !reflect.DeepEqual(a.Instrs, b.Instrs) {
+				t.Fatalf("idem=%v scheme=%s: instrumented streams differ", idem, s)
+			}
+		}
+	}
+}

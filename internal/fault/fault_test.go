@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"errors"
 	"testing"
 
 	"idemproc/internal/codegen"
@@ -224,7 +225,7 @@ func TestDMRDetectsWithoutRecovery(t *testing.T) {
 		m := machine.New(p, machine.Config{})
 		m.InjectFault(step, 3)
 		_, err := m.Run(40)
-		if err == machine.ErrDetectedUnrecoverable {
+		if errors.Is(err, machine.ErrDetectedUnrecoverable) {
 			sawDetection = true
 		}
 	}

@@ -20,6 +20,29 @@ func (m *Machine) step() error {
 	m.Stats.DynInstrs++
 	m.pathLen++
 
+	// Scheduled memory-word corruptions fire before the instruction
+	// executes: flip the word's current value wherever it lives (the
+	// youngest store-buffer entry forwards to loads, else backing memory).
+	for len(m.memFaultAt) > 0 && seq >= m.memFaultAt[0].step {
+		mf := m.memFaultAt[0]
+		m.memFaultAt = m.memFaultAt[1:]
+		hit := false
+		for i := len(m.storeBuf) - 1; i >= 0; i-- {
+			if m.storeBuf[i].addr == mf.addr {
+				m.storeBuf[i].val ^= mf.mask
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			if mf.addr <= 0 || mf.addr >= int64(len(m.Mem)) {
+				continue // outside the address space: vacuous
+			}
+			m.Mem[mf.addr] ^= mf.mask
+		}
+		m.noteFault()
+	}
+
 	// Shadow copies execute against the shadow bank: architecturally
 	// invisible, but they occupy pipeline slots and have dependencies.
 	if in.Shadow > 0 {
@@ -62,6 +85,9 @@ func (m *Machine) step() error {
 					m.pipe.account(m, in)
 					return nil
 				}
+				if m.livelocked {
+					return ErrLivelock
+				}
 			}
 			return err
 		}
@@ -92,6 +118,9 @@ func (m *Machine) step() error {
 					m.pipe.account(m, in)
 					return nil
 				}
+				if m.livelocked {
+					return ErrLivelock
+				}
 			}
 			return err
 		}
@@ -119,7 +148,7 @@ func (m *Machine) step() error {
 		if len(m.flipAt) > 0 && seq >= m.flipAt[0] && !m.wrongPath {
 			cond = !cond
 			m.wrongPath = true
-			m.Stats.Faults++
+			m.noteFault()
 			m.flipAt = m.flipAt[1:]
 		}
 		if cond {
@@ -142,9 +171,14 @@ func (m *Machine) step() error {
 		}
 	case isa.HALT:
 		// A wrong path must not terminate the machine.
-		if m.wrongPath && m.Cfg.Recovery != RecoverNone && m.recoverFault() {
-			m.pipe.account(m, in)
-			return nil
+		if m.wrongPath && m.Cfg.Recovery != RecoverNone {
+			if m.recoverFault() {
+				m.pipe.account(m, in)
+				return nil
+			}
+			if m.livelocked {
+				return ErrLivelock
+			}
 		}
 		m.halted = true
 		if m.Cfg.TrackPaths && m.pathLen > 0 {
@@ -152,6 +186,12 @@ func (m *Machine) step() error {
 		}
 	case isa.MARK:
 		m.Stats.Marks++
+		// Boundary faults armed before this MARK are primed now and fire
+		// on the first register write of the new region.
+		for len(m.boundaryAt) > 0 && seq >= m.boundaryAt[0].step {
+			m.primed = append(m.primed, m.boundaryAt[0].mask)
+			m.boundaryAt = m.boundaryAt[1:]
+		}
 		// Control-flow verification at the boundary (§2.3): a wrong-path
 		// execution is detected here, before any of its stores commit.
 		if m.wrongPath && m.Cfg.Recovery != RecoverNone {
@@ -159,13 +199,18 @@ func (m *Machine) step() error {
 				m.pipe.account(m, in)
 				return nil
 			}
+			if m.livelocked {
+				return ErrLivelock
+			}
 		}
 		// Outstanding value divergence must also be resolved before the
 		// region's stores commit — except on the re-entry a recovery just
 		// jumped to, where stale (non-input) registers are expected until
 		// the re-execution rewrites them.
+		reentry := false
 		if m.justRecovered {
 			m.justRecovered = false
+			reentry = true
 		} else if m.anyTaint() && m.Cfg.Recovery != RecoverNone {
 			if debugReconcile {
 				fmt.Printf("MARK-DETECT pc=%d fn=%s rp=%d consec=%d\n", m.PC, m.fn(), m.rp, m.consecBoundary)
@@ -174,10 +219,20 @@ func (m *Machine) step() error {
 				m.pipe.account(m, in)
 				return nil
 			}
+			if m.livelocked {
+				return ErrLivelock
+			}
 		}
 		m.lastRecoverPC = -1
 		m.consecBoundary = 0
 		m.commitRegion()
+		// Only a boundary the re-execution was NOT restarted at counts as
+		// forward progress for the bounded-retry watchdog: the re-entry
+		// MARK a recovery jumps to re-opens the same region.
+		if !reentry {
+			m.retryPC = -1
+			m.retryCount = 0
+		}
 	case isa.CHECK:
 		// DMR check: the redundant copy disagrees iff the value diverges
 		// from the golden mirror.
@@ -186,7 +241,7 @@ func (m *Machine) step() error {
 				fmt.Printf("CHECK-DETECT pc=%d fn=%s reg=%v arch=%d golden=%d rp=%d seq=%d\n", m.PC, m.fn(), in.Rs1, int64(m.Regs[in.Rs1]), int64(m.golden[in.Rs1]), m.rp, m.Stats.DynInstrs)
 			}
 			if !m.recoverFault() {
-				return ErrDetectedUnrecoverable
+				return m.detectErr()
 			}
 			m.pipe.account(m, in)
 			return nil
@@ -196,15 +251,24 @@ func (m *Machine) step() error {
 		// one, restoring the correct value in place.
 		if m.tainted(in.Rd) {
 			m.Stats.Detections++
+			m.noteDetect()
 			setReg(in.Rd, m.goldenOf(in.Rd))
 		}
 	default:
 		v, err := evalALU(in, src)
 		if err != nil {
-			// Division by zero on a wrong path is a speculation artifact.
-			if m.wrongPath && m.Cfg.Recovery != RecoverNone && m.recoverFault() {
-				m.pipe.account(m, in)
-				return nil
+			// Division by zero on a wrong path is a speculation artifact;
+			// a corrupted operand (e.g. a divisor flipped to zero) is a
+			// detection, exactly like a corrupted address register.
+			corrupt := m.tainted(in.Rs1) || (hasRs2(in.Op) && m.tainted(in.Rs2))
+			if (m.wrongPath || corrupt) && m.Cfg.Recovery != RecoverNone {
+				if m.recoverFault() {
+					m.pipe.account(m, in)
+					return nil
+				}
+				if m.livelocked {
+					return ErrLivelock
+				}
 			}
 			return err
 		}
@@ -221,16 +285,30 @@ func (m *Machine) step() error {
 
 	// Scheduled fault injection: corrupt the just-written architectural
 	// destination (the golden mirror keeps the correct value).
-	// Instrumentation (Meta) is outside the fault sphere.
-	if len(m.faultAt) > 0 && !in.Meta && wroteRd && seq >= m.faultAt[0].step {
-		mask := m.faultAt[0].mask
-		m.faultAt = m.faultAt[1:]
-		if in.Rd.IsFloat() {
-			m.FReg[in.Rd-16] ^= mask
-		} else {
-			m.Regs[in.Rd] ^= mask
+	// Instrumentation (Meta) is outside the fault sphere. Step-scheduled,
+	// boundary-primed and recovery-nested faults all land here.
+	if wroteRd && !in.Meta {
+		var mask uint64
+		if len(m.faultAt) > 0 && seq >= m.faultAt[0].step {
+			mask ^= m.faultAt[0].mask
+			m.faultAt = m.faultAt[1:]
 		}
-		m.Stats.Faults++
+		if len(m.primed) > 0 {
+			mask ^= m.primed[0]
+			m.primed = m.primed[1:]
+		}
+		if len(m.nestedAt) > 0 && m.Stats.Recoveries >= m.nestedAt[0].after {
+			mask ^= m.nestedAt[0].mask
+			m.nestedAt = m.nestedAt[1:]
+		}
+		if mask != 0 {
+			if in.Rd.IsFloat() {
+				m.FReg[in.Rd-16] ^= mask
+			} else {
+				m.Regs[in.Rd] ^= mask
+			}
+			m.noteFault()
+		}
 	}
 
 	// When no injection campaign is active, the golden mirror just tracks
@@ -255,7 +333,7 @@ func (m *Machine) step() error {
 					fmt.Println()
 				}
 				if !m.boundaryRecoverOrReconcile() {
-					return ErrDetectedUnrecoverable
+					return m.detectErr()
 				}
 				m.pipe.account(m, in)
 				return nil

@@ -32,6 +32,11 @@ type Stats struct {
 	Recoveries, Detections int64
 	// Faults counts injected faults.
 	Faults int64
+	// FirstFaultStep / FirstDetectStep record the dynamic instruction
+	// index at which the first fault materialized and at which the first
+	// detection fired (-1 when none); their difference is the detection
+	// latency campaign reports aggregate.
+	FirstFaultStep, FirstDetectStep int64
 	// Reconciles counts boundary reconciliations of dead divergence.
 	Reconciles int64
 	// CacheHits/CacheMisses count L1 data cache outcomes (when the cache
@@ -109,6 +114,21 @@ type Config struct {
 	LogBase, LogWords int64
 	// MaxSteps bounds execution (default 500M).
 	MaxSteps int64
+	// WatchdogRef enables the livelock watchdog: when > 0 it is the
+	// fault-free reference dynamic-instruction count, and execution is
+	// aborted with ErrLivelock once DynInstrs exceeds
+	// WatchdogRef*WatchdogFactor + a fixed slack. Injected faults that
+	// corrupt loop bounds (directly or through memory) otherwise spin
+	// until the generic MaxSteps limit, which is orders of magnitude
+	// larger and indistinguishable from a simulator bug.
+	WatchdogRef int64
+	// WatchdogFactor is the dynamic-instruction budget relative to the
+	// fault-free reference (default 16x when WatchdogRef is set).
+	WatchdogFactor float64
+	// MaxRegionRetries bounds consecutive re-executions restarting at
+	// the same point (default 64): a fault storm that re-corrupts every
+	// re-execution escalates to ErrLivelock instead of spinning.
+	MaxRegionRetries int
 	// Tracer, if set, observes every executed instruction.
 	Tracer Tracer
 	// Cache configures the L1 data cache timing model; the zero value
@@ -173,12 +193,33 @@ type Machine struct {
 	ckptLog  int64
 
 	// Pending fault injections, sorted by step: the first register-writing
-	// instruction at or after each step has one destination bit flipped.
+	// instruction at or after each step has destination bits flipped by
+	// the recorded mask (single-bit for classic SEU, multi-bit for burst
+	// faults).
 	faultAt []pendingFault
 	// Pending control-flow error injections (§2.3: branch misprediction
 	// style failures), sorted: the first conditional branch at or after
 	// each step takes the wrong direction.
 	flipAt []int64
+	// Pending memory-word corruptions, sorted by step: at the step'th
+	// dynamic instruction the addressed word (in the store buffer if an
+	// entry is outstanding, else backing memory) has mask bits flipped.
+	memFaultAt []pendingMemFault
+	// Pending boundary faults, sorted by arming step: each is primed by
+	// the first MARK executed at or after its step and fires on the first
+	// register write after that boundary (stressing early-region
+	// corruption, where recovery must replay the whole region).
+	boundaryAt []pendingFault
+	primed     []uint64
+	// Pending nested faults, sorted by recovery count: each fires on the
+	// first register write once Stats.Recoveries reaches its threshold —
+	// a fault injected during re-execution, testing recovery-under-failure.
+	nestedAt []pendingNested
+	// Livelock escalation state: consecutive re-executions restarting at
+	// the same point.
+	retryPC    int
+	retryCount int
+	livelocked bool
 	// wrongPath is set while executing a mis-directed path; boundary
 	// verification at the next MARK detects it.
 	wrongPath bool
@@ -205,6 +246,13 @@ type bufEntry struct {
 
 // ErrDetectedUnrecoverable reports a detection with RecoverNone.
 var ErrDetectedUnrecoverable = errors.New("machine: fault detected, no recovery scheme")
+
+// ErrLivelock reports the livelock watchdog firing: either the dynamic
+// instruction budget relative to the fault-free reference was exhausted
+// (an undetected fault corrupted forward progress, e.g. a loop bound held
+// in memory) or the bounded re-execution retry counter overflowed (every
+// re-execution was re-corrupted before reaching a boundary).
+var ErrLivelock = errors.New("machine: livelock watchdog fired")
 
 // New creates a machine for p.
 func New(p *codegen.Program, cfg Config) *Machine {
@@ -233,7 +281,7 @@ func (m *Machine) Reset() {
 	}
 	m.Regs = [isa.NumIntRegs]uint64{}
 	m.FReg = [isa.NumFloatRegs]uint64{}
-	m.Stats = Stats{PathLens: map[int64]int64{}}
+	m.Stats = Stats{PathLens: map[int64]int64{}, FirstFaultStep: -1, FirstDetectStep: -1}
 	m.pipe = pipeline{}
 	if m.Cfg.Cache.Sets > 0 {
 		m.cache = newDCache(m.Cfg.Cache)
@@ -246,13 +294,30 @@ func (m *Machine) Reset() {
 	m.pathLen = 0
 	m.logPtr = m.Cfg.LogBase
 	m.ckptLog = m.Cfg.LogBase
+	m.retryPC = -1
+	m.retryCount = 0
+	m.livelocked = false
 	m.halted = false
 }
 
-// pendingFault is one scheduled single-bit corruption.
+// pendingFault is one scheduled register corruption (mask of bits to
+// flip in the destination value).
 type pendingFault struct {
 	step int64
 	mask uint64
+}
+
+// pendingMemFault is one scheduled memory-word corruption.
+type pendingMemFault struct {
+	step int64
+	addr int64
+	mask uint64
+}
+
+// pendingNested is one scheduled recovery-triggered corruption.
+type pendingNested struct {
+	after int64
+	mask  uint64
 }
 
 // InjectFault schedules a single-bit corruption of the destination value
@@ -260,16 +325,96 @@ type pendingFault struct {
 // step'th dynamic instruction (recovery instrumentation and redundant
 // copies are outside the fault sphere and are skipped over).
 func (m *Machine) InjectFault(step int64, bit uint) {
+	m.InjectFaultMask(step, 1<<(bit%64))
+}
+
+// InjectFaultMask is InjectFault generalized to an arbitrary flip mask
+// (multi-bit masks model burst faults).
+func (m *Machine) InjectFaultMask(step int64, mask uint64) {
 	i := 0
 	for i < len(m.faultAt) && m.faultAt[i].step < step {
 		i++
 	}
 	m.faultAt = append(m.faultAt, pendingFault{})
 	copy(m.faultAt[i+1:], m.faultAt[i:])
-	m.faultAt[i] = pendingFault{step: step, mask: 1 << (bit % 64)}
+	m.faultAt[i] = pendingFault{step: step, mask: mask}
 	// Injection campaigns enable the golden mirror (it is pure overhead
 	// otherwise).
 	m.injecting = true
+}
+
+// InjectMemFault schedules a corruption of memory word addr at the
+// step'th dynamic instruction: the current value of the word — in the
+// store buffer when an entry is outstanding, else backing memory — has
+// the mask bits flipped. Register-level redundancy (DMR/TMR shadow
+// copies) does not cover memory, so these faults model the ECC-gap the
+// AutoCheck line of work targets: they surface as silent data
+// corruptions, crashes, or livelocks rather than detections.
+func (m *Machine) InjectMemFault(step, addr int64, mask uint64) {
+	i := 0
+	for i < len(m.memFaultAt) && m.memFaultAt[i].step < step {
+		i++
+	}
+	m.memFaultAt = append(m.memFaultAt, pendingMemFault{})
+	copy(m.memFaultAt[i+1:], m.memFaultAt[i:])
+	m.memFaultAt[i] = pendingMemFault{step: step, addr: addr, mask: mask}
+	m.injecting = true
+}
+
+// InjectBoundaryFault schedules a region-boundary fault: armed at the
+// step'th dynamic instruction, primed by the next MARK executed, and
+// fired on the first register write after that boundary. It stresses
+// corruption immediately after a region commit, where recovery has the
+// maximal re-execution distance and the §4.4 live-in invariant carries
+// the entire burden.
+func (m *Machine) InjectBoundaryFault(step int64, mask uint64) {
+	i := 0
+	for i < len(m.boundaryAt) && m.boundaryAt[i].step < step {
+		i++
+	}
+	m.boundaryAt = append(m.boundaryAt, pendingFault{})
+	copy(m.boundaryAt[i+1:], m.boundaryAt[i:])
+	m.boundaryAt[i] = pendingFault{step: step, mask: mask}
+	m.injecting = true
+}
+
+// InjectNestedFault schedules a corruption of the first register write
+// executed once Stats.Recoveries reaches after — i.e. a fault injected
+// during the re-execution a previous recovery started, testing
+// recovery-under-failure. If no recovery ever happens the fault stays
+// vacuous.
+func (m *Machine) InjectNestedFault(after int64, mask uint64) {
+	i := 0
+	for i < len(m.nestedAt) && m.nestedAt[i].after < after {
+		i++
+	}
+	m.nestedAt = append(m.nestedAt, pendingNested{})
+	copy(m.nestedAt[i+1:], m.nestedAt[i:])
+	m.nestedAt[i] = pendingNested{after: after, mask: mask}
+	m.injecting = true
+}
+
+// noteFault records a materialized fault.
+func (m *Machine) noteFault() {
+	m.Stats.Faults++
+	if m.Stats.FirstFaultStep < 0 {
+		m.Stats.FirstFaultStep = m.Stats.DynInstrs
+	}
+}
+
+// noteDetect records a detection for the latency statistics.
+func (m *Machine) noteDetect() {
+	if m.Stats.FirstDetectStep < 0 {
+		m.Stats.FirstDetectStep = m.Stats.DynInstrs
+	}
+}
+
+// detectErr converts a failed recovery into the right sentinel.
+func (m *Machine) detectErr() error {
+	if m.livelocked {
+		return ErrLivelock
+	}
+	return ErrDetectedUnrecoverable
 }
 
 // InjectControlFlowError schedules a branch-direction failure: the first
@@ -309,9 +454,23 @@ func (m *Machine) Run(args ...uint64) (uint64, error) {
 		m.Regs[isa.RP] = uint64(m.Cfg.LogBase)
 		m.takeCheckpoint()
 	}
+	var wdBudget int64
+	if m.Cfg.WatchdogRef > 0 {
+		f := m.Cfg.WatchdogFactor
+		if f <= 0 {
+			f = 16
+		}
+		// The slack absorbs instrumentation and recovery overhead on
+		// short programs.
+		wdBudget = int64(float64(m.Cfg.WatchdogRef)*f) + 4096
+	}
 	for !m.halted {
 		if err := m.step(); err != nil {
 			return 0, err
+		}
+		if wdBudget > 0 && m.Stats.DynInstrs > wdBudget {
+			return 0, fmt.Errorf("%w: %d dynamic instructions against a fault-free reference of %d",
+				ErrLivelock, m.Stats.DynInstrs, m.Cfg.WatchdogRef)
 		}
 		if m.Stats.DynInstrs > m.Cfg.MaxSteps {
 			return 0, fmt.Errorf("machine: step limit (%d) exceeded", m.Cfg.MaxSteps)
@@ -370,9 +529,35 @@ func (m *Machine) commitRegion() {
 }
 
 // recover performs the configured recovery action. Returns false when the
-// scheme cannot recover (RecoverNone).
+// scheme cannot recover (RecoverNone) or the bounded re-execution retry
+// counter overflowed (m.livelocked is then set and callers escalate to
+// ErrLivelock via detectErr).
 func (m *Machine) recoverFault() bool {
 	m.Stats.Detections++
+	m.noteDetect()
+	// Bounded re-execution: count consecutive recoveries restarting at
+	// the same point. A fresh fault during every re-execution (nested
+	// injection) would otherwise respin forever.
+	switch m.Cfg.Recovery {
+	case RecoverIdempotence, RecoverCheckpointLog:
+		target := m.rp
+		if m.Cfg.Recovery == RecoverCheckpointLog {
+			target = m.ckptPC
+		}
+		if m.retryPC == target {
+			m.retryCount++
+		} else {
+			m.retryPC, m.retryCount = target, 1
+		}
+		limit := m.Cfg.MaxRegionRetries
+		if limit <= 0 {
+			limit = 64
+		}
+		if m.retryCount > limit {
+			m.livelocked = true
+			return false
+		}
+	}
 	switch m.Cfg.Recovery {
 	case RecoverIdempotence:
 		// Discard speculative stores, restore the calling-convention
@@ -408,6 +593,9 @@ func (m *Machine) recoverFault() bool {
 		// The checkpoint was verified clean when taken.
 		m.golden = m.ckptRegs
 		m.goldenF = m.ckptFReg
+		// A wrong-path excursion is undone by the rollback; without this
+		// the stale flag would re-trigger recovery at HALT forever.
+		m.wrongPath = false
 		m.PC = m.ckptPC
 		m.Stats.Recoveries++
 		return true
@@ -430,6 +618,9 @@ func (m *Machine) takeCheckpoint() {
 	m.ckptPC = m.PC
 	m.ckptLog = m.Cfg.LogBase
 	m.logPtr = m.Cfg.LogBase
+	// A verified checkpoint is forward progress: reset the retry state.
+	m.retryPC = -1
+	m.retryCount = 0
 }
 
 // tainted reports whether r's architectural value diverges from the

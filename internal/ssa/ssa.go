@@ -12,6 +12,7 @@ package ssa
 
 import (
 	"fmt"
+	"sort"
 
 	"idemproc/internal/cfg"
 	"idemproc/internal/ir"
@@ -56,9 +57,19 @@ func Build(f *ir.Func) {
 	}
 
 	// Insert φ-nodes at the iterated dominance frontier of each variable's
-	// definition blocks.
-	phiGroup := map[*ir.Value]string{} // inserted φ → variable name
+	// definition blocks. Variables are processed in sorted name order: map
+	// iteration order would make the φ order within a block — and with it
+	// value numbering, register assignment and the final instruction
+	// stream — vary from build to build, breaking the reproducibility of
+	// anything keyed on dynamic instruction positions (fault-injection
+	// campaigns in particular).
+	names := make([]string, 0, len(vars))
 	for name := range vars {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	phiGroup := map[*ir.Value]string{} // inserted φ → variable name
+	for _, name := range names {
 		defBlocks := map[*ir.Block]bool{}
 		for _, d := range defs[name] {
 			defBlocks[d.Block] = true
