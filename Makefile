@@ -1,26 +1,37 @@
-# Standard entry points. `make ci` is the full gate: build, vet, and the
-# test suite under the race detector (the campaign engine is the main
-# concurrent component — see docs/faultengine.md).
+# Standard entry points. `make ci` is the full gate: build, format/vet
+# checks, and the test suite under the race detector (the campaign
+# engine and the experiment engine are the concurrent components — see
+# docs/faultengine.md and docs/experiments.md).
 
 GO ?= go
+GOFMT ?= gofmt
 
-.PHONY: all build vet test race race-fault bench ci
+.PHONY: all build fmt-check vet check test race race-fault bench bench-quick ci
 
 all: build
 
 build:
 	$(GO) build ./...
 
+# fmt-check fails (listing the files) if anything is not gofmt-clean.
+fmt-check:
+	@out="$$($(GOFMT) -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
 vet:
 	$(GO) vet ./...
 
-test:
+check: fmt-check vet
+
+test: check
 	$(GO) test ./...
 
 # The race detector multiplies runtime; race-fault covers the concurrent
-# campaign engine quickly, race runs the whole tree.
+# components quickly (campaign engine, simulator, compile cache,
+# experiment engine), race runs the whole tree.
 race-fault:
-	$(GO) test -race ./internal/fault/... ./internal/machine/...
+	$(GO) test -race ./internal/fault/... ./internal/machine/... \
+		./internal/buildcache/... ./internal/experiments/...
 
 race:
 	$(GO) test -race ./...
@@ -28,4 +39,10 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-ci: build vet race
+# bench-quick is the fast smoke slice of the evaluation: a representative
+# figure pair over one suite on a parallel engine, with the stage
+# breakdown (compile vs simulate, cache hits) printed.
+bench-quick: build
+	$(GO) run ./cmd/idembench -table2 -fig10 -suite PARSEC -workers 8 -timing
+
+ci: build check race

@@ -3,9 +3,16 @@
 // benchmark reports the figure's headline aggregates as custom metrics
 // and logs the full table (visible with -v). cmd/idembench prints the
 // same tables directly.
+//
+// Pass -workers=N to fan the per-workload build/run units of each figure
+// out over N goroutines (0 = GOMAXPROCS); every figure's bytes are
+// identical for any width, so the flag only changes wall time. Each
+// benchmark builds through a fresh engine so b.N iterations after the
+// first measure the warm-cache (simulate-only) cost.
 package idemproc
 
 import (
+	"flag"
 	"testing"
 
 	"idemproc/internal/experiments"
@@ -13,11 +20,26 @@ import (
 	"idemproc/internal/workloads"
 )
 
+// benchWorkers is the worker-pool width used by every benchmark's
+// experiment engine. 0 defers to GOMAXPROCS.
+var benchWorkers = flag.Int("workers", 1, "experiment-engine worker pool width for benchmarks (0 = GOMAXPROCS)")
+
+// benchEngine returns a fresh parallel engine for one benchmark, and
+// logs its stage timing (compile vs simulate, cache hits) when the
+// benchmark finishes under -v.
+func benchEngine(b *testing.B) *experiments.Engine {
+	b.Helper()
+	e := experiments.NewEngine(*benchWorkers)
+	b.Cleanup(func() { b.Log("\n" + e.Timing().Format()) })
+	return e
+}
+
 // BenchmarkFig4LimitStudy regenerates Figure 4: dynamic idempotent path
 // lengths in the limit, under the three clobber categories.
 func BenchmarkFig4LimitStudy(b *testing.B) {
+	e := benchEngine(b)
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig4(workloads.All())
+		res, err := e.Fig4(workloads.All())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -33,8 +55,9 @@ func BenchmarkFig4LimitStudy(b *testing.B) {
 // BenchmarkFig8PathCDF regenerates Figure 8: the execution-time-weighted
 // distribution of dynamic path lengths of the constructed regions.
 func BenchmarkFig8PathCDF(b *testing.B) {
+	e := benchEngine(b)
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Fig8(workloads.All())
+		rows, err := e.Fig8(workloads.All())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -52,8 +75,9 @@ func BenchmarkFig8PathCDF(b *testing.B) {
 // BenchmarkFig9PathVsIdeal regenerates Figure 9: constructed vs ideal
 // average path lengths.
 func BenchmarkFig9PathVsIdeal(b *testing.B) {
+	e := benchEngine(b)
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig9(workloads.All())
+		res, err := e.Fig9(workloads.All())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -68,8 +92,9 @@ func BenchmarkFig9PathVsIdeal(b *testing.B) {
 // BenchmarkFig10Overheads regenerates Figure 10: execution-time and
 // dynamic-instruction overheads of the idempotent compilation.
 func BenchmarkFig10Overheads(b *testing.B) {
+	e := benchEngine(b)
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig10(workloads.All())
+		res, err := e.Fig10(workloads.All())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -88,8 +113,9 @@ func BenchmarkFig10Overheads(b *testing.B) {
 // INSTRUCTION-TMR, CHECKPOINT-AND-LOG and IDEMPOTENCE over the DMR
 // detection baseline.
 func BenchmarkFig12Recovery(b *testing.B) {
+	e := benchEngine(b)
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig12(workloads.All())
+		res, err := e.Fig12(workloads.All())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -105,8 +131,9 @@ func BenchmarkFig12Recovery(b *testing.B) {
 // BenchmarkTable2Classification regenerates the Table 2 instantiation:
 // antidependence classification by storage resource.
 func BenchmarkTable2Classification(b *testing.B) {
+	e := benchEngine(b)
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Table2(workloads.All())
+		rows, err := e.Table2(workloads.All())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -126,8 +153,9 @@ func BenchmarkTable2Classification(b *testing.B) {
 // BenchmarkAblationLoopHeuristic measures the §4.3 loop-nesting heuristic
 // (dynamic path length with it on vs off).
 func BenchmarkAblationLoopHeuristic(b *testing.B) {
+	e := benchEngine(b)
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.AblationLoopHeuristic(workloads.All())
+		rows, err := e.AblationLoopHeuristic(workloads.All())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -147,8 +175,9 @@ func BenchmarkAblationLoopHeuristic(b *testing.B) {
 // BenchmarkAblationLoopUnroll measures the §5 single unroll before
 // case-3 cuts.
 func BenchmarkAblationLoopUnroll(b *testing.B) {
+	e := benchEngine(b)
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.AblationUnroll(workloads.All())
+		rows, err := e.AblationUnroll(workloads.All())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -166,8 +195,9 @@ func BenchmarkAblationLoopUnroll(b *testing.B) {
 // BenchmarkAblationRedElim measures the Fig. 5 redundancy elimination
 // (cuts required with it on vs off).
 func BenchmarkAblationRedElim(b *testing.B) {
+	e := benchEngine(b)
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.AblationRedElim(workloads.All())
+		rows, err := e.AblationRedElim(workloads.All())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -187,8 +217,9 @@ func BenchmarkAblationRedElim(b *testing.B) {
 // BenchmarkAblationRegalloc isolates the §4.4 allocation constraint
 // (cycles with the constraint vs relaxed, same regions).
 func BenchmarkAblationRegalloc(b *testing.B) {
+	e := benchEngine(b)
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.AblationRegalloc(workloads.All())
+		rows, err := e.AblationRegalloc(workloads.All())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -208,9 +239,10 @@ func BenchmarkAblationRegalloc(b *testing.B) {
 // BenchmarkRegionSizeSweep measures the §6.2 path-length vs overhead
 // trade-off on a representative workload.
 func BenchmarkRegionSizeSweep(b *testing.B) {
+	e := benchEngine(b)
 	w, _ := workloads.ByName("gcc")
 	for i := 0; i < b.N; i++ {
-		pts, err := experiments.RegionSizeSweep(w, []int{0, 64, 16, 4})
+		pts, err := e.RegionSizeSweep(w, []int{0, 64, 16, 4})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -226,8 +258,9 @@ func BenchmarkRegionSizeSweep(b *testing.B) {
 // BenchmarkAblationPureCalls measures the pure-call inter-procedural
 // extension (dynamic path length with it on vs off).
 func BenchmarkAblationPureCalls(b *testing.B) {
+	e := benchEngine(b)
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.AblationPureCalls(workloads.All())
+		rows, err := e.AblationPureCalls(workloads.All())
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,0 +1,117 @@
+// Package buildcache memoizes workload compilation for the experiment
+// drivers. Every figure of the paper's evaluation compiles the same
+// (workload, options) pairs — Fig. 10 and Fig. 12 alone rebuild the full
+// suite twice each — so the drivers route all compiles through a shared,
+// concurrency-safe, content-keyed cache: at most one compile ever runs
+// per distinct key, concurrent requesters for the same key block on the
+// in-flight build (singleflight), and the resulting *codegen.Program is
+// shared by every subsequent simulator run (safe because a linked Program
+// is read-only — see the codegen.Program immutability contract).
+package buildcache
+
+import (
+	"sync"
+	"time"
+
+	"idemproc/internal/codegen"
+	"idemproc/internal/workloads"
+)
+
+// Key identifies one distinct compile: the workload (workload sources are
+// static, so the name identifies the module), the memory size it is
+// linked for, and the canonical options fingerprint.
+type Key struct {
+	Workload string
+	MemWords int
+	Options  string
+}
+
+// KeyOf builds the cache key for compiling w under mo.
+func KeyOf(w workloads.Workload, mo codegen.ModuleOptions) Key {
+	return Key{Workload: w.Name, MemWords: w.MemWords, Options: mo.Fingerprint()}
+}
+
+// entry is one cache slot. done is closed when the compile finishes;
+// waiters block on it and then read the immutable result fields.
+type entry struct {
+	done  chan struct{}
+	prog  *codegen.Program
+	stats *codegen.BuildStats
+	err   error
+}
+
+// Cache is a concurrency-safe compile cache. The zero value is not
+// usable; call New.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[Key]*entry
+
+	hits, misses int64
+	compileNanos int64
+}
+
+// New returns an empty cache.
+func New() *Cache {
+	return &Cache{entries: map[Key]*entry{}}
+}
+
+// Compile returns the compiled program for (w, mo), building it on first
+// request and serving the memoized result afterwards. Concurrent calls
+// with the same key perform exactly one compile. Errors are memoized too
+// (a workload that fails to build fails identically for every figure).
+//
+// The returned Program and BuildStats are shared across callers and must
+// be treated as immutable.
+func (c *Cache) Compile(w workloads.Workload, mo codegen.ModuleOptions) (*codegen.Program, *codegen.BuildStats, error) {
+	key := KeyOf(w, mo)
+
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		<-e.done
+		return e.prog, e.stats, e.err
+	}
+	e := &entry{done: make(chan struct{})}
+	c.entries[key] = e
+	c.misses++
+	c.mu.Unlock()
+
+	// Compile outside the lock so distinct keys build in parallel. The
+	// deferred close guarantees waiters are released even if the compile
+	// panics (the panic still propagates to this caller).
+	defer close(e.done)
+	start := time.Now()
+	e.prog, e.stats, e.err = codegen.CompileModuleOpts(w.Module(), "main", w.MemWords, mo)
+	c.mu.Lock()
+	c.compileNanos += time.Since(start).Nanoseconds()
+	c.mu.Unlock()
+	return e.prog, e.stats, e.err
+}
+
+// Stats is a point-in-time snapshot of cache effectiveness.
+type Stats struct {
+	// Hits counts requests served from an existing entry (including
+	// requests that waited on an in-flight compile); Misses counts
+	// requests that triggered a compile. Hits+Misses is the total request
+	// count and Misses equals Distinct.
+	Hits, Misses int64
+	// Distinct is the number of distinct (workload, options) pairs ever
+	// compiled.
+	Distinct int
+	// CompileTime is the total wall time spent inside compiles, summed
+	// across workers (it can exceed elapsed wall time under parallelism).
+	CompileTime time.Duration
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:        c.hits,
+		Misses:      c.misses,
+		Distinct:    len(c.entries),
+		CompileTime: time.Duration(c.compileNanos),
+	}
+}

@@ -1,0 +1,205 @@
+package buildcache
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"idemproc/internal/codegen"
+	"idemproc/internal/core"
+	"idemproc/internal/machine"
+	"idemproc/internal/workloads"
+)
+
+func testWorkload(t *testing.T) workloads.Workload {
+	t.Helper()
+	w, ok := workloads.ByName("bzip2")
+	if !ok {
+		t.Fatal("workload bzip2 missing")
+	}
+	return w
+}
+
+// TestCompileOnceUnderConcurrency hammers one key from many goroutines
+// and asserts exactly one compile ran (singleflight) and every caller
+// got the same shared Program. Run under -race this also checks the
+// synchronization of the entry handoff.
+func TestCompileOnceUnderConcurrency(t *testing.T) {
+	w := testWorkload(t)
+	c := New()
+	mo := codegen.ModuleOptions{Idempotent: true, Core: core.DefaultOptions()}
+
+	const callers = 16
+	progs := make([]*codegen.Program, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p, st, err := c.Compile(w, mo)
+			if err != nil {
+				t.Errorf("caller %d: %v", i, err)
+				return
+			}
+			if p == nil || st == nil {
+				t.Errorf("caller %d: nil result", i)
+				return
+			}
+			progs[i] = p
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 1; i < callers; i++ {
+		if progs[i] != progs[0] {
+			t.Fatalf("caller %d got a different Program than caller 0", i)
+		}
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Distinct != 1 {
+		t.Fatalf("got %d misses / %d distinct, want exactly one compile", st.Misses, st.Distinct)
+	}
+	if st.Hits != callers-1 {
+		t.Fatalf("got %d hits, want %d", st.Hits, callers-1)
+	}
+	if st.CompileTime <= 0 {
+		t.Fatalf("compile time not accounted: %v", st.CompileTime)
+	}
+}
+
+// TestDistinctOptionsDistinctEntries checks that differing options
+// (including nested core.Options fields) key separate cache entries.
+func TestDistinctOptionsDistinctEntries(t *testing.T) {
+	w := testWorkload(t)
+	c := New()
+	capped := core.DefaultOptions()
+	capped.MaxRegionSize = 8
+	configs := []codegen.ModuleOptions{
+		{Core: core.DefaultOptions()},
+		{Idempotent: true, Core: core.DefaultOptions()},
+		{Idempotent: true, Core: capped},
+	}
+	var progs []*codegen.Program
+	for _, mo := range configs {
+		p, _, err := c.Compile(w, mo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		progs = append(progs, p)
+	}
+	if st := c.Stats(); st.Distinct != len(configs) || st.Misses != int64(len(configs)) {
+		t.Fatalf("got %d distinct / %d misses, want %d of each", st.Distinct, st.Misses, len(configs))
+	}
+	for i := 0; i < len(progs); i++ {
+		for j := i + 1; j < len(progs); j++ {
+			if progs[i] == progs[j] {
+				t.Fatalf("configs %d and %d aliased to one Program", i, j)
+			}
+		}
+	}
+	// Re-requesting an existing key must hit.
+	if _, _, err := c.Compile(w, configs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Hits != 1 {
+		t.Fatalf("got %d hits after re-request, want 1", st.Hits)
+	}
+}
+
+// TestConcurrentRunsMatchSerial proves the Program immutability contract
+// the cache relies on: one cached Program backing many concurrent
+// machines produces exactly the serial reference result. Run under
+// -race this is the enforcement test for the contract documented on
+// codegen.Program.
+func TestConcurrentRunsMatchSerial(t *testing.T) {
+	w := testWorkload(t)
+	c := New()
+	p, _, err := c.Compile(w, codegen.ModuleOptions{Idempotent: true, Core: core.DefaultOptions()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := machine.Config{BufferStores: true, TrackPaths: true}
+
+	ref := machine.New(p, cfg)
+	refRet, err := ref.Run(w.Args...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const runners = 8
+	var wg sync.WaitGroup
+	for i := 0; i < runners; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m := machine.New(p, cfg)
+			ret, err := m.Run(w.Args...)
+			if err != nil {
+				t.Errorf("runner %d: %v", i, err)
+				return
+			}
+			if ret != refRet {
+				t.Errorf("runner %d returned %d, serial reference returned %d", i, ret, refRet)
+			}
+			if m.Stats.Cycles != ref.Stats.Cycles || m.Stats.DynInstrs != ref.Stats.DynInstrs {
+				t.Errorf("runner %d stats (%d cycles, %d instrs) != reference (%d, %d)",
+					i, m.Stats.Cycles, m.Stats.DynInstrs, ref.Stats.Cycles, ref.Stats.DynInstrs)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// TestFingerprintCoversAllFields pins the field counts of the two
+// structs the fingerprint encodes. If either struct grows a field this
+// fails, pointing at codegen.ModuleOptions.Fingerprint, which must be
+// extended in lockstep or distinct configurations would silently alias
+// to one cache entry.
+func TestFingerprintCoversAllFields(t *testing.T) {
+	if n := reflect.TypeOf(codegen.ModuleOptions{}).NumField(); n != 4 {
+		t.Errorf("codegen.ModuleOptions has %d fields, fingerprint encodes 4: extend ModuleOptions.Fingerprint", n)
+	}
+	if n := reflect.TypeOf(core.Options{}).NumField(); n != 7 {
+		t.Errorf("core.Options has %d fields, fingerprint encodes 7: extend ModuleOptions.Fingerprint", n)
+	}
+
+	// And the encoding must actually distinguish each boolean/int field.
+	base := codegen.ModuleOptions{Core: core.DefaultOptions()}
+	seen := map[string]string{base.Fingerprint(): "base"}
+	variants := map[string]codegen.ModuleOptions{}
+	add := func(name string, mo codegen.ModuleOptions) { variants[name] = mo }
+	{
+		mo := base
+		mo.Idempotent = true
+		add("Idempotent", mo)
+	}
+	{
+		mo := base
+		mo.RelaxedAlloc = true
+		add("RelaxedAlloc", mo)
+	}
+	{
+		mo := base
+		mo.PureCalls = true
+		add("PureCalls", mo)
+	}
+	flip := func(name string, f func(*core.Options)) {
+		mo := base
+		f(&mo.Core)
+		add("Core."+name, mo)
+	}
+	flip("LoopHeuristic", func(o *core.Options) { o.LoopHeuristic = !o.LoopHeuristic })
+	flip("RedElim", func(o *core.Options) { o.RedElim = !o.RedElim })
+	flip("UnrollLoops", func(o *core.Options) { o.UnrollLoops = !o.UnrollLoops })
+	flip("CutAtCalls", func(o *core.Options) { o.CutAtCalls = !o.CutAtCalls })
+	flip("BalancedHeuristic", func(o *core.Options) { o.BalancedHeuristic = !o.BalancedHeuristic })
+	flip("MaxRegionSize", func(o *core.Options) { o.MaxRegionSize = 64 })
+	flip("PureFuncs", func(o *core.Options) { o.PureFuncs = map[string]bool{"f": true} })
+	for name, mo := range variants {
+		fp := mo.Fingerprint()
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("flipping %s produced the same fingerprint as %s: %q", name, prev, fp)
+		}
+		seen[fp] = name
+	}
+}

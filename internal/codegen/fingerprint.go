@@ -1,0 +1,37 @@
+package codegen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Fingerprint returns a canonical textual encoding of the options that
+// affect compilation output. Two ModuleOptions values produce identical
+// programs for the same module if and only if their fingerprints are
+// equal, so the fingerprint is usable as a content-addressed cache key
+// (internal/buildcache keys compiles on (workload, memWords,
+// fingerprint)).
+//
+// Every field of ModuleOptions and core.Options is encoded explicitly;
+// adding a field to either struct without extending this encoding would
+// silently alias distinct configurations, so keep them in sync (the
+// buildcache tests cross-check the field count via reflection).
+func (mo ModuleOptions) Fingerprint() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "idem=%t;relaxed=%t;purecalls=%t", mo.Idempotent, mo.RelaxedAlloc, mo.PureCalls)
+	c := mo.Core
+	fmt.Fprintf(&b, ";loop=%t;redelim=%t;unroll=%t;calls=%t;maxregion=%d;balanced=%t",
+		c.LoopHeuristic, c.RedElim, c.UnrollLoops, c.CutAtCalls, c.MaxRegionSize, c.BalancedHeuristic)
+	if len(c.PureFuncs) > 0 {
+		names := make([]string, 0, len(c.PureFuncs))
+		for n, ok := range c.PureFuncs {
+			if ok {
+				names = append(names, n)
+			}
+		}
+		sort.Strings(names)
+		fmt.Fprintf(&b, ";pure=%s", strings.Join(names, ","))
+	}
+	return b.String()
+}

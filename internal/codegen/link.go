@@ -8,6 +8,14 @@ import (
 )
 
 // Program is a linked machine executable for the simulator.
+//
+// Immutability contract: once Link returns, a Program is read-only.
+// machine.Machine only ever reads it (each machine keeps its own memory,
+// registers and statistics) and fault.Apply builds a fresh instrumented
+// Program rather than editing in place, so one linked Program may back
+// any number of concurrent simulator runs — internal/buildcache relies on
+// this to share compiles across experiment workers. Anything that needs
+// to edit instructions must copy first.
 type Program struct {
 	Instrs []isa.Instr
 	// Entry is the index of the startup stub, which calls Main and HALTs.

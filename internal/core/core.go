@@ -164,7 +164,10 @@ func Construct(f *ir.Func, opts Options) (*Result, error) {
 	}
 
 	// First placement.
-	pl := place(f, opts)
+	pl, err := place(f, opts)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
 
 	// §4.2.2 case 3 with unrolling: unroll offending loops once, then
 	// re-place cuts from scratch on the larger body.
@@ -177,7 +180,10 @@ func Construct(f *ir.Func, opts Options) (*Result, error) {
 			}
 		}
 		if unrolled {
-			pl = place(f, opts)
+			pl, err = place(f, opts)
+			if err != nil {
+				return nil, fmt.Errorf("core: %w", err)
+			}
 		}
 	}
 	// Remaining case-3 loops get the fallback: a cut at the header's
@@ -313,7 +319,10 @@ func nextReal(v *ir.Value) *ir.Value {
 
 // place runs one round of analyses and cut selection (§4.2.1 plus forced
 // call cuts), then classifies self-dependent loops against those cuts.
-func place(f *ir.Func, opts Options) *placement {
+// Unsolvable cut-placement instances (multicut.ErrEmptySet) surface as
+// errors: they are reachable from user .idc input, so the compiler driver
+// must report them rather than crash.
+func place(f *ir.Func, opts Options) (*placement, error) {
 	f.RemoveUnreachable()
 	info := cfg.Compute(f)
 	ai := alias.Compute(f)
@@ -372,12 +381,15 @@ func place(f *ir.Func, opts Options) *placement {
 		sets = append(sets, s)
 	}
 
-	chosen := multicut.Solve(multicut.Problem{
+	chosen, err := multicut.Solve(multicut.Problem{
 		Sets:             sets,
 		Depth:            depthOf,
 		UseLoopHeuristic: opts.LoopHeuristic,
 		Balanced:         opts.LoopHeuristic && opts.BalancedHeuristic,
 	})
+	if err != nil {
+		return nil, fmt.Errorf("cut placement for @%s: %w", f.Name, err)
+	}
 	cuts := map[*ir.Value]bool{}
 	for _, c := range chosen {
 		cuts[byIdx[c]] = true
@@ -439,5 +451,5 @@ func place(f *ir.Func, opts Options) *placement {
 		unrolledHeaders: map[*ir.Block]bool{},
 		multicutCuts:    multicutCuts,
 		callCuts:        callCuts,
-	}
+	}, nil
 }

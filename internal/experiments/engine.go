@@ -1,0 +1,191 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"idemproc/internal/buildcache"
+	"idemproc/internal/codegen"
+	"idemproc/internal/machine"
+	"idemproc/internal/workloads"
+)
+
+// Engine runs experiment drivers over a bounded worker pool with a shared
+// content-keyed compile cache. All figure drivers are Engine methods; the
+// package-level functions of the same names are serial-engine wrappers
+// kept for convenience and API compatibility.
+//
+// Determinism contract: for a fixed workload list, every driver produces
+// byte-identical formatted output for any worker count. Work units are
+// indexed, each unit writes only its own result slot, and all aggregation
+// (geomeans, suite splits) happens serially in index order after the pool
+// drains. The compile cache only changes *when* a program is built, never
+// what is built, and simulator runs on a shared read-only Program are
+// independent (see the codegen.Program immutability contract).
+type Engine struct {
+	workers int
+	// Strict makes drivers fail when a geomean input had to be clamped
+	// (see Geomean): a degenerate measurement then surfaces as an error
+	// instead of a footnote. Tests run strict.
+	Strict bool
+
+	cache    *buildcache.Cache
+	simNanos atomic.Int64
+	simRuns  atomic.Int64
+}
+
+// NewEngine returns an engine with the given worker-pool width; workers
+// <= 0 selects GOMAXPROCS.
+func NewEngine(workers int) *Engine {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{workers: workers, cache: buildcache.New()}
+}
+
+// defaultEngine returns the serial engine backing the package-level
+// wrapper functions.
+func defaultEngine() *Engine { return NewEngine(1) }
+
+// Workers reports the pool width.
+func (e *Engine) Workers() int { return e.workers }
+
+// Build compiles w under mo through the shared cache, naming the workload
+// in any error (so a failing figure identifies its culprit).
+func (e *Engine) Build(w workloads.Workload, mo codegen.ModuleOptions) (*codegen.Program, *codegen.BuildStats, error) {
+	p, st, err := e.cache.Compile(w, mo)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", w.Name, err)
+	}
+	return p, st, nil
+}
+
+// Run executes a (possibly cached, shared) program for workload w on a
+// fresh machine, accounting the wall time to the simulate stage.
+func (e *Engine) Run(p *codegen.Program, w workloads.Workload, cfg machine.Config) (*machine.Machine, error) {
+	start := time.Now()
+	m, err := run(p, w, cfg)
+	e.simNanos.Add(time.Since(start).Nanoseconds())
+	e.simRuns.Add(1)
+	return m, err
+}
+
+// forEach evaluates fn(ctx, i) for every i in [0, n) on the worker pool.
+// Each unit must write results only into its own index slot; callers
+// aggregate in index order afterwards, which is what makes output
+// independent of the worker count. The first error cancels ctx so
+// outstanding units are skipped; among units that genuinely ran, the
+// lowest-index non-cancellation error is returned.
+func (e *Engine) forEach(ctx context.Context, n int, fn func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	workers := e.workers
+	if workers > n {
+		workers = n
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	errs := make([]error, n)
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
+				if err := fn(ctx, i); err != nil {
+					errs[i] = err
+					cancel()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	var fallback error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if !errors.Is(err, context.Canceled) {
+			return err
+		}
+		if fallback == nil {
+			fallback = err
+		}
+	}
+	return fallback
+}
+
+// strictGeomean enforces the engine's strict mode for a driver that had
+// to clamp degenerate geomean inputs.
+func (e *Engine) strictGeomean(driver string, clamped int) error {
+	if e.Strict && clamped > 0 {
+		return fmt.Errorf("experiments: %s: %d degenerate geomean input(s) clamped to %g (strict mode)", driver, clamped, geomeanEps)
+	}
+	return nil
+}
+
+// Timing is the per-stage wall-time breakdown of everything an engine has
+// run so far.
+type Timing struct {
+	// CompileTime/SimTime are summed across workers, so each can exceed
+	// elapsed wall time under parallelism.
+	CompileTime time.Duration
+	SimTime     time.Duration
+	// SimRuns counts simulator executions.
+	SimRuns int64
+	// CacheHits/CacheMisses/DistinctPrograms describe the compile cache:
+	// misses equal distinct programs built; hits are compiles avoided.
+	CacheHits, CacheMisses int64
+	DistinctPrograms       int
+	// Workers is the pool width the engine ran with.
+	Workers int
+}
+
+// Timing snapshots the engine's counters.
+func (e *Engine) Timing() Timing {
+	cs := e.cache.Stats()
+	return Timing{
+		CompileTime:      cs.CompileTime,
+		SimTime:          time.Duration(e.simNanos.Load()),
+		SimRuns:          e.simRuns.Load(),
+		CacheHits:        cs.Hits,
+		CacheMisses:      cs.Misses,
+		DistinctPrograms: cs.Distinct,
+		Workers:          e.workers,
+	}
+}
+
+// Format renders the breakdown as a small report (the -timing flag of
+// cmd/idembench prints this).
+func (t Timing) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Timing (per-stage, summed across %d workers)\n", t.Workers)
+	fmt.Fprintf(&b, "  compile:  %12s  (%d distinct programs built)\n", t.CompileTime.Round(time.Microsecond), t.DistinctPrograms)
+	fmt.Fprintf(&b, "  simulate: %12s  (%d runs)\n", t.SimTime.Round(time.Microsecond), t.SimRuns)
+	total := t.CacheHits + t.CacheMisses
+	ratio := 0.0
+	if total > 0 {
+		ratio = 100 * float64(t.CacheHits) / float64(total)
+	}
+	fmt.Fprintf(&b, "  build cache: %d hits / %d misses (%.1f%% hit rate)\n", t.CacheHits, t.CacheMisses, ratio)
+	return b.String()
+}

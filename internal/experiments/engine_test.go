@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// TestEngineDeterministicAcrossWidths runs a build+simulate figure on a
+// serial and a wide engine and asserts byte-identical formatted output
+// (the engine's core contract; the cmd/idembench golden test covers the
+// same property end-to-end through the CLI).
+func TestEngineDeterministicAcrossWidths(t *testing.T) {
+	ws := subset(t, "mcf", "lbm", "blackscholes", "bzip2")
+	var outs [2]string
+	for i, workers := range []int{1, 8} {
+		e := NewEngine(workers)
+		res, err := e.Fig10(ws)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		outs[i] = res.Format()
+	}
+	if outs[0] != outs[1] {
+		t.Fatalf("Fig10 output differs between workers=1 and workers=8:\n--- 1 ---\n%s\n--- 8 ---\n%s", outs[0], outs[1])
+	}
+}
+
+// TestEngineCacheSharedAcrossFigures checks that one engine compiles at
+// most one program per distinct (workload, options) pair even when
+// several figures request the same builds: Fig10 and Fig12 both need
+// the conventional and the idempotent binary of every workload, so the
+// second figure must be all cache hits.
+func TestEngineCacheSharedAcrossFigures(t *testing.T) {
+	ws := subset(t, "mcf", "lbm")
+	e := NewEngine(4)
+	if _, err := e.Fig10(ws); err != nil {
+		t.Fatal(err)
+	}
+	afterFig10 := e.Timing()
+	if want := 2 * len(ws); afterFig10.DistinctPrograms != want {
+		t.Fatalf("Fig10 built %d distinct programs, want %d (base+idempotent per workload)",
+			afterFig10.DistinctPrograms, want)
+	}
+	if _, err := e.Fig12(ws); err != nil {
+		t.Fatal(err)
+	}
+	afterFig12 := e.Timing()
+	if afterFig12.CacheMisses != afterFig10.CacheMisses {
+		t.Fatalf("Fig12 recompiled: misses went %d -> %d, want no change",
+			afterFig10.CacheMisses, afterFig12.CacheMisses)
+	}
+	if afterFig12.CacheHits <= afterFig10.CacheHits {
+		t.Fatalf("Fig12 did not hit the cache: hits stayed at %d", afterFig12.CacheHits)
+	}
+	if afterFig12.SimRuns <= afterFig10.SimRuns {
+		t.Fatal("Fig12 reported no simulator runs")
+	}
+}
+
+// TestGeomeanClampAccounting pins the clamp counting and the formatted
+// warning, and the strict-mode error that tests rely on.
+func TestGeomeanClampAccounting(t *testing.T) {
+	g, clamped := GeomeanClamped([]float64{1, 4, 0, -3})
+	if clamped != 2 {
+		t.Fatalf("clamped = %d, want 2", clamped)
+	}
+	if g <= 0 {
+		t.Fatalf("geomean = %g, want > 0", g)
+	}
+	if _, clamped := GeomeanClamped([]float64{1, 2, 4}); clamped != 0 {
+		t.Fatalf("clean inputs reported %d clamps", clamped)
+	}
+
+	if note := clampNote(0); note != "" {
+		t.Fatalf("clampNote(0) = %q, want empty", note)
+	}
+	if note := clampNote(3); !strings.Contains(note, "3 degenerate") {
+		t.Fatalf("clampNote(3) = %q", note)
+	}
+
+	e := NewEngine(1)
+	if err := e.strictGeomean("figX", 1); err != nil {
+		t.Fatalf("non-strict engine errored: %v", err)
+	}
+	e.Strict = true
+	err := e.strictGeomean("figX", 1)
+	if err == nil || !strings.Contains(err.Error(), "figX") {
+		t.Fatalf("strict engine error = %v, want error naming the driver", err)
+	}
+	if err := e.strictGeomean("figX", 0); err != nil {
+		t.Fatalf("strict engine with 0 clamps errored: %v", err)
+	}
+}
+
+// TestForEachErrorDeterminism checks that a failing unit cancels the
+// rest and the reported error is a real unit error, never a bare
+// cancellation.
+func TestForEachErrorDeterminism(t *testing.T) {
+	e := NewEngine(8)
+	unitErr := errors.New("unit 13 broke")
+	var ran atomic.Int64
+	err := e.forEach(context.Background(), 64, func(ctx context.Context, i int) error {
+		ran.Add(1)
+		if i == 13 {
+			return unitErr
+		}
+		return nil
+	})
+	if !errors.Is(err, unitErr) {
+		t.Fatalf("forEach returned %v, want the unit error", err)
+	}
+	if n := ran.Load(); n > 64 {
+		t.Fatalf("ran %d units, want <= 64", n)
+	}
+
+	// No error, no cancellation: every unit runs exactly once.
+	ran.Store(0)
+	if err := e.forEach(context.Background(), 64, func(ctx context.Context, i int) error {
+		ran.Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n := ran.Load(); n != 64 {
+		t.Fatalf("ran %d units, want 64", n)
+	}
+}

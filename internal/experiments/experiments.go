@@ -4,9 +4,17 @@
 // pipeline(s) and returns structured rows plus the aggregate the paper
 // reports (geometric means, per-suite splits); Format* helpers render the
 // same series the paper plots.
+//
+// Drivers are methods on Engine (see engine.go): (workload × config)
+// build/run units fan out over a bounded worker pool, compiles are
+// memoized in a shared content-keyed cache, and aggregation happens in
+// deterministic index order so tables are byte-identical for any worker
+// count. The package-level functions of the same names run on a serial
+// engine.
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -20,26 +28,44 @@ import (
 	"idemproc/internal/workloads"
 )
 
+// geomeanEps is the clamp floor for degenerate geomean inputs.
+const geomeanEps = 1e-9
+
 // Geomean returns the geometric mean of strictly positive values; zeroes
 // are clamped to a small epsilon so a single degenerate row cannot zero
-// the aggregate.
+// the aggregate. Use GeomeanClamped when the caller must know whether
+// clamping occurred (a clamp can mask a broken workload as a tiny
+// aggregate shift, so the drivers count and surface clamps).
 func Geomean(xs []float64) float64 {
+	g, _ := GeomeanClamped(xs)
+	return g
+}
+
+// GeomeanClamped is Geomean, also reporting how many inputs were clamped
+// to the epsilon floor.
+func GeomeanClamped(xs []float64) (float64, int) {
 	if len(xs) == 0 {
-		return 0
+		return 0, 0
 	}
 	s := 0.0
+	clamped := 0
 	for _, x := range xs {
-		if x < 1e-9 {
-			x = 1e-9
+		if x < geomeanEps {
+			x = geomeanEps
+			clamped++
 		}
 		s += math.Log(x)
 	}
-	return math.Exp(s / float64(len(xs)))
+	return math.Exp(s / float64(len(xs))), clamped
 }
 
-// build compiles a workload with the given options.
-func build(w workloads.Workload, mo codegen.ModuleOptions) (*codegen.Program, *codegen.BuildStats, error) {
-	return codegen.CompileModuleOpts(w.Module(), "main", w.MemWords, mo)
+// clampNote renders the degenerate-row warning appended to formatted
+// tables whose geomeans clamped inputs ("" when none did).
+func clampNote(clamped int) string {
+	if clamped == 0 {
+		return ""
+	}
+	return fmt.Sprintf("WARNING: %d degenerate geomean input(s) clamped to %g — inspect the rows above\n", clamped, geomeanEps)
 }
 
 // run executes a program for workload w and returns the machine. All
@@ -74,31 +100,49 @@ type Fig4Result struct {
 	Rows []Fig4Row
 	// Geomean per category, across all workloads.
 	Geomean [3]float64
+	// Clamped counts degenerate rows clamped in the geomeans.
+	Clamped int
 }
+
+// Fig4 runs the limit study on a serial engine.
+func Fig4(ws []workloads.Workload) (*Fig4Result, error) { return defaultEngine().Fig4(ws) }
 
 // Fig4 runs the limit study over the given workloads (conventional
 // binaries, dynamic clobber tracking).
-func Fig4(ws []workloads.Workload) (*Fig4Result, error) {
-	res := &Fig4Result{}
-	var logs [3][]float64
-	for _, w := range ws {
-		p, _, err := build(w, codegen.ModuleOptions{Core: defaultCore()})
+func (e *Engine) Fig4(ws []workloads.Workload) (*Fig4Result, error) {
+	rows := make([]Fig4Row, len(ws))
+	err := e.forEach(context.Background(), len(ws), func(ctx context.Context, i int) error {
+		w := ws[i]
+		p, _, err := e.Build(w, codegen.ModuleOptions{Core: defaultCore()})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		tr := limit.NewTracker()
-		if _, err := run(p, w, machine.Config{Tracer: tr}); err != nil {
-			return nil, err
+		if _, err := e.Run(p, w, machine.Config{Tracer: tr}); err != nil {
+			return err
 		}
 		r := Fig4Row{Name: w.Name, Suite: w.Suite}
 		for c, lr := range tr.Results() {
 			r.Avg[c] = lr.AvgPathLen
-			logs[c] = append(logs[c], lr.AvgPathLen)
 		}
-		res.Rows = append(res.Rows, r)
+		rows[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res := &Fig4Result{Rows: rows}
 	for c := 0; c < 3; c++ {
-		res.Geomean[c] = Geomean(logs[c])
+		vals := make([]float64, len(rows))
+		for i, r := range rows {
+			vals[i] = r.Avg[c]
+		}
+		var cl int
+		res.Geomean[c], cl = GeomeanClamped(vals)
+		res.Clamped += cl
+	}
+	if err := e.strictGeomean("Fig4", res.Clamped); err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -115,6 +159,7 @@ func (r *Fig4Result) Format() string {
 	fmt.Fprintf(&b, "%-16s %-9s %14.1f %16.1f %22.1f\n", "GEOMEAN", "",
 		r.Geomean[limit.Semantic], r.Geomean[limit.SemanticCalls], r.Geomean[limit.SemanticArtificial])
 	fmt.Fprintf(&b, "(paper, ARMv7/SPEC/PARSEC: 1300 / 110 / 10.8)\n")
+	b.WriteString(clampNote(r.Clamped))
 	return b.String()
 }
 
@@ -133,29 +178,37 @@ type Fig8Row struct {
 	FracUnder10, FracUnder100 float64
 }
 
+// Fig8 measures the path distributions on a serial engine.
+func Fig8(ws []workloads.Workload) ([]Fig8Row, error) { return defaultEngine().Fig8(ws) }
+
 // Fig8 measures the constructed binaries' dynamic path distributions.
-func Fig8(ws []workloads.Workload) ([]Fig8Row, error) {
-	var rows []Fig8Row
-	for _, w := range ws {
-		p, _, err := build(w, codegen.ModuleOptions{Idempotent: true, Core: defaultCore()})
+func (e *Engine) Fig8(ws []workloads.Workload) ([]Fig8Row, error) {
+	rows := make([]Fig8Row, len(ws))
+	err := e.forEach(context.Background(), len(ws), func(ctx context.Context, i int) error {
+		w := ws[i]
+		p, _, err := e.Build(w, codegen.ModuleOptions{Idempotent: true, Core: defaultCore()})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		m, err := run(p, w, machine.Config{BufferStores: true, TrackPaths: true})
+		m, err := e.Run(p, w, machine.Config{BufferStores: true, TrackPaths: true})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		lens, cdf := m.Stats.WeightedPathCDF()
 		row := Fig8Row{Name: w.Name, Suite: w.Suite, Lens: lens, CDF: cdf}
-		for i, l := range lens {
+		for j, l := range lens {
 			if l <= 10 {
-				row.FracUnder10 = cdf[i]
+				row.FracUnder10 = cdf[j]
 			}
 			if l <= 100 {
-				row.FracUnder100 = cdf[i]
+				row.FracUnder100 = cdf[j]
 			}
 		}
-		rows = append(rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -193,15 +246,22 @@ type Fig9Row struct {
 type Fig9Result struct {
 	Rows                             []Fig9Row
 	GeomeanConstructed, GeomeanIdeal float64
+	// Clamped counts degenerate rows clamped in the geomeans.
+	Clamped int
 }
 
-// Fig9 runs both measurements.
-func Fig9(ws []workloads.Workload) (*Fig9Result, error) {
-	ideal, err := Fig4(ws)
+// Fig9 runs both measurements on a serial engine.
+func Fig9(ws []workloads.Workload) (*Fig9Result, error) { return defaultEngine().Fig9(ws) }
+
+// Fig9 runs both measurements. Both sub-studies share the engine's
+// compile cache, so the conventional and idempotent binaries are each
+// built at most once across Fig4/Fig8/Fig9.
+func (e *Engine) Fig9(ws []workloads.Workload) (*Fig9Result, error) {
+	ideal, err := e.Fig4(ws)
 	if err != nil {
 		return nil, err
 	}
-	built, err := Fig8(ws)
+	built, err := e.Fig8(ws)
 	if err != nil {
 		return nil, err
 	}
@@ -218,8 +278,13 @@ func Fig9(ws []workloads.Workload) (*Fig9Result, error) {
 		cons = append(cons, row.Constructed)
 		ide = append(ide, row.Ideal)
 	}
-	res.GeomeanConstructed = Geomean(cons)
-	res.GeomeanIdeal = Geomean(ide)
+	var clC, clI int
+	res.GeomeanConstructed, clC = GeomeanClamped(cons)
+	res.GeomeanIdeal, clI = GeomeanClamped(ide)
+	res.Clamped = clC + clI
+	if err := e.strictGeomean("Fig9", res.Clamped); err != nil {
+		return nil, err
+	}
 	return res, nil
 }
 
@@ -261,6 +326,7 @@ func (r *Fig9Result) Format() string {
 	fmt.Fprintf(&b, "%-16s %-9s %12.1f %12.1f %7.1fx\n", "GEOMEAN", "",
 		r.GeomeanConstructed, r.GeomeanIdeal, r.GeomeanIdeal/math.Max(r.GeomeanConstructed, 1e-9))
 	fmt.Fprintf(&b, "(paper: 28.1 constructed vs 116 ideal, ~4x; 1.5x without the hmmer/lbm aliasing outliers)\n")
+	b.WriteString(clampNote(r.Clamped))
 	return b.String()
 }
 
@@ -287,33 +353,33 @@ type Fig10Result struct {
 	// SuiteTime/SuiteInstr map suite → geomean overhead pct.
 	SuiteTime, SuiteInstr     map[workloads.Suite]float64
 	OverallTime, OverallInstr float64
+	// Clamped counts degenerate rows clamped in the geomeans.
+	Clamped int
 }
 
+// Fig10 measures the overheads on a serial engine.
+func Fig10(ws []workloads.Workload) (*Fig10Result, error) { return defaultEngine().Fig10(ws) }
+
 // Fig10 measures both binaries for every workload.
-func Fig10(ws []workloads.Workload) (*Fig10Result, error) {
-	res := &Fig10Result{
-		SuiteTime:  map[workloads.Suite]float64{},
-		SuiteInstr: map[workloads.Suite]float64{},
-	}
-	suiteT := map[workloads.Suite][]float64{}
-	suiteI := map[workloads.Suite][]float64{}
-	var allT, allI []float64
-	for _, w := range ws {
-		pb, _, err := build(w, codegen.ModuleOptions{Core: defaultCore()})
+func (e *Engine) Fig10(ws []workloads.Workload) (*Fig10Result, error) {
+	rows := make([]Fig10Row, len(ws))
+	err := e.forEach(context.Background(), len(ws), func(ctx context.Context, i int) error {
+		w := ws[i]
+		pb, _, err := e.Build(w, codegen.ModuleOptions{Core: defaultCore()})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		pi, _, err := build(w, codegen.ModuleOptions{Idempotent: true, Core: defaultCore()})
+		pi, _, err := e.Build(w, codegen.ModuleOptions{Idempotent: true, Core: defaultCore()})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		mb, err := run(pb, w, machine.Config{})
+		mb, err := e.Run(pb, w, machine.Config{})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		mi, err := run(pi, w, machine.Config{BufferStores: true})
+		mi, err := e.Run(pi, w, machine.Config{BufferStores: true})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row := Fig10Row{
 			Name: w.Name, Suite: w.Suite,
@@ -322,21 +388,44 @@ func Fig10(ws []workloads.Workload) (*Fig10Result, error) {
 		}
 		row.TimePct = 100 * (float64(mi.Stats.Cycles)/float64(mb.Stats.Cycles) - 1)
 		row.InstrPct = 100 * (float64(mi.Stats.DynInstrs)/float64(mb.Stats.DynInstrs) - 1)
-		res.Rows = append(res.Rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Fig10Result{
+		Rows:       rows,
+		SuiteTime:  map[workloads.Suite]float64{},
+		SuiteInstr: map[workloads.Suite]float64{},
+	}
+	suiteT := map[workloads.Suite][]float64{}
+	suiteI := map[workloads.Suite][]float64{}
+	var allT, allI []float64
+	for _, row := range rows {
 		// Geomean over ratios (1+pct), reported back as pct.
-		suiteT[w.Suite] = append(suiteT[w.Suite], 1+row.TimePct/100)
-		suiteI[w.Suite] = append(suiteI[w.Suite], 1+row.InstrPct/100)
+		suiteT[row.Suite] = append(suiteT[row.Suite], 1+row.TimePct/100)
+		suiteI[row.Suite] = append(suiteI[row.Suite], 1+row.InstrPct/100)
 		allT = append(allT, 1+row.TimePct/100)
 		allI = append(allI, 1+row.InstrPct/100)
 	}
+	geoPct := func(xs []float64) float64 {
+		g, cl := GeomeanClamped(xs)
+		res.Clamped += cl
+		return 100 * (g - 1)
+	}
 	for s, xs := range suiteT {
-		res.SuiteTime[s] = 100 * (Geomean(xs) - 1)
+		res.SuiteTime[s] = geoPct(xs)
 	}
 	for s, xs := range suiteI {
-		res.SuiteInstr[s] = 100 * (Geomean(xs) - 1)
+		res.SuiteInstr[s] = geoPct(xs)
 	}
-	res.OverallTime = 100 * (Geomean(allT) - 1)
-	res.OverallInstr = 100 * (Geomean(allI) - 1)
+	res.OverallTime = geoPct(allT)
+	res.OverallInstr = geoPct(allI)
+	if err := e.strictGeomean("Fig10", res.Clamped); err != nil {
+		return nil, err
+	}
 	return res, nil
 }
 
@@ -358,6 +447,7 @@ func (r *Fig10Result) Format() string {
 	}
 	fmt.Fprintf(&b, "%-16s %-9s %11.1f%% %11.1f%%\n", "GEOMEAN", "all", r.OverallTime, r.OverallInstr)
 	fmt.Fprintf(&b, "(paper time ovh: SPEC INT 11.2%%, SPEC FP 5.4%%, PARSEC 2.7%%, overall 7.7%%)\n")
+	b.WriteString(clampNote(r.Clamped))
 	return b.String()
 }
 
@@ -377,54 +467,75 @@ type Fig12Row struct {
 type Fig12Result struct {
 	Rows                   []Fig12Row
 	GeoTMR, GeoCL, GeoIdem float64
+	// Clamped counts degenerate rows clamped in the geomeans.
+	Clamped int
 }
 
+// Fig12 measures the recovery overheads on a serial engine.
+func Fig12(ws []workloads.Workload) (*Fig12Result, error) { return defaultEngine().Fig12(ws) }
+
 // Fig12 builds and times all four configurations per workload.
-func Fig12(ws []workloads.Workload) (*Fig12Result, error) {
-	res := &Fig12Result{}
-	var tmrs, cls, idems []float64
-	for _, w := range ws {
-		base, _, err := build(w, codegen.ModuleOptions{Core: defaultCore()})
+func (e *Engine) Fig12(ws []workloads.Workload) (*Fig12Result, error) {
+	rows := make([]Fig12Row, len(ws))
+	err := e.forEach(context.Background(), len(ws), func(ctx context.Context, i int) error {
+		w := ws[i]
+		base, _, err := e.Build(w, codegen.ModuleOptions{Core: defaultCore()})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		idem, _, err := build(w, codegen.ModuleOptions{Idempotent: true, Core: defaultCore()})
+		idem, _, err := e.Build(w, codegen.ModuleOptions{Idempotent: true, Core: defaultCore()})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		dmr, err := run(fault.Apply(base, fault.SchemeDMR), w, machine.Config{})
+		dmr, err := e.Run(fault.Apply(base, fault.SchemeDMR), w, machine.Config{})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		tmr, err := run(fault.Apply(base, fault.SchemeTMR), w, machine.Config{Recovery: machine.RecoverTMR})
+		tmr, err := e.Run(fault.Apply(base, fault.SchemeTMR), w, machine.Config{Recovery: machine.RecoverTMR})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		cl, err := run(fault.Apply(base, fault.SchemeCheckpointLog), w, machine.Config{Recovery: machine.RecoverCheckpointLog})
+		cl, err := e.Run(fault.Apply(base, fault.SchemeCheckpointLog), w, machine.Config{Recovery: machine.RecoverCheckpointLog})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		idm, err := run(fault.Apply(idem, fault.SchemeIdempotence), w,
+		idm, err := e.Run(fault.Apply(idem, fault.SchemeIdempotence), w,
 			machine.Config{BufferStores: true, Recovery: machine.RecoverIdempotence})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		d := float64(dmr.Stats.Cycles)
-		row := Fig12Row{
+		rows[i] = Fig12Row{
 			Name: w.Name, Suite: w.Suite,
 			TMRPct:    100 * (float64(tmr.Stats.Cycles)/d - 1),
 			CLPct:     100 * (float64(cl.Stats.Cycles)/d - 1),
 			IdemPct:   100 * (float64(idm.Stats.Cycles)/d - 1),
 			DMRCycles: dmr.Stats.Cycles,
 		}
-		res.Rows = append(res.Rows, row)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Fig12Result{Rows: rows}
+	var tmrs, cls, idems []float64
+	for _, row := range rows {
 		tmrs = append(tmrs, 1+row.TMRPct/100)
 		cls = append(cls, 1+row.CLPct/100)
 		idems = append(idems, 1+row.IdemPct/100)
 	}
-	res.GeoTMR = 100 * (Geomean(tmrs) - 1)
-	res.GeoCL = 100 * (Geomean(cls) - 1)
-	res.GeoIdem = 100 * (Geomean(idems) - 1)
+	geoPct := func(xs []float64) float64 {
+		g, cl := GeomeanClamped(xs)
+		res.Clamped += cl
+		return 100 * (g - 1)
+	}
+	res.GeoTMR = geoPct(tmrs)
+	res.GeoCL = geoPct(cls)
+	res.GeoIdem = geoPct(idems)
+	if err := e.strictGeomean("Fig12", res.Clamped); err != nil {
+		return nil, err
+	}
 	return res, nil
 }
 
@@ -438,5 +549,6 @@ func (r *Fig12Result) Format() string {
 	}
 	fmt.Fprintf(&b, "%-16s %-9s %15.1f%% %19.1f%% %13.1f%%\n", "GEOMEAN", "", r.GeoTMR, r.GeoCL, r.GeoIdem)
 	fmt.Fprintf(&b, "(paper: TMR 30.5%%, CHECKPOINT-AND-LOG 24.0%%, IDEMPOTENCE 8.2%%)\n")
+	b.WriteString(clampNote(r.Clamped))
 	return b.String()
 }

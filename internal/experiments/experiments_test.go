@@ -24,6 +24,15 @@ func subset(t *testing.T, names ...string) []workloads.Workload {
 	return ws
 }
 
+// strictEngine returns a small parallel engine with strict geomean
+// checking: a degenerate (clamped) measurement fails the driver — and
+// hence the test — instead of hiding behind the epsilon floor.
+func strictEngine() *Engine {
+	e := NewEngine(2)
+	e.Strict = true
+	return e
+}
+
 func TestGeomean(t *testing.T) {
 	if g := Geomean([]float64{2, 8}); math.Abs(g-4) > 1e-9 {
 		t.Fatalf("Geomean(2,8) = %f", g)
@@ -38,7 +47,7 @@ func TestGeomean(t *testing.T) {
 
 func TestFig4Shape(t *testing.T) {
 	ws := subset(t, "mcf", "lbm")
-	res, err := Fig4(ws)
+	res, err := strictEngine().Fig4(ws)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +71,7 @@ func TestFig4Shape(t *testing.T) {
 
 func TestFig8And9Shape(t *testing.T) {
 	ws := subset(t, "canneal", "lbm")
-	rows, err := Fig8(ws)
+	rows, err := strictEngine().Fig8(ws)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +91,7 @@ func TestFig8And9Shape(t *testing.T) {
 			t.Fatalf("%s: CDF ends at %f", r.Name, prev)
 		}
 	}
-	res9, err := Fig9(ws)
+	res9, err := strictEngine().Fig9(ws)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +111,7 @@ func TestFig8And9Shape(t *testing.T) {
 
 func TestFig10Shape(t *testing.T) {
 	ws := subset(t, "gcc", "milc", "canneal")
-	res, err := Fig10(ws)
+	res, err := strictEngine().Fig10(ws)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +134,7 @@ func TestFig10Shape(t *testing.T) {
 
 func TestFig12Shape(t *testing.T) {
 	ws := subset(t, "gcc", "canneal")
-	res, err := Fig12(ws)
+	res, err := strictEngine().Fig12(ws)
 	if err != nil {
 		t.Fatal(err)
 	}

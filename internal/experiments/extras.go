@@ -1,7 +1,9 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"sort"
 	"strings"
 
 	"idemproc/internal/codegen"
@@ -30,23 +32,31 @@ type Table2Row struct {
 	CutsPlaced      int
 }
 
+// Table2 analyses every workload on a serial engine.
+func Table2(ws []workloads.Workload) ([]Table2Row, error) { return defaultEngine().Table2(ws) }
+
 // Table2 analyses every workload statically.
-func Table2(ws []workloads.Workload) ([]Table2Row, error) {
-	var rows []Table2Row
-	for _, w := range ws {
+func (e *Engine) Table2(ws []workloads.Workload) ([]Table2Row, error) {
+	rows := make([]Table2Row, len(ws))
+	err := e.forEach(context.Background(), len(ws), func(ctx context.Context, i int) error {
+		w := ws[i]
 		m := w.Module()
 		row := Table2Row{Name: w.Name, Suite: w.Suite}
 		for _, f := range m.Funcs {
 			res, err := core.Construct(f, core.DefaultOptions())
 			if err != nil {
-				return nil, fmt.Errorf("%s/@%s: %w", w.Name, f.Name, err)
+				return fmt.Errorf("%s/@%s: %w", w.Name, f.Name, err)
 			}
 			row.MemoryAntideps += len(res.Antideps)
 			row.PromotedAllocas += res.Stats.PromotedAllocas
 			row.SelfDepPhis += len(res.SelfDep)
 			row.CutsPlaced += len(res.Cuts)
 		}
-		rows = append(rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -98,8 +108,6 @@ func Fig11() string {
 	}
 	var b strings.Builder
 	b.WriteString("Figure 11: recovery transforms over `ld r1=[r0]; add r2=r3,r4; st [r1]=r2`\n\n")
-	base := &codegen.Program{Instrs: seq, FuncOf: []string{"", "", ""}, FuncEntry: map[string]int{}}
-	_ = base
 	b.WriteString(render("DMR baseline", func(i int, in isa.Instr) ([]isa.Instr, []isa.Instr) {
 		return fault.DMREdit(in)
 	}))
@@ -120,38 +128,49 @@ type AblationRow struct {
 	On, Off float64
 }
 
+// AblationLoopHeuristic runs the §4.3 ablation on a serial engine.
+func AblationLoopHeuristic(ws []workloads.Workload) ([]AblationRow, error) {
+	return defaultEngine().AblationLoopHeuristic(ws)
+}
+
 // AblationLoopHeuristic compares average dynamic path lengths with the
 // §4.3 loop-nesting heuristic on vs off.
-func AblationLoopHeuristic(ws []workloads.Workload) ([]AblationRow, error) {
-	return pathLenAblation(ws, func(on bool) core.Options {
+func (e *Engine) AblationLoopHeuristic(ws []workloads.Workload) ([]AblationRow, error) {
+	return e.pathLenAblation(ws, func(on bool) core.Options {
 		o := core.DefaultOptions()
 		o.LoopHeuristic = on
 		return o
 	})
 }
 
+// AblationUnroll runs the §5 unroll ablation on a serial engine.
+func AblationUnroll(ws []workloads.Workload) ([]AblationRow, error) {
+	return defaultEngine().AblationUnroll(ws)
+}
+
 // AblationUnroll compares average dynamic path lengths with the §5 loop
 // unroll on vs off.
-func AblationUnroll(ws []workloads.Workload) ([]AblationRow, error) {
-	return pathLenAblation(ws, func(on bool) core.Options {
+func (e *Engine) AblationUnroll(ws []workloads.Workload) ([]AblationRow, error) {
+	return e.pathLenAblation(ws, func(on bool) core.Options {
 		o := core.DefaultOptions()
 		o.UnrollLoops = on
 		return o
 	})
 }
 
-func pathLenAblation(ws []workloads.Workload, opt func(bool) core.Options) ([]AblationRow, error) {
-	var rows []AblationRow
-	for _, w := range ws {
+func (e *Engine) pathLenAblation(ws []workloads.Workload, opt func(bool) core.Options) ([]AblationRow, error) {
+	rows := make([]AblationRow, len(ws))
+	err := e.forEach(context.Background(), len(ws), func(ctx context.Context, i int) error {
+		w := ws[i]
 		row := AblationRow{Name: w.Name}
 		for _, on := range []bool{true, false} {
-			p, _, err := build(w, codegen.ModuleOptions{Idempotent: true, Core: opt(on)})
+			p, _, err := e.Build(w, codegen.ModuleOptions{Idempotent: true, Core: opt(on)})
 			if err != nil {
-				return nil, err
+				return err
 			}
-			m, err := run(p, w, machine.Config{BufferStores: true, TrackPaths: true})
+			m, err := e.Run(p, w, machine.Config{BufferStores: true, TrackPaths: true})
 			if err != nil {
-				return nil, err
+				return err
 			}
 			if on {
 				row.On = m.Stats.AvgPathLen()
@@ -159,17 +178,28 @@ func pathLenAblation(ws []workloads.Workload, opt func(bool) core.Options) ([]Ab
 				row.Off = m.Stats.AvgPathLen()
 			}
 		}
-		rows = append(rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
+}
+
+// AblationRedElim runs the redundancy-elimination ablation on a serial
+// engine.
+func AblationRedElim(ws []workloads.Workload) ([]AblationRow, error) {
+	return defaultEngine().AblationRedElim(ws)
 }
 
 // AblationRedElim compares the number of memory antidependences the
 // region construction must cut with the Fig. 5 redundancy elimination on
 // vs off.
-func AblationRedElim(ws []workloads.Workload) ([]AblationRow, error) {
-	var rows []AblationRow
-	for _, w := range ws {
+func (e *Engine) AblationRedElim(ws []workloads.Workload) ([]AblationRow, error) {
+	rows := make([]AblationRow, len(ws))
+	err := e.forEach(context.Background(), len(ws), func(ctx context.Context, i int) error {
+		w := ws[i]
 		row := AblationRow{Name: w.Name}
 		for _, on := range []bool{true, false} {
 			opts := core.DefaultOptions()
@@ -179,7 +209,7 @@ func AblationRedElim(ws []workloads.Workload) ([]AblationRow, error) {
 			for _, f := range m.Funcs {
 				res, err := core.Construct(f, opts)
 				if err != nil {
-					return nil, fmt.Errorf("%s/@%s: %w", w.Name, f.Name, err)
+					return fmt.Errorf("%s/@%s: %w", w.Name, f.Name, err)
 				}
 				cuts += len(res.Cuts)
 			}
@@ -189,27 +219,37 @@ func AblationRedElim(ws []workloads.Workload) ([]AblationRow, error) {
 				row.Off = float64(cuts)
 			}
 		}
-		rows = append(rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
 
+// AblationRegalloc runs the §4.4 ablation on a serial engine.
+func AblationRegalloc(ws []workloads.Workload) ([]AblationRow, error) {
+	return defaultEngine().AblationRegalloc(ws)
+}
+
 // AblationRegalloc isolates the §4.4 allocation constraint: same cuts and
 // MARKs, allocation constraint on vs off, measured in cycles.
-func AblationRegalloc(ws []workloads.Workload) ([]AblationRow, error) {
-	var rows []AblationRow
-	for _, w := range ws {
+func (e *Engine) AblationRegalloc(ws []workloads.Workload) ([]AblationRow, error) {
+	rows := make([]AblationRow, len(ws))
+	err := e.forEach(context.Background(), len(ws), func(ctx context.Context, i int) error {
+		w := ws[i]
 		row := AblationRow{Name: w.Name}
 		for _, constrained := range []bool{true, false} {
-			p, _, err := build(w, codegen.ModuleOptions{
+			p, _, err := e.Build(w, codegen.ModuleOptions{
 				Idempotent: true, Core: defaultCore(), RelaxedAlloc: !constrained,
 			})
 			if err != nil {
-				return nil, err
+				return err
 			}
-			m, err := run(p, w, machine.Config{BufferStores: true})
+			m, err := e.Run(p, w, machine.Config{BufferStores: true})
 			if err != nil {
-				return nil, err
+				return err
 			}
 			if constrained {
 				row.On = float64(m.Stats.Cycles)
@@ -217,7 +257,11 @@ func AblationRegalloc(ws []workloads.Workload) ([]AblationRow, error) {
 				row.Off = float64(m.Stats.Cycles)
 			}
 		}
-		rows = append(rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -235,7 +279,9 @@ func FormatAblation(title, onLabel, offLabel string, rows []AblationRow) string 
 		ratios = append(ratios, ratio)
 		fmt.Fprintf(&b, "%-16s %14.1f %14.1f %8.2f\n", r.Name, r.On, r.Off, ratio)
 	}
-	fmt.Fprintf(&b, "%-16s %14s %14s %8.2f\n", "GEOMEAN", "", "", Geomean(ratios))
+	g, clamped := GeomeanClamped(ratios)
+	fmt.Fprintf(&b, "%-16s %14s %14s %8.2f\n", "GEOMEAN", "", "", g)
+	b.WriteString(clampNote(clamped))
 	return b.String()
 }
 
@@ -255,18 +301,32 @@ type CharacteristicsRow struct {
 	SpillStores   int
 }
 
-// Characteristics runs the construction on every workload.
+// Characteristics runs the construction on a serial engine.
 func Characteristics(ws []workloads.Workload) ([]CharacteristicsRow, error) {
-	var rows []CharacteristicsRow
-	for _, w := range ws {
-		_, st, err := build(w, codegen.ModuleOptions{Idempotent: true, Core: defaultCore()})
+	return defaultEngine().Characteristics(ws)
+}
+
+// Characteristics runs the construction on every workload.
+func (e *Engine) Characteristics(ws []workloads.Workload) ([]CharacteristicsRow, error) {
+	rows := make([]CharacteristicsRow, len(ws))
+	err := e.forEach(context.Background(), len(ws), func(ctx context.Context, i int) error {
+		w := ws[i]
+		_, st, err := e.Build(w, codegen.ModuleOptions{Idempotent: true, Core: defaultCore()})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row := CharacteristicsRow{Name: w.Name, Suite: w.Suite,
 			SpillLoads: st.SpillLoads, SpillStores: st.SpillStores}
+		// Iterate functions in sorted-name order so the floating-point
+		// accumulation below is identical run to run (map order is not).
+		names := make([]string, 0, len(st.Construction))
+		for name := range st.Construction {
+			names = append(names, name)
+		}
+		sort.Strings(names)
 		total := 0.0
-		for _, res := range st.Construction {
+		for _, name := range names {
+			res := st.Construction[name]
 			row.Functions++
 			row.Instructions += res.Stats.Instructions
 			row.Regions += res.Stats.RegionCount
@@ -276,7 +336,11 @@ func Characteristics(ws []workloads.Workload) ([]CharacteristicsRow, error) {
 		if row.Regions > 0 {
 			row.AvgRegionSize = total / float64(row.Regions)
 		}
-		rows = append(rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -294,22 +358,27 @@ func FormatCharacteristics(rows []CharacteristicsRow) string {
 	return b.String()
 }
 
+// AblationPureCalls runs the pure-call ablation on a serial engine.
+func AblationPureCalls(ws []workloads.Workload) ([]AblationRow, error) {
+	return defaultEngine().AblationPureCalls(ws)
+}
+
 // AblationPureCalls measures the inter-procedural pure-call extension:
 // average dynamic path length with regions spanning memory-free callees
 // vs the strictly intra-procedural default.
-func AblationPureCalls(ws []workloads.Workload) ([]AblationRow, error) {
-	var rows []AblationRow
-	for _, w := range ws {
+func (e *Engine) AblationPureCalls(ws []workloads.Workload) ([]AblationRow, error) {
+	rows := make([]AblationRow, len(ws))
+	err := e.forEach(context.Background(), len(ws), func(ctx context.Context, i int) error {
+		w := ws[i]
 		row := AblationRow{Name: w.Name}
 		for _, on := range []bool{true, false} {
-			p, _, err := codegen.CompileModuleOpts(w.Module(), "main", w.MemWords,
-				codegen.ModuleOptions{Idempotent: true, Core: defaultCore(), PureCalls: on})
+			p, _, err := e.Build(w, codegen.ModuleOptions{Idempotent: true, Core: defaultCore(), PureCalls: on})
 			if err != nil {
-				return nil, err
+				return err
 			}
-			m, err := run(p, w, machine.Config{BufferStores: true, TrackPaths: true})
+			m, err := e.Run(p, w, machine.Config{BufferStores: true, TrackPaths: true})
 			if err != nil {
-				return nil, err
+				return err
 			}
 			if on {
 				row.On = m.Stats.AvgPathLen()
@@ -317,7 +386,11 @@ func AblationPureCalls(ws []workloads.Workload) ([]AblationRow, error) {
 				row.Off = m.Stats.AvgPathLen()
 			}
 		}
-		rows = append(rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -94,10 +94,20 @@ func RowFromCampaignFile(name string, path string) (ResilienceRow, error) {
 	return rowFromCampaign(name, suite, &res), nil
 }
 
+// Resilience runs the injection campaigns on a serial engine.
+func Resilience(ctx context.Context, ws []workloads.Workload, runs int, seed uint64) (*ResilienceResult, error) {
+	return defaultEngine().Resilience(ctx, ws, runs, seed)
+}
+
 // Resilience runs an all-models injection campaign of the given size for
 // every workload under every recovery scheme. Campaigns are seeded, so
 // two invocations with the same arguments produce identical tables.
-func Resilience(ctx context.Context, ws []workloads.Workload, runs int, seed uint64) (*ResilienceResult, error) {
+//
+// The (workload, scheme) loop stays serial: fault.RunCampaign already
+// parallelizes its injection runs internally, so the engine's worker
+// budget is passed down as the campaign pool width instead of nesting a
+// second fan-out on top. Builds go through the shared compile cache.
+func (e *Engine) Resilience(ctx context.Context, ws []workloads.Workload, runs int, seed uint64) (*ResilienceResult, error) {
 	res := &ResilienceResult{
 		Seed: seed, Runs: runs,
 		MeanSDC:      map[string]float64{},
@@ -105,11 +115,11 @@ func Resilience(ctx context.Context, ws []workloads.Workload, runs int, seed uin
 	}
 	counts := map[string]int{}
 	for _, w := range ws {
-		base, _, err := build(w, codegen.ModuleOptions{Core: defaultCore()})
+		base, _, err := e.Build(w, codegen.ModuleOptions{Core: defaultCore()})
 		if err != nil {
 			return nil, err
 		}
-		idem, _, err := build(w, codegen.ModuleOptions{Idempotent: true, Core: defaultCore()})
+		idem, _, err := e.Build(w, codegen.ModuleOptions{Idempotent: true, Core: defaultCore()})
 		if err != nil {
 			return nil, err
 		}
@@ -119,11 +129,12 @@ func Resilience(ctx context.Context, ws []workloads.Workload, runs int, seed uin
 				p = idem
 			}
 			cr, err := fault.RunCampaign(ctx, fault.Apply(p, s), fault.Spec{
-				Scheme: s,
-				Runs:   runs,
-				Seed:   seed,
-				Models: fault.AllModels(),
-				Args:   w.Args,
+				Scheme:  s,
+				Runs:    runs,
+				Seed:    seed,
+				Workers: e.workers,
+				Models:  fault.AllModels(),
+				Args:    w.Args,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("%s/%s: %w", w.Name, s, err)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -29,32 +30,38 @@ type SweepPoint struct {
 	ReexecCostPct float64
 }
 
-// RegionSizeSweep measures the trade-off curve for one workload.
+// RegionSizeSweep measures the trade-off curve on a serial engine.
 func RegionSizeSweep(w workloads.Workload, sizes []int) ([]SweepPoint, error) {
-	base, _, err := build(w, codegen.ModuleOptions{Core: defaultCore()})
+	return defaultEngine().RegionSizeSweep(w, sizes)
+}
+
+// RegionSizeSweep measures the trade-off curve for one workload, fanning
+// the per-size build/run units out over the engine's pool.
+func (e *Engine) RegionSizeSweep(w workloads.Workload, sizes []int) ([]SweepPoint, error) {
+	base, _, err := e.Build(w, codegen.ModuleOptions{Core: defaultCore()})
 	if err != nil {
 		return nil, err
 	}
-	mb, err := run(base, w, machine.Config{})
+	mb, err := e.Run(base, w, machine.Config{})
 	if err != nil {
 		return nil, err
 	}
 	baseCycles := float64(mb.Stats.Cycles)
 
-	var out []SweepPoint
-	for _, size := range sizes {
+	out := make([]SweepPoint, len(sizes))
+	err = e.forEach(context.Background(), len(sizes), func(ctx context.Context, i int) error {
 		opts := core.DefaultOptions()
-		opts.MaxRegionSize = size
-		p, _, err := build(w, codegen.ModuleOptions{Idempotent: true, Core: opts})
+		opts.MaxRegionSize = sizes[i]
+		p, _, err := e.Build(w, codegen.ModuleOptions{Idempotent: true, Core: opts})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		m, err := run(p, w, machine.Config{BufferStores: true, TrackPaths: true})
+		m, err := e.Run(p, w, machine.Config{BufferStores: true, TrackPaths: true})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		pt := SweepPoint{
-			MaxRegionSize: size,
+			MaxRegionSize: sizes[i],
 			AvgPathLen:    m.Stats.AvgPathLen(),
 			TimeOvhPct:    100 * (float64(m.Stats.Cycles)/baseCycles - 1),
 		}
@@ -65,7 +72,11 @@ func RegionSizeSweep(w workloads.Workload, sizes []int) ([]SweepPoint, error) {
 		// case; use the full path as the conservative estimate).
 		faultFree := float64(m.Stats.DynInstrs)
 		pt.ReexecCostPct = 100 * 100 * pt.AvgPathLen / faultFree
-		out = append(out, pt)
+		out[i] = pt
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -14,7 +14,24 @@
 // the number of not-yet-hit sets a candidate intersects.
 package multicut
 
-import "sort"
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrEmptySet reports a hitting-set instance containing an empty
+// candidate set: no vertex choice can hit it, so the instance is
+// unsolvable. Empty sets are reachable from user-written .idc input (an
+// antidependence whose Lemma-1 candidate computation yields nothing), so
+// solvers return this error instead of panicking; internal/core
+// propagates it out of the compiler driver.
+var ErrEmptySet = errors.New("multicut: empty candidate set is unhittable")
+
+// ErrNoCover reports that no remaining candidate covers an unhit set — a
+// defensive condition that cannot occur when every set is non-empty, kept
+// as an error rather than a crash.
+var ErrNoCover = errors.New("multicut: no candidate covers a remaining set")
 
 // Problem is a hitting set instance. Node identity is an opaque int; the
 // caller maps instructions to ints.
@@ -39,13 +56,15 @@ type Problem struct {
 }
 
 // Solve returns an approximate minimum hitting set, deterministically
-// (ties beyond the documented criteria break on smaller node id).
-func Solve(p Problem) []int {
+// (ties beyond the documented criteria break on smaller node id). An
+// instance containing an empty candidate set is unsolvable and yields
+// ErrEmptySet.
+func Solve(p Problem) ([]int, error) {
 	remaining := make([]bool, len(p.Sets))
 	left := 0
 	for i, s := range p.Sets {
 		if len(s) == 0 {
-			panic("multicut: empty candidate set is unhittable")
+			return nil, fmt.Errorf("%w (set %d of %d)", ErrEmptySet, i, len(p.Sets))
 		}
 		remaining[i] = true
 		left++
@@ -107,7 +126,7 @@ func Solve(p Problem) []int {
 			}
 		}
 		if best == -1 {
-			panic("multicut: no candidate covers a remaining set")
+			return nil, ErrNoCover
 		}
 		picked = append(picked, best)
 		for _, si := range occurs[best] {
@@ -118,19 +137,20 @@ func Solve(p Problem) []int {
 		}
 	}
 	sort.Ints(picked)
-	return picked
+	return picked, nil
 }
 
 // Exact returns a true minimum hitting set by exhaustive search over
-// subset sizes. Exponential: for tests and tiny instances only.
-func Exact(sets [][]int) []int {
+// subset sizes. Exponential: for tests and tiny instances only. Like
+// Solve, it yields ErrEmptySet on unsolvable instances.
+func Exact(sets [][]int) ([]int, error) {
 	if len(sets) == 0 {
-		return nil
+		return nil, nil
 	}
 	universe := map[int]bool{}
-	for _, s := range sets {
+	for i, s := range sets {
 		if len(s) == 0 {
-			panic("multicut: empty candidate set is unhittable")
+			return nil, fmt.Errorf("%w (set %d of %d)", ErrEmptySet, i, len(sets))
 		}
 		for _, n := range s {
 			universe[n] = true
@@ -182,10 +202,11 @@ func Exact(sets [][]int) []int {
 	}
 	for k := 1; k <= len(nodes); k++ {
 		if r := search(0, nil, k); r != nil {
-			return r
+			return r, nil
 		}
 	}
-	panic("multicut: unreachable — full node set always hits")
+	// Unreachable for well-formed input: the full node set always hits.
+	return nil, ErrNoCover
 }
 
 // Covers reports whether the chosen nodes hit every set — a checkable

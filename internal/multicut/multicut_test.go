@@ -1,38 +1,54 @@
 package multicut
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
 )
 
+// mustSolve fails the test on a Solve error; the happy-path tests use it.
+func mustSolve(t *testing.T, p Problem) []int {
+	t.Helper()
+	got, err := Solve(p)
+	if err != nil {
+		t.Fatalf("Solve(%v): %v", p.Sets, err)
+	}
+	return got
+}
+
 func TestSolveTrivial(t *testing.T) {
-	got := Solve(Problem{Sets: [][]int{{1, 2}, {2, 3}}})
+	got := mustSolve(t, Problem{Sets: [][]int{{1, 2}, {2, 3}}})
 	if len(got) != 1 || got[0] != 2 {
 		t.Fatalf("Solve = %v, want [2]", got)
 	}
 }
 
 func TestSolveDisjoint(t *testing.T) {
-	got := Solve(Problem{Sets: [][]int{{1}, {2}, {3}}})
+	got := mustSolve(t, Problem{Sets: [][]int{{1}, {2}, {3}}})
 	if len(got) != 3 {
 		t.Fatalf("disjoint singletons need 3 picks, got %v", got)
 	}
 }
 
 func TestSolveEmptyInstance(t *testing.T) {
-	if got := Solve(Problem{}); len(got) != 0 {
+	if got := mustSolve(t, Problem{}); len(got) != 0 {
 		t.Fatalf("no sets → no cuts, got %v", got)
 	}
 }
 
-func TestSolvePanicsOnEmptySet(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic on empty candidate set")
-		}
-	}()
-	Solve(Problem{Sets: [][]int{{}}})
+func TestSolveErrorsOnEmptySet(t *testing.T) {
+	_, err := Solve(Problem{Sets: [][]int{{1}, {}}})
+	if !errors.Is(err, ErrEmptySet) {
+		t.Fatalf("Solve with empty set: err = %v, want ErrEmptySet", err)
+	}
+}
+
+func TestExactErrorsOnEmptySet(t *testing.T) {
+	_, err := Exact([][]int{{}})
+	if !errors.Is(err, ErrEmptySet) {
+		t.Fatalf("Exact with empty set: err = %v, want ErrEmptySet", err)
+	}
 }
 
 func TestLoopHeuristicPrefersShallow(t *testing.T) {
@@ -42,11 +58,11 @@ func TestLoopHeuristicPrefersShallow(t *testing.T) {
 	sets := [][]int{{10, 1}, {10, 2}}
 	depth := map[int]int{10: 2, 1: 0, 2: 0}
 
-	plain := Solve(Problem{Sets: sets, Depth: depth})
+	plain := mustSolve(t, Problem{Sets: sets, Depth: depth})
 	if len(plain) != 1 || plain[0] != 10 {
 		t.Fatalf("plain greedy = %v, want [10]", plain)
 	}
-	heur := Solve(Problem{Sets: sets, Depth: depth, UseLoopHeuristic: true})
+	heur := mustSolve(t, Problem{Sets: sets, Depth: depth, UseLoopHeuristic: true})
 	if len(heur) != 2 {
 		t.Fatalf("loop heuristic = %v, want the two depth-0 nodes", heur)
 	}
@@ -59,7 +75,10 @@ func TestLoopHeuristicPrefersShallow(t *testing.T) {
 
 func TestExactSmall(t *testing.T) {
 	sets := [][]int{{1, 2}, {2, 3}, {3, 4}}
-	got := Exact(sets)
+	got, err := Exact(sets)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(got) != 2 {
 		t.Fatalf("Exact = %v, want size 2 (e.g. {2,3})", got)
 	}
@@ -97,11 +116,14 @@ func TestGreedyIsValidAndNearOptimal(t *testing.T) {
 				}
 			}
 		}
-		greedy := Solve(Problem{Sets: sets})
+		greedy := mustSolve(t, Problem{Sets: sets})
 		if !Covers(sets, greedy) {
 			t.Fatalf("trial %d: greedy %v does not cover %v", trial, greedy, sets)
 		}
-		exact := Exact(sets)
+		exact, err := Exact(sets)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
 		// Harmonic bound H(maxCover) ≤ ~2.5 for these sizes; assert a
 		// loose factor of 3.
 		if len(greedy) > 3*len(exact) {
@@ -121,8 +143,11 @@ func TestQuickDeterminism(t *testing.T) {
 				sets[i] = append(sets[i], rng.Intn(8))
 			}
 		}
-		a := Solve(Problem{Sets: sets})
-		b := Solve(Problem{Sets: sets})
+		a, errA := Solve(Problem{Sets: sets})
+		b, errB := Solve(Problem{Sets: sets})
+		if (errA == nil) != (errB == nil) {
+			return false
+		}
 		if len(a) != len(b) {
 			return false
 		}
