@@ -6,7 +6,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: all build fmt-check vet check test race race-fault bench bench-quick ci
+.PHONY: all build fmt-check vet check test race race-fault bench bench-sim bench-quick ci
 
 all: build
 
@@ -39,10 +39,32 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# bench-quick is the fast smoke slice of the evaluation: a representative
-# figure pair over one suite on a parallel engine, with the stage
-# breakdown (compile vs simulate, cache hits) printed.
-bench-quick: build
+# bench-sim measures the raw simulator engine (the hot loop every figure
+# driver funnels through) and writes the headline numbers to
+# BENCH_sim.json: ns per simulated instruction, instructions per second,
+# heap allocations per step (contract: ~0), and the warm end-to-end cost
+# of the most simulation-heavy figure (Fig. 8).
+BENCH_SIM_COUNT ?= 2
+bench-sim: build
+	@$(GO) test -run '^$$' -bench 'BenchmarkMachineStep$$|BenchmarkFig8PathCDF$$' \
+		-benchtime $(BENCH_SIM_COUNT)x -benchmem . | tee BENCH_sim.txt
+	@awk ' \
+		/^BenchmarkMachineStep/ { for (i=1; i<=NF; i++) { \
+			if ($$i == "ns/step") ns = $$(i-1); \
+			if ($$i == "Minstr/sec") mi = $$(i-1); \
+			if ($$i == "allocs/step") as = $$(i-1); } } \
+		/^BenchmarkFig8PathCDF/ { for (i=1; i<=NF; i++) \
+			if ($$i == "ns/op") fig8 = $$(i-1); } \
+		END { printf "{\n  \"machine_step\": {\"ns_per_step\": %s, \"instrs_per_sec\": %.0f, \"allocs_per_step\": %s},\n  \"fig8_path_cdf\": {\"ns_per_op\": %s}\n}\n", ns, mi * 1e6, as, fig8 }' \
+		BENCH_sim.txt > BENCH_sim.json
+	@rm -f BENCH_sim.txt
+	@echo "wrote BENCH_sim.json:"; cat BENCH_sim.json
+
+# bench-quick is the fast smoke slice of the evaluation: the simulator
+# engine microbenchmarks plus a representative figure pair over one suite
+# on a parallel engine, with the stage breakdown (compile vs simulate,
+# cache hits) printed.
+bench-quick: bench-sim
 	$(GO) run ./cmd/idembench -table2 -fig10 -suite PARSEC -workers 8 -timing
 
 ci: build check race

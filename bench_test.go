@@ -13,10 +13,15 @@ package idemproc
 
 import (
 	"flag"
+	"runtime"
 	"testing"
 
+	"idemproc/internal/buildcache"
+	"idemproc/internal/codegen"
+	"idemproc/internal/core"
 	"idemproc/internal/experiments"
 	"idemproc/internal/limit"
+	"idemproc/internal/machine"
 	"idemproc/internal/workloads"
 )
 
@@ -32,6 +37,49 @@ func benchEngine(b *testing.B) *experiments.Engine {
 	e := experiments.NewEngine(*benchWorkers)
 	b.Cleanup(func() { b.Log("\n" + e.Timing().Format()) })
 	return e
+}
+
+// BenchmarkMachineStep measures the raw simulator hot loop: dynamic
+// instructions per second of fault-free execution on an idempotent
+// binary with the experiment cache model, the configuration every figure
+// driver funnels through. It reports ns/step and steps/sec (the figure
+// of merit the predecoded engine is tuned for), and b.ReportAllocs makes
+// any per-step heap allocation visible as allocs/op.
+func BenchmarkMachineStep(b *testing.B) {
+	cache := buildcache.New()
+	w, ok := workloads.ByName("gcc")
+	if !ok {
+		b.Fatal("workload gcc missing")
+	}
+	p, _, err := cache.Compile(w, codegen.ModuleOptions{Core: core.DefaultOptions()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := machine.Config{BufferStores: true, TrackPaths: true, Cache: machine.DefaultCache()}
+	b.ReportAllocs()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	b.ResetTimer()
+	var steps int64
+	for i := 0; i < b.N; i++ {
+		m := machine.New(p, cfg)
+		if _, err := m.Run(w.Args...); err != nil {
+			b.Fatal(err)
+		}
+		steps += m.Stats.DynInstrs
+	}
+	b.StopTimer()
+	runtime.ReadMemStats(&after)
+	if steps > 0 {
+		nsPerStep := float64(b.Elapsed().Nanoseconds()) / float64(steps)
+		b.ReportMetric(nsPerStep, "ns/step")
+		b.ReportMetric(1e3/nsPerStep, "Minstr/sec")
+		// Whole-run heap allocations amortized per step: per-Machine setup
+		// is a few dozen allocs over millions of steps, so any per-step
+		// allocation regression shows up as a jump of six orders of
+		// magnitude. The TestStepZeroAllocs guard pins the same contract.
+		b.ReportMetric(float64(after.Mallocs-before.Mallocs)/float64(steps), "allocs/step")
+	}
 }
 
 // BenchmarkFig4LimitStudy regenerates Figure 4: dynamic idempotent path

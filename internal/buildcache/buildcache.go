@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"idemproc/internal/codegen"
+	"idemproc/internal/machine"
 	"idemproc/internal/workloads"
 )
 
@@ -83,6 +84,13 @@ func (c *Cache) Compile(w workloads.Workload, mo codegen.ModuleOptions) (*codege
 	defer close(e.done)
 	start := time.Now()
 	e.prog, e.stats, e.err = codegen.CompileModuleOpts(w.Module(), "main", w.MemWords, mo)
+	if e.err == nil {
+		// Predecode at compile time: the decoded form is memoized per
+		// Program (see machine.Predecode), so paying the pass here — once,
+		// inside the singleflight — means experiment workers find it ready
+		// and never decode on the simulation path.
+		machine.Predecode(e.prog)
+	}
 	c.mu.Lock()
 	c.compileNanos += time.Since(start).Nanoseconds()
 	c.mu.Unlock()

@@ -160,6 +160,14 @@ func (in *Info) computeDominators() {
 func (in *Info) computeFrontiers() {
 	n := len(in.F.Blocks)
 	in.Frontier = make([][]*ir.Block, n)
+	// seen[i] is the last join block appended to Frontier[i]. All of a
+	// join block's predecessor walks run consecutively, so one stamp per
+	// node replaces the linear duplicate scan the old appendUnique helper
+	// performed on every step of every walk (quadratic in frontier size
+	// for the diamond-heavy CFGs the region construction produces).
+	// Membership never needs re-checking across join blocks because each
+	// frontier list gains at most one copy of each b by construction.
+	seen := make([]*ir.Block, n)
 	for _, b := range in.RPO {
 		if len(b.Preds) < 2 {
 			continue
@@ -167,20 +175,14 @@ func (in *Info) computeFrontiers() {
 		for _, p := range b.Preds {
 			runner := p
 			for runner != nil && runner != in.Idom[b.Index] {
-				in.Frontier[runner.Index] = appendUnique(in.Frontier[runner.Index], b)
+				if seen[runner.Index] != b {
+					seen[runner.Index] = b
+					in.Frontier[runner.Index] = append(in.Frontier[runner.Index], b)
+				}
 				runner = in.Idom[runner.Index]
 			}
 		}
 	}
-}
-
-func appendUnique(s []*ir.Block, b *ir.Block) []*ir.Block {
-	for _, x := range s {
-		if x == b {
-			return s
-		}
-	}
-	return append(s, b)
 }
 
 // numberDomTree assigns DFS pre/post numbers on the dominator tree.

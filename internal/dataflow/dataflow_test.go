@@ -224,19 +224,19 @@ d:
 	}
 	v := func(n string) *ir.Value { return valueByName(f, n) }
 	l, d := blk("l"), blk("d")
-	if !lv.LiveIn[l.Index][v("a")] {
+	if !lv.LiveIn(l, v("a")) {
 		t.Fatal("a must be live-in to loop")
 	}
-	if !lv.LiveIn[l.Index][v("b")] {
+	if !lv.LiveIn(l, v("b")) {
 		t.Fatal("b must be live-in to loop (used after it)")
 	}
-	if !lv.LiveOut[l.Index][v("i2")] {
+	if !lv.LiveOut(l, v("i2")) {
 		t.Fatal("i2 must be live-out of loop (φ use + d use)")
 	}
-	if lv.LiveOut[d.Index][v("r")] {
+	if lv.LiveOut(d, v("r")) {
 		t.Fatal("nothing is live-out of the exit block")
 	}
-	if lv.LiveIn[d.Index][v("a")] {
+	if lv.LiveIn(d, v("a")) {
 		t.Fatal("a is dead after the loop")
 	}
 

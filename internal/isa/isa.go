@@ -36,9 +36,14 @@ const (
 func F(i int) Reg { return Reg(16 + i) }
 
 // NumIntRegs and NumFloatRegs give the architectural register counts.
+// NumRegs is the size of the unified register file: the Reg encoding is
+// already flat (r0..r15 at 0..15, f0..f31 at 16..47), so a single
+// NumRegs-entry bank indexed directly by Reg holds both files — the
+// simulator's hot loop relies on this to avoid any int/float dispatch.
 const (
 	NumIntRegs   = 16
 	NumFloatRegs = 32
+	NumRegs      = NumIntRegs + NumFloatRegs
 )
 
 // IsFloat reports whether r is a floating point register.

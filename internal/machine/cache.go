@@ -7,9 +7,11 @@ package machine
 // the buffer or cache are cheap, approximating a write-back L1 like the
 // paper's gem5 ARM configuration.
 type dcache struct {
-	// sets × ways line tags; line granularity is lineWords words.
-	tags  [][]int64
-	lru   [][]int64
+	// tags/lru are flat sets×ways arrays indexed set*ways+way — two
+	// allocations total instead of 2+2×sets, and no double indirection
+	// on the access path. Line granularity is lineWords words.
+	tags  []int64
+	lru   []int64
 	clock int64
 	sets  int
 	ways  int
@@ -34,15 +36,14 @@ func DefaultCache() CacheConfig {
 }
 
 func newDCache(cfg CacheConfig) *dcache {
-	c := &dcache{sets: cfg.Sets, ways: cfg.Ways}
-	c.tags = make([][]int64, cfg.Sets)
-	c.lru = make([][]int64, cfg.Sets)
+	c := &dcache{
+		sets: cfg.Sets,
+		ways: cfg.Ways,
+		tags: make([]int64, cfg.Sets*cfg.Ways),
+		lru:  make([]int64, cfg.Sets*cfg.Ways),
+	}
 	for i := range c.tags {
-		c.tags[i] = make([]int64, cfg.Ways)
-		c.lru[i] = make([]int64, cfg.Ways)
-		for w := range c.tags[i] {
-			c.tags[i][w] = -1
-		}
+		c.tags[i] = -1
 	}
 	return c
 }
@@ -51,23 +52,24 @@ func newDCache(cfg CacheConfig) *dcache {
 func (c *dcache) access(addr int64, lineWords int) bool {
 	line := addr / int64(lineWords)
 	set := int(line % int64(c.sets))
+	base := set * c.ways
 	c.clock++
 	for w := 0; w < c.ways; w++ {
-		if c.tags[set][w] == line {
-			c.lru[set][w] = c.clock
+		if c.tags[base+w] == line {
+			c.lru[base+w] = c.clock
 			c.Hits++
 			return true
 		}
 	}
 	// Miss: replace the LRU way.
-	victim := 0
-	for w := 1; w < c.ways; w++ {
-		if c.lru[set][w] < c.lru[set][victim] {
+	victim := base
+	for w := base + 1; w < base+c.ways; w++ {
+		if c.lru[w] < c.lru[victim] {
 			victim = w
 		}
 	}
-	c.tags[set][victim] = line
-	c.lru[set][victim] = c.clock
+	c.tags[victim] = line
+	c.lru[victim] = c.clock
 	c.Misses++
 	return false
 }

@@ -8,99 +8,101 @@ import (
 	"idemproc/internal/isa"
 )
 
-// step executes one instruction functionally against both the
-// architectural and the golden (fault-free) register state, applies any
-// scheduled fault injection, and feeds the pipeline model.
+// Sentinel arithmetic errors, allocated once so the hot loop never
+// constructs error values.
+var (
+	errDivZero = errors.New("machine: integer division by zero")
+	errRemZero = errors.New("machine: integer remainder by zero")
+)
+
+// step executes one predecoded instruction against the architectural
+// state and feeds the pipeline model. The fault-free path touches only
+// the decoded record, the unified register file and the store buffer —
+// no closures, no per-step queue polling, no golden-mirror writes, no
+// heap allocation. Reaching the earliest scheduled injection step flips
+// the machine hot, which activates the full fault machinery (injection
+// queues, golden mirror, taint detection) for the rest of the run.
 func (m *Machine) step() error {
-	if m.PC < 0 || m.PC >= len(m.P.Instrs) {
-		return fmt.Errorf("machine: pc %d out of range", m.PC)
+	pc := m.PC
+	if pc < 0 || pc >= len(m.code.ops) {
+		return fmt.Errorf("machine: pc %d out of range", pc)
 	}
-	in := m.P.Instrs[m.PC]
+	d := &m.code.ops[pc]
 	seq := m.Stats.DynInstrs
 	m.Stats.DynInstrs++
 	m.pathLen++
 
+	if seq >= m.nextEvent {
+		m.enterHot()
+	}
+	hot := m.hot
+
 	// Scheduled memory-word corruptions fire before the instruction
 	// executes: flip the word's current value wherever it lives (the
 	// youngest store-buffer entry forwards to loads, else backing memory).
-	for len(m.memFaultAt) > 0 && seq >= m.memFaultAt[0].step {
-		mf := m.memFaultAt[0]
-		m.memFaultAt = m.memFaultAt[1:]
-		hit := false
-		for i := len(m.storeBuf) - 1; i >= 0; i-- {
-			if m.storeBuf[i].addr == mf.addr {
-				m.storeBuf[i].val ^= mf.mask
-				hit = true
-				break
+	if hot {
+		for len(m.memFaultAt) > 0 && seq >= m.memFaultAt[0].step {
+			mf := m.memFaultAt[0]
+			m.memFaultAt = m.memFaultAt[1:]
+			hit := false
+			if len(m.storeBuf) > 0 {
+				if pos, ok := m.sb.lookup(mf.addr); ok {
+					m.storeBuf[pos].val ^= mf.mask
+					hit = true
+				}
 			}
-		}
-		if !hit {
-			if mf.addr <= 0 || mf.addr >= int64(len(m.Mem)) {
-				continue // outside the address space: vacuous
+			if !hit {
+				if mf.addr <= 0 || mf.addr >= int64(len(m.Mem)) {
+					continue // outside the address space: vacuous
+				}
+				m.Mem[mf.addr] ^= mf.mask
 			}
-			m.Mem[mf.addr] ^= mf.mask
+			m.noteFault()
 		}
-		m.noteFault()
 	}
 
-	// Shadow copies execute against the shadow bank: architecturally
-	// invisible, but they occupy pipeline slots and have dependencies.
-	if in.Shadow > 0 {
-		m.pipe.account(m, in)
-		m.execShadow(in)
-		m.PC++
+	// Redundant DMR/TMR copies are architecturally invisible: they only
+	// occupy pipeline resources (their decoded records carry the shadow
+	// bank's availability slots).
+	if d.kind == dShadow {
+		m.pipe.account(m, d)
+		m.PC = pc + 1
 		return nil
 	}
 
 	var memAddr int64
 	taken := false
-	nextPC := m.PC + 1
+	nextPC := pc + 1
 
-	src := func(r isa.Reg) uint64 {
-		if r.IsFloat() {
-			return m.FReg[r-16]
-		}
-		return m.Regs[r]
-	}
-	setReg := func(r isa.Reg, v uint64) {
-		if r.IsFloat() {
-			m.FReg[r-16] = v
-		} else {
-			m.Regs[r] = v
-		}
-	}
-
-	wroteRd := false
-	switch in.Op {
-	case isa.NOP:
-	case isa.LDR, isa.FLDR:
-		memAddr = int64(src(in.Rs1)) + in.Imm
-		v, err := m.loadMem(memAddr)
-		if err != nil {
+	switch d.kind {
+	case dNop:
+	case dLoad:
+		memAddr = int64(m.Regs[d.rs1]) + d.imm
+		v, ok := m.loadMem(memAddr)
+		if !ok {
 			// A corrupted address register (or a wrong-path walk) can
 			// wander out of bounds before the scheme's check fires;
 			// treat it as a detection.
-			if (m.tainted(in.Rs1) || m.wrongPath) && m.Cfg.Recovery != RecoverNone {
+			if (m.tainted(d.rs1) || m.wrongPath) && m.Cfg.Recovery != RecoverNone {
 				if m.recoverFault() {
-					m.pipe.account(m, in)
+					m.pipe.account(m, d)
 					return nil
 				}
 				if m.livelocked {
 					return ErrLivelock
 				}
 			}
-			return err
+			return m.loadErr(memAddr)
 		}
-		setReg(in.Rd, v)
-		if m.injecting {
-			gAddr := int64(m.goldenOf(in.Rs1)) + in.Imm
-			gv, gerr := m.loadMem(gAddr)
-			if gerr != nil {
-				return gerr // a real program error, not a fault artifact
+		m.Regs[d.rd] = v
+		if hot {
+			gAddr := int64(m.golden[d.rs1]) + d.imm
+			gv, gok := m.loadMem(gAddr)
+			if !gok {
+				return m.loadErr(gAddr) // a real program error, not a fault artifact
 			}
-			m.setGolden(in.Rd, gv)
+			m.golden[d.rd] = gv
 		}
-		wroteRd = true
 		m.Stats.Loads++
 		if m.cache != nil {
 			if m.cache.access(memAddr, m.Cfg.Cache.LineWords) {
@@ -110,19 +112,19 @@ func (m *Machine) step() error {
 				m.pipe.extraLat = m.Cfg.Cache.MissPenalty
 			}
 		}
-	case isa.STR, isa.FSTR:
-		memAddr = int64(src(in.Rs1)) + in.Imm
-		if err := m.storeMem(memAddr, src(in.Rs2)); err != nil {
-			if (m.tainted(in.Rs1) || m.wrongPath) && m.Cfg.Recovery != RecoverNone {
+	case dStore:
+		memAddr = int64(m.Regs[d.rs1]) + d.imm
+		if !m.storeMem(memAddr, m.Regs[d.rs2]) {
+			if (m.tainted(d.rs1) || m.wrongPath) && m.Cfg.Recovery != RecoverNone {
 				if m.recoverFault() {
-					m.pipe.account(m, in)
+					m.pipe.account(m, d)
 					return nil
 				}
 				if m.livelocked {
 					return ErrLivelock
 				}
 			}
-			return err
+			return m.storeErr(memAddr)
 		}
 		m.Stats.Stores++
 		if m.cache != nil {
@@ -135,45 +137,47 @@ func (m *Machine) step() error {
 				m.pipe.extraStall = int64(m.Cfg.Cache.MissPenalty / 3)
 			}
 		}
-	case isa.B:
-		nextPC = int(in.Imm)
+	case dJump:
+		nextPC = int(d.imm)
 		taken = true
-	case isa.CBZ, isa.CBNZ:
-		cond := src(in.Rs1) == 0
-		if in.Op == isa.CBNZ {
+	case dCondBr:
+		cond := m.Regs[d.rs1] == 0
+		if d.condNeg {
 			cond = !cond
 		}
 		// Scheduled control-flow error: the branch resolves the wrong way
 		// and execution continues speculatively down the wrong path.
-		if len(m.flipAt) > 0 && seq >= m.flipAt[0] && !m.wrongPath {
+		if hot && len(m.flipAt) > 0 && seq >= m.flipAt[0] && !m.wrongPath {
 			cond = !cond
 			m.wrongPath = true
 			m.noteFault()
 			m.flipAt = m.flipAt[1:]
 		}
 		if cond {
-			nextPC = int(in.Imm)
+			nextPC = int(d.imm)
 			taken = true
 		}
-	case isa.CALL:
-		m.Regs[isa.LR] = uint64(m.PC + 1)
-		m.golden[isa.LR] = uint64(m.PC + 1)
-		nextPC = int(in.Imm)
+	case dCall:
+		m.Regs[isa.LR] = uint64(pc + 1)
+		if hot {
+			m.golden[isa.LR] = uint64(pc + 1)
+		}
+		nextPC = int(d.imm)
 		taken = true
 		if m.Cfg.Tracer != nil {
 			m.Cfg.Tracer.Call()
 		}
-	case isa.RET:
+	case dRet:
 		nextPC = int(m.Regs[isa.LR])
 		taken = true
 		if m.Cfg.Tracer != nil {
 			m.Cfg.Tracer.Ret()
 		}
-	case isa.HALT:
+	case dHalt:
 		// A wrong path must not terminate the machine.
 		if m.wrongPath && m.Cfg.Recovery != RecoverNone {
 			if m.recoverFault() {
-				m.pipe.account(m, in)
+				m.pipe.account(m, d)
 				return nil
 			}
 			if m.livelocked {
@@ -184,43 +188,45 @@ func (m *Machine) step() error {
 		if m.Cfg.TrackPaths && m.pathLen > 0 {
 			m.Stats.PathLens[m.pathLen]++
 		}
-	case isa.MARK:
+	case dMark:
 		m.Stats.Marks++
-		// Boundary faults armed before this MARK are primed now and fire
-		// on the first register write of the new region.
-		for len(m.boundaryAt) > 0 && seq >= m.boundaryAt[0].step {
-			m.primed = append(m.primed, m.boundaryAt[0].mask)
-			m.boundaryAt = m.boundaryAt[1:]
-		}
-		// Control-flow verification at the boundary (§2.3): a wrong-path
-		// execution is detected here, before any of its stores commit.
-		if m.wrongPath && m.Cfg.Recovery != RecoverNone {
-			if m.recoverFault() {
-				m.pipe.account(m, in)
-				return nil
-			}
-			if m.livelocked {
-				return ErrLivelock
-			}
-		}
-		// Outstanding value divergence must also be resolved before the
-		// region's stores commit — except on the re-entry a recovery just
-		// jumped to, where stale (non-input) registers are expected until
-		// the re-execution rewrites them.
 		reentry := false
-		if m.justRecovered {
-			m.justRecovered = false
-			reentry = true
-		} else if m.anyTaint() && m.Cfg.Recovery != RecoverNone {
-			if debugReconcile {
-				fmt.Printf("MARK-DETECT pc=%d fn=%s rp=%d consec=%d\n", m.PC, m.fn(), m.rp, m.consecBoundary)
+		if hot {
+			// Boundary faults armed before this MARK are primed now and
+			// fire on the first register write of the new region.
+			for len(m.boundaryAt) > 0 && seq >= m.boundaryAt[0].step {
+				m.primed = append(m.primed, m.boundaryAt[0].mask)
+				m.boundaryAt = m.boundaryAt[1:]
 			}
-			if m.boundaryRecoverOrReconcile() {
-				m.pipe.account(m, in)
-				return nil
+			// Control-flow verification at the boundary (§2.3): a wrong-path
+			// execution is detected here, before any of its stores commit.
+			if m.wrongPath && m.Cfg.Recovery != RecoverNone {
+				if m.recoverFault() {
+					m.pipe.account(m, d)
+					return nil
+				}
+				if m.livelocked {
+					return ErrLivelock
+				}
 			}
-			if m.livelocked {
-				return ErrLivelock
+			// Outstanding value divergence must also be resolved before the
+			// region's stores commit — except on the re-entry a recovery just
+			// jumped to, where stale (non-input) registers are expected until
+			// the re-execution rewrites them.
+			if m.justRecovered {
+				m.justRecovered = false
+				reentry = true
+			} else if m.anyTaint() && m.Cfg.Recovery != RecoverNone {
+				if debugReconcile {
+					fmt.Printf("MARK-DETECT pc=%d fn=%s rp=%d consec=%d\n", pc, m.fn(), m.rp, m.consecBoundary)
+				}
+				if m.boundaryRecoverOrReconcile() {
+					m.pipe.account(m, d)
+					return nil
+				}
+				if m.livelocked {
+					return ErrLivelock
+				}
 			}
 		}
 		m.lastRecoverPC = -1
@@ -233,37 +239,37 @@ func (m *Machine) step() error {
 			m.retryPC = -1
 			m.retryCount = 0
 		}
-	case isa.CHECK:
+	case dCheck:
 		// DMR check: the redundant copy disagrees iff the value diverges
 		// from the golden mirror.
-		if m.tainted(in.Rs1) {
+		if m.tainted(d.rs1) {
 			if debugReconcile {
-				fmt.Printf("CHECK-DETECT pc=%d fn=%s reg=%v arch=%d golden=%d rp=%d seq=%d\n", m.PC, m.fn(), in.Rs1, int64(m.Regs[in.Rs1]), int64(m.golden[in.Rs1]), m.rp, m.Stats.DynInstrs)
+				fmt.Printf("CHECK-DETECT pc=%d fn=%s reg=%v arch=%d golden=%d rp=%d seq=%d\n", pc, m.fn(), isa.Reg(d.rs1), int64(m.Regs[d.rs1]), int64(m.golden[d.rs1]), m.rp, m.Stats.DynInstrs)
 			}
 			if !m.recoverFault() {
 				return m.detectErr()
 			}
-			m.pipe.account(m, in)
+			m.pipe.account(m, d)
 			return nil
 		}
-	case isa.MAJ:
+	case dMaj:
 		// TMR majority vote: the two clean copies outvote the corrupt
 		// one, restoring the correct value in place.
-		if m.tainted(in.Rd) {
+		if m.tainted(d.rd) {
 			m.Stats.Detections++
 			m.noteDetect()
-			setReg(in.Rd, m.goldenOf(in.Rd))
+			m.Regs[d.rd] = m.golden[d.rd]
 		}
-	default:
-		v, err := evalALU(in, src)
+	default: // dALU
+		v, err := evalALU(d, m.Regs[d.rs1], m.Regs[d.rs2])
 		if err != nil {
 			// Division by zero on a wrong path is a speculation artifact;
 			// a corrupted operand (e.g. a divisor flipped to zero) is a
 			// detection, exactly like a corrupted address register.
-			corrupt := m.tainted(in.Rs1) || (hasRs2(in.Op) && m.tainted(in.Rs2))
+			corrupt := m.tainted(d.rs1) || (d.nsrc > 1 && m.tainted(d.rs2))
 			if (m.wrongPath || corrupt) && m.Cfg.Recovery != RecoverNone {
 				if m.recoverFault() {
-					m.pipe.account(m, in)
+					m.pipe.account(m, d)
 					return nil
 				}
 				if m.livelocked {
@@ -272,22 +278,21 @@ func (m *Machine) step() error {
 			}
 			return err
 		}
-		setReg(in.Rd, v)
-		if m.injecting {
-			gv, gerr := evalALU(in, m.goldenOf)
+		m.Regs[d.rd] = v
+		if hot {
+			gv, gerr := evalALU(d, m.golden[d.rs1], m.golden[d.rs2])
 			if gerr != nil {
 				return gerr
 			}
-			m.setGolden(in.Rd, gv)
+			m.golden[d.rd] = gv
 		}
-		wroteRd = true
 	}
 
 	// Scheduled fault injection: corrupt the just-written architectural
 	// destination (the golden mirror keeps the correct value).
 	// Instrumentation (Meta) is outside the fault sphere. Step-scheduled,
 	// boundary-primed and recovery-nested faults all land here.
-	if wroteRd && !in.Meta {
+	if hot && d.writesRd && !d.meta {
 		var mask uint64
 		if len(m.faultAt) > 0 && seq >= m.faultAt[0].step {
 			mask ^= m.faultAt[0].mask
@@ -302,29 +307,19 @@ func (m *Machine) step() error {
 			m.nestedAt = m.nestedAt[1:]
 		}
 		if mask != 0 {
-			if in.Rd.IsFloat() {
-				m.FReg[in.Rd-16] ^= mask
-			} else {
-				m.Regs[in.Rd] ^= mask
-			}
+			m.Regs[d.rd] ^= mask
 			m.noteFault()
 		}
 	}
 
-	// When no injection campaign is active, the golden mirror just tracks
-	// the architectural state (cheaply, on writes).
-	if !m.injecting && wroteRd {
-		m.setGolden(in.Rd, src(in.Rd))
-	}
-
 	// Checkpoint-and-log: the log pointer advances through rp; when the
 	// log fills, a (free) register checkpoint resets it.
-	if m.Cfg.Recovery == RecoverCheckpointLog && wroteRd && in.Rd == isa.RP {
+	if m.Cfg.Recovery == RecoverCheckpointLog && d.writesRd && d.rd == uint8(isa.RP) {
 		m.logPtr = int64(m.Regs[isa.RP])
 		if m.logPtr >= m.Cfg.LogBase+m.Cfg.LogWords {
 			if m.anyTaint() {
 				if debugReconcile {
-					fmt.Printf("WRAP-DETECT pc=%d fn=%s ckptPC=%d consec=%d:", m.PC, m.fn(), m.ckptPC, m.consecBoundary)
+					fmt.Printf("WRAP-DETECT pc=%d fn=%s ckptPC=%d consec=%d:", pc, m.fn(), m.ckptPC, m.consecBoundary)
 					for i := range m.Regs {
 						if m.Regs[i] != m.golden[i] {
 							fmt.Printf(" r%d(a=%d g=%d)", i, int64(m.Regs[i]), int64(m.golden[i]))
@@ -335,25 +330,27 @@ func (m *Machine) step() error {
 				if !m.boundaryRecoverOrReconcile() {
 					return m.detectErr()
 				}
-				m.pipe.account(m, in)
+				m.pipe.account(m, d)
 				return nil
 			}
 			m.lastRecoverPC = -1
 			m.consecBoundary = 0
 			m.PC = nextPC
 			m.takeCheckpoint()
-			m.pipe.account(m, in)
+			m.pipe.account(m, d)
 			if m.Cfg.Tracer != nil {
-				m.Cfg.Tracer.Instr(in, memAddr, m.Regs[isa.SP])
+				m.Cfg.Tracer.Instr(m.P.Instrs[pc], memAddr, m.Regs[isa.SP])
 			}
 			return nil
 		}
 	}
 
-	m.pipe.accountBranch(m, in, taken)
-	m.pipe.account(m, in)
+	if d.kind == dCondBr && taken != d.predTaken {
+		m.pipe.mispredict(m)
+	}
+	m.pipe.account(m, d)
 	if m.Cfg.Tracer != nil {
-		m.Cfg.Tracer.Instr(in, memAddr, m.Regs[isa.SP])
+		m.Cfg.Tracer.Instr(m.P.Instrs[pc], memAddr, m.Regs[isa.SP])
 	}
 	m.PC = nextPC
 	return nil
@@ -378,12 +375,7 @@ func (m *Machine) boundaryRecoverOrReconcile() bool {
 			fmt.Printf("RECONCILE at pc=%d fn=%s:", m.PC, m.fn())
 			for i := range m.Regs {
 				if m.Regs[i] != m.golden[i] {
-					fmt.Printf(" r%d(arch=%d golden=%d)", i, int64(m.Regs[i]), int64(m.golden[i]))
-				}
-			}
-			for i := range m.FReg {
-				if m.FReg[i] != m.goldenF[i] {
-					fmt.Printf(" f%d", i)
+					fmt.Printf(" %v(arch=%d golden=%d)", isa.Reg(i), int64(m.Regs[i]), int64(m.golden[i]))
 				}
 			}
 			fmt.Println()
@@ -396,97 +388,97 @@ func (m *Machine) boundaryRecoverOrReconcile() bool {
 	return m.recoverFault()
 }
 
-// evalALU computes a register-to-register operation from the given source
-// accessor (architectural or golden).
-func evalALU(in isa.Instr, src func(isa.Reg) uint64) (uint64, error) {
-	f := func(r isa.Reg) float64 { return math.Float64frombits(src(r)) }
-	b2u := func(b bool) uint64 {
-		if b {
-			return 1
-		}
-		return 0
-	}
-	switch in.Op {
-	case isa.MOVI:
-		return uint64(in.Imm), nil
-	case isa.FMOVI:
-		return math.Float64bits(in.FImm), nil
+// evalALU computes a register-writing ALU operation from a predecoded
+// record and the already-fetched operand values (architectural or
+// golden). Value-form operands keep the function closure-free: the same
+// code path serves both register files.
+func evalALU(d *decoded, a, b uint64) (uint64, error) {
+	switch d.op {
+	case isa.MOVI, isa.FMOVI:
+		return d.cval, nil
 	case isa.MOV, isa.FMOV:
-		return src(in.Rs1), nil
+		return a, nil
 	case isa.ITOF:
-		return math.Float64bits(float64(int64(src(in.Rs1)))), nil
+		return math.Float64bits(float64(int64(a))), nil
 	case isa.FTOI:
-		return uint64(int64(math.Float64frombits(src(in.Rs1)))), nil
+		return uint64(int64(math.Float64frombits(a))), nil
 	case isa.ADD:
-		return uint64(int64(src(in.Rs1)) + int64(src(in.Rs2))), nil
+		return uint64(int64(a) + int64(b)), nil
 	case isa.SUB:
-		return uint64(int64(src(in.Rs1)) - int64(src(in.Rs2))), nil
+		return uint64(int64(a) - int64(b)), nil
 	case isa.MUL:
-		return uint64(int64(src(in.Rs1)) * int64(src(in.Rs2))), nil
+		return uint64(int64(a) * int64(b)), nil
 	case isa.DIV:
-		d := int64(src(in.Rs2))
-		if d == 0 {
-			return 0, errors.New("machine: integer division by zero")
+		if int64(b) == 0 {
+			return 0, errDivZero
 		}
-		return uint64(int64(src(in.Rs1)) / d), nil
+		return uint64(int64(a) / int64(b)), nil
 	case isa.REM:
-		d := int64(src(in.Rs2))
-		if d == 0 {
-			return 0, errors.New("machine: integer remainder by zero")
+		if int64(b) == 0 {
+			return 0, errRemZero
 		}
-		return uint64(int64(src(in.Rs1)) % d), nil
+		return uint64(int64(a) % int64(b)), nil
 	case isa.AND:
-		return src(in.Rs1) & src(in.Rs2), nil
+		return a & b, nil
 	case isa.ORR:
-		return src(in.Rs1) | src(in.Rs2), nil
+		return a | b, nil
 	case isa.EOR:
-		return src(in.Rs1) ^ src(in.Rs2), nil
+		return a ^ b, nil
 	case isa.LSL:
-		return uint64(int64(src(in.Rs1)) << (src(in.Rs2) & 63)), nil
+		return uint64(int64(a) << (b & 63)), nil
 	case isa.ASR:
-		return uint64(int64(src(in.Rs1)) >> (src(in.Rs2) & 63)), nil
+		return uint64(int64(a) >> (b & 63)), nil
 	case isa.ADDI:
-		return uint64(int64(src(in.Rs1)) + in.Imm), nil
+		return uint64(int64(a) + d.imm), nil
 	case isa.NEG:
-		return uint64(-int64(src(in.Rs1))), nil
+		return uint64(-int64(a)), nil
 	case isa.MVN:
-		return ^src(in.Rs1), nil
+		return ^a, nil
 	case isa.SEQ:
-		return b2u(int64(src(in.Rs1)) == int64(src(in.Rs2))), nil
+		return b2u(int64(a) == int64(b)), nil
 	case isa.SNE:
-		return b2u(int64(src(in.Rs1)) != int64(src(in.Rs2))), nil
+		return b2u(int64(a) != int64(b)), nil
 	case isa.SLT:
-		return b2u(int64(src(in.Rs1)) < int64(src(in.Rs2))), nil
+		return b2u(int64(a) < int64(b)), nil
 	case isa.SLE:
-		return b2u(int64(src(in.Rs1)) <= int64(src(in.Rs2))), nil
+		return b2u(int64(a) <= int64(b)), nil
 	case isa.SGT:
-		return b2u(int64(src(in.Rs1)) > int64(src(in.Rs2))), nil
+		return b2u(int64(a) > int64(b)), nil
 	case isa.SGE:
-		return b2u(int64(src(in.Rs1)) >= int64(src(in.Rs2))), nil
+		return b2u(int64(a) >= int64(b)), nil
 	case isa.FADD:
-		return math.Float64bits(f(in.Rs1) + f(in.Rs2)), nil
+		return math.Float64bits(f64(a) + f64(b)), nil
 	case isa.FSUB:
-		return math.Float64bits(f(in.Rs1) - f(in.Rs2)), nil
+		return math.Float64bits(f64(a) - f64(b)), nil
 	case isa.FMUL:
-		return math.Float64bits(f(in.Rs1) * f(in.Rs2)), nil
+		return math.Float64bits(f64(a) * f64(b)), nil
 	case isa.FDIV:
-		return math.Float64bits(f(in.Rs1) / f(in.Rs2)), nil
+		return math.Float64bits(f64(a) / f64(b)), nil
 	case isa.FNEG:
-		return math.Float64bits(-f(in.Rs1)), nil
+		return math.Float64bits(-f64(a)), nil
 	case isa.FSEQ:
-		return b2u(f(in.Rs1) == f(in.Rs2)), nil
+		return b2u(f64(a) == f64(b)), nil
 	case isa.FSNE:
-		return b2u(f(in.Rs1) != f(in.Rs2)), nil
+		return b2u(f64(a) != f64(b)), nil
 	case isa.FSLT:
-		return b2u(f(in.Rs1) < f(in.Rs2)), nil
+		return b2u(f64(a) < f64(b)), nil
 	case isa.FSLE:
-		return b2u(f(in.Rs1) <= f(in.Rs2)), nil
+		return b2u(f64(a) <= f64(b)), nil
 	case isa.FSGT:
-		return b2u(f(in.Rs1) > f(in.Rs2)), nil
+		return b2u(f64(a) > f64(b)), nil
 	case isa.FSGE:
-		return b2u(f(in.Rs1) >= f(in.Rs2)), nil
+		return b2u(f64(a) >= f64(b)), nil
 	}
-	return 0, fmt.Errorf("machine: unknown op %v", in.Op)
+	return 0, fmt.Errorf("machine: unknown op %v", d.op)
+}
+
+func f64(v uint64) float64 { return math.Float64frombits(v) }
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 func hasRs2(op isa.Op) bool {
@@ -499,17 +491,6 @@ func hasRs2(op isa.Op) bool {
 		return true
 	}
 	return false
-}
-
-// execShadow executes a redundant copy against the shadow bank. Values
-// mirror the architectural computation; only timing matters.
-func (m *Machine) execShadow(in isa.Instr) {
-	bank := &m.shadow[in.Shadow-1]
-	if in.Rd.IsFloat() {
-		bank.freg[in.Rd-16] = m.FReg[in.Rd-16]
-	} else {
-		bank.regs[in.Rd] = m.Regs[in.Rd]
-	}
 }
 
 // debugReconcile enables reconcile diagnostics (tests may flip it).

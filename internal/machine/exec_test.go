@@ -65,7 +65,7 @@ func TestAllALUOps(t *testing.T) {
 			isa.Instr{Op: isa.HALT},
 		), Config{})
 		if srcIsF {
-			m.FReg[1], m.FReg[2] = c.x, c.y
+			m.Regs[16+1], m.Regs[16+2] = c.x, c.y
 		} else {
 			m.Regs[1], m.Regs[2] = c.x, c.y
 		}
@@ -74,7 +74,7 @@ func TestAllALUOps(t *testing.T) {
 		}
 		var got uint64
 		if dstIsF {
-			got = m.FReg[3]
+			got = m.Regs[16+3]
 		} else {
 			got = m.Regs[3]
 		}
@@ -103,13 +103,13 @@ func TestUnaryAndConvertOps(t *testing.T) {
 	if int64(m.Regs[2]) != 9 || int64(m.Regs[3]) != ^int64(-9) {
 		t.Fatalf("neg/mvn wrong: %d %d", int64(m.Regs[2]), int64(m.Regs[3]))
 	}
-	if math.Float64frombits(m.FReg[1]) != 9 || math.Float64frombits(m.FReg[2]) != -9 {
+	if math.Float64frombits(m.Regs[16+1]) != 9 || math.Float64frombits(m.Regs[16+2]) != -9 {
 		t.Fatal("itof/fneg wrong")
 	}
 	if int64(m.Regs[4]) != -9 || m.Regs[5] != 9 {
 		t.Fatal("ftoi/mov wrong")
 	}
-	if math.Float64frombits(m.FReg[4]) != 2.75 {
+	if math.Float64frombits(m.Regs[16+4]) != 2.75 {
 		t.Fatal("fmov wrong")
 	}
 }

@@ -3,11 +3,23 @@
 // cycle accounting, a store buffer that commits at region boundaries
 // (§2.3), dynamic idempotent-path tracking (Figures 8/9), fault injection
 // with taint-based DMR detection, and the three recovery schemes of §6.3.
+//
+// The execution core is a predecoded, allocation-free hot loop (see
+// predecode.go and docs/machine.md): programs are decoded once into
+// dense operand-resolved records, the functional core and the pipeline
+// model share one flat 48-register file (times three banks for the
+// DMR/TMR shadow copies in the timing model), load forwarding out of the
+// region store buffer is O(1) through a last-writer index, and the fault
+// machinery — including the golden-mirror maintenance DMR detection is
+// built on — costs nothing until the first scheduled event's step is
+// reached.
 package machine
 
 import (
 	"errors"
 	"fmt"
+	"math"
+	"slices"
 
 	"idemproc/internal/codegen"
 	"idemproc/internal/isa"
@@ -60,28 +72,33 @@ func (s *Stats) AvgPathLen() float64 {
 // WeightedPathCDF returns (lengths, cumulative execution-time fraction)
 // pairs: each path weighted by its length, as in the paper's Figure 8.
 func (s *Stats) WeightedPathCDF() ([]int64, []float64) {
-	var lens []int64
+	type lc struct {
+		l, c int64
+	}
+	pairs := make([]lc, 0, len(s.PathLens))
 	var total float64
 	for l, c := range s.PathLens {
-		lens = append(lens, l)
+		pairs = append(pairs, lc{l, c})
 		total += float64(l * c)
 	}
-	sortInt64s(lens)
-	cdf := make([]float64, len(lens))
+	slices.SortFunc(pairs, func(a, b lc) int {
+		switch {
+		case a.l < b.l:
+			return -1
+		case a.l > b.l:
+			return 1
+		}
+		return 0
+	})
+	lens := make([]int64, len(pairs))
+	cdf := make([]float64, len(pairs))
 	run := 0.0
-	for i, l := range lens {
-		run += float64(l * s.PathLens[l])
+	for i, p := range pairs {
+		lens[i] = p.l
+		run += float64(p.l * p.c)
 		cdf[i] = run / total
 	}
 	return lens, cdf
-}
-
-func sortInt64s(a []int64) {
-	for i := 1; i < len(a); i++ {
-		for j := i; j > 0 && a[j] < a[j-1]; j-- {
-			a[j], a[j-1] = a[j-1], a[j]
-		}
-	}
 }
 
 // Recovery selects the fault recovery scheme (§6.3).
@@ -149,46 +166,60 @@ type Tracer interface {
 }
 
 // Machine is one simulator instance.
+//
+// Register file layout: Regs is the unified architectural file indexed
+// directly by isa.Reg — integer registers at 0..15, floating-point
+// registers at 16..47 (isa.F(i) == 16+i). The pipeline model extends the
+// same indexing with two shadow banks (48×3 availability slots) for the
+// DMR/TMR redundant copies, which exist only for timing.
 type Machine struct {
 	P    *codegen.Program
 	Cfg  Config
-	Regs [isa.NumIntRegs]uint64
-	FReg [isa.NumFloatRegs]uint64
+	Regs [isa.NumRegs]uint64
 	Mem  []uint64
 	PC   int
 
 	Stats Stats
+
+	// code is the shared predecoded program (see predecode.go).
+	code *Code
 
 	// Pipeline model state.
 	pipe  pipeline
 	cache *dcache
 
 	// Region / recovery state.
-	storeBuf   []bufEntry
+	storeBuf   []sbEntry
+	sb         sbIndex
 	rp         int
 	rpSP, rpLR uint64
 	pathLen    int64
 
-	// Golden state: a fault-free mirror of the register files, computed
-	// from golden sources in parallel with architectural execution. A
-	// register is "tainted" (holds a corrupted or corruption-derived
-	// value) exactly when its architectural and golden values differ —
-	// which is precisely what a DMR shadow copy detects.
-	golden    [isa.NumIntRegs]uint64
-	goldenF   [isa.NumFloatRegs]uint64
-	injecting bool
+	// Event-driven fault scheduling: nextEvent is the earliest dynamic
+	// step at which any scheduled injection can fire (MaxInt64 when none
+	// are pending); until execution reaches it, step() runs the pure
+	// fault-free fast path — no queue polling, no golden-mirror
+	// maintenance. Reaching it sets hot, which activates the full fault
+	// machinery for the remainder of the run.
+	nextEvent int64
+	hot       bool
+
+	// Golden state: a fault-free mirror of the register file, computed
+	// from golden sources in parallel with architectural execution once
+	// the machine goes hot (the mirror is seeded from the architectural
+	// file at that point, before any divergence can exist). A register
+	// is "tainted" (holds a corrupted or corruption-derived value)
+	// exactly when its architectural and golden values differ — which is
+	// precisely what a DMR shadow copy detects.
+	golden [isa.NumRegs]uint64
 	// Livelock guard: consecutive boundary recoveries at the same restart
 	// point reconcile dead corrupted registers (see mark handling).
 	lastRecoverPC  int
 	consecBoundary int
 
-	// Shadow register banks for the DMR/TMR duplicated computations.
-	shadow [2]shadowBank
-
 	// Checkpoint-log state.
 	logPtr   int64
-	ckptRegs [isa.NumIntRegs]uint64
-	ckptFReg [isa.NumFloatRegs]uint64
+	ckptRegs [isa.NumRegs]uint64
 	ckptPC   int
 	ckptLog  int64
 
@@ -234,16 +265,6 @@ type Machine struct {
 	halted bool
 }
 
-type shadowBank struct {
-	regs [isa.NumIntRegs]uint64
-	freg [isa.NumFloatRegs]uint64
-}
-
-type bufEntry struct {
-	addr int64
-	val  uint64
-}
-
 // ErrDetectedUnrecoverable reports a detection with RecoverNone.
 var ErrDetectedUnrecoverable = errors.New("machine: fault detected, no recovery scheme")
 
@@ -254,7 +275,8 @@ var ErrDetectedUnrecoverable = errors.New("machine: fault detected, no recovery 
 // re-execution was re-corrupted before reaching a boundary).
 var ErrLivelock = errors.New("machine: livelock watchdog fired")
 
-// New creates a machine for p.
+// New creates a machine for p. The predecoded form of p is shared with
+// every other Machine running the same Program (see Predecode).
 func New(p *codegen.Program, cfg Config) *Machine {
 	if cfg.MaxSteps == 0 {
 		cfg.MaxSteps = 500_000_000
@@ -265,12 +287,14 @@ func New(p *codegen.Program, cfg Config) *Machine {
 	if cfg.LogBase == 0 {
 		cfg.LogBase = p.GlobalEnd
 	}
-	m := &Machine{P: p, Cfg: cfg}
+	m := &Machine{P: p, Cfg: cfg, code: Predecode(p)}
 	m.Reset()
 	return m
 }
 
-// Reset reinitializes memory, registers and statistics.
+// Reset reinitializes memory, registers and statistics. Armed fault
+// injections survive a Reset (they are scheduled against dynamic-step
+// indices, which restart from zero).
 func (m *Machine) Reset() {
 	m.Mem = make([]uint64, m.P.MemWords)
 	for _, g := range m.P.Globals {
@@ -279,8 +303,7 @@ func (m *Machine) Reset() {
 			m.Mem[base+int64(i)] = uint64(x)
 		}
 	}
-	m.Regs = [isa.NumIntRegs]uint64{}
-	m.FReg = [isa.NumFloatRegs]uint64{}
+	m.Regs = [isa.NumRegs]uint64{}
 	m.Stats = Stats{PathLens: map[int64]int64{}, FirstFaultStep: -1, FirstDetectStep: -1}
 	m.pipe = pipeline{}
 	if m.Cfg.Cache.Sets > 0 {
@@ -288,9 +311,11 @@ func (m *Machine) Reset() {
 	} else {
 		m.cache = nil
 	}
-	m.storeBuf = nil
-	m.golden = [isa.NumIntRegs]uint64{}
-	m.goldenF = [isa.NumFloatRegs]uint64{}
+	m.storeBuf = m.storeBuf[:0]
+	m.sb.init()
+	m.golden = [isa.NumRegs]uint64{}
+	m.hot = false
+	m.recalcNextEvent()
 	m.pathLen = 0
 	m.logPtr = m.Cfg.LogBase
 	m.ckptLog = m.Cfg.LogBase
@@ -320,6 +345,44 @@ type pendingNested struct {
 	mask  uint64
 }
 
+// recalcNextEvent recomputes the earliest step any scheduled injection
+// can fire. Boundary faults prime at their arming step and nested faults
+// fire only after a recovery — which itself requires an earlier event —
+// so the step-scheduled queue heads cover every activation path (a
+// nested fault armed with after <= 0 is the one exception, handled at
+// injection time by forcing the machine hot from step zero).
+func (m *Machine) recalcNextEvent() {
+	next := int64(math.MaxInt64)
+	if len(m.faultAt) > 0 && m.faultAt[0].step < next {
+		next = m.faultAt[0].step
+	}
+	if len(m.memFaultAt) > 0 && m.memFaultAt[0].step < next {
+		next = m.memFaultAt[0].step
+	}
+	if len(m.boundaryAt) > 0 && m.boundaryAt[0].step < next {
+		next = m.boundaryAt[0].step
+	}
+	if len(m.flipAt) > 0 && m.flipAt[0] < next {
+		next = m.flipAt[0]
+	}
+	for _, nf := range m.nestedAt {
+		if nf.after <= 0 {
+			next = 0
+		}
+	}
+	m.nextEvent = next
+}
+
+// enterHot activates the fault machinery: from here on every step polls
+// the injection queues and maintains the golden mirror. The mirror is
+// seeded from the architectural file — correct because no fault has
+// materialized yet, so the two are necessarily identical.
+func (m *Machine) enterHot() {
+	m.hot = true
+	m.golden = m.Regs
+	m.nextEvent = math.MaxInt64
+}
+
 // InjectFault schedules a single-bit corruption of the destination value
 // of the first register-writing instruction executed at or after the
 // step'th dynamic instruction (recovery instrumentation and redundant
@@ -338,9 +401,7 @@ func (m *Machine) InjectFaultMask(step int64, mask uint64) {
 	m.faultAt = append(m.faultAt, pendingFault{})
 	copy(m.faultAt[i+1:], m.faultAt[i:])
 	m.faultAt[i] = pendingFault{step: step, mask: mask}
-	// Injection campaigns enable the golden mirror (it is pure overhead
-	// otherwise).
-	m.injecting = true
+	m.recalcNextEvent()
 }
 
 // InjectMemFault schedules a corruption of memory word addr at the
@@ -358,7 +419,7 @@ func (m *Machine) InjectMemFault(step, addr int64, mask uint64) {
 	m.memFaultAt = append(m.memFaultAt, pendingMemFault{})
 	copy(m.memFaultAt[i+1:], m.memFaultAt[i:])
 	m.memFaultAt[i] = pendingMemFault{step: step, addr: addr, mask: mask}
-	m.injecting = true
+	m.recalcNextEvent()
 }
 
 // InjectBoundaryFault schedules a region-boundary fault: armed at the
@@ -375,7 +436,7 @@ func (m *Machine) InjectBoundaryFault(step int64, mask uint64) {
 	m.boundaryAt = append(m.boundaryAt, pendingFault{})
 	copy(m.boundaryAt[i+1:], m.boundaryAt[i:])
 	m.boundaryAt[i] = pendingFault{step: step, mask: mask}
-	m.injecting = true
+	m.recalcNextEvent()
 }
 
 // InjectNestedFault schedules a corruption of the first register write
@@ -391,7 +452,24 @@ func (m *Machine) InjectNestedFault(after int64, mask uint64) {
 	m.nestedAt = append(m.nestedAt, pendingNested{})
 	copy(m.nestedAt[i+1:], m.nestedAt[i:])
 	m.nestedAt[i] = pendingNested{after: after, mask: mask}
-	m.injecting = true
+	m.recalcNextEvent()
+}
+
+// InjectControlFlowError schedules a branch-direction failure: the first
+// conditional branch executed at or after the step'th dynamic instruction
+// goes the wrong way. The wrong path executes speculatively (stores stay
+// in the buffer) until the next region boundary's control-flow
+// verification detects the failure and recovery re-executes from rp
+// (§2.3, "tolerating control flow errors").
+func (m *Machine) InjectControlFlowError(step int64) {
+	i := 0
+	for i < len(m.flipAt) && m.flipAt[i] < step {
+		i++
+	}
+	m.flipAt = append(m.flipAt, 0)
+	copy(m.flipAt[i+1:], m.flipAt[i:])
+	m.flipAt[i] = step
+	m.recalcNextEvent()
 }
 
 // noteFault records a materialized fault.
@@ -417,22 +495,6 @@ func (m *Machine) detectErr() error {
 	return ErrDetectedUnrecoverable
 }
 
-// InjectControlFlowError schedules a branch-direction failure: the first
-// conditional branch executed at or after the step'th dynamic instruction
-// goes the wrong way. The wrong path executes speculatively (stores stay
-// in the buffer) until the next region boundary's control-flow
-// verification detects the failure and recovery re-executes from rp
-// (§2.3, "tolerating control flow errors").
-func (m *Machine) InjectControlFlowError(step int64) {
-	i := 0
-	for i < len(m.flipAt) && m.flipAt[i] < step {
-		i++
-	}
-	m.flipAt = append(m.flipAt, 0)
-	copy(m.flipAt[i+1:], m.flipAt[i:])
-	m.flipAt[i] = step
-}
-
 // Run executes the program with up to four integer arguments, returning
 // the value of r0 at HALT.
 func (m *Machine) Run(args ...uint64) (uint64, error) {
@@ -441,11 +503,7 @@ func (m *Machine) Run(args ...uint64) (uint64, error) {
 			return 0, errors.New("machine: more than 4 integer arguments")
 		}
 		m.Regs[i] = a
-		m.golden[i] = a
 	}
-	// Mirror any externally-set registers (e.g. float arguments placed in
-	// f0..f3 by the caller) into the golden file.
-	m.goldenF = m.FReg
 	m.PC = m.P.Entry
 	m.rp = m.PC
 	if m.Cfg.Recovery == RecoverCheckpointLog {
@@ -479,29 +537,42 @@ func (m *Machine) Run(args ...uint64) (uint64, error) {
 	return m.Regs[0], nil
 }
 
-func (m *Machine) loadMem(addr int64) (uint64, error) {
+// loadMem reads addr with O(1) store-buffer forwarding; ok is false for
+// an out-of-range address (callers produce the error off the hot path).
+func (m *Machine) loadMem(addr int64) (val uint64, ok bool) {
 	if addr <= 0 || addr >= int64(len(m.Mem)) {
-		return 0, fmt.Errorf("machine: load from invalid address %d (pc=%d, fn=%s)", addr, m.PC, m.fn())
+		return 0, false
 	}
-	// The store buffer forwards younger values.
-	for i := len(m.storeBuf) - 1; i >= 0; i-- {
-		if m.storeBuf[i].addr == addr {
-			return m.storeBuf[i].val, nil
+	if len(m.storeBuf) > 0 {
+		if pos, hit := m.sb.lookup(addr); hit {
+			return m.storeBuf[pos].val, true
 		}
 	}
-	return m.Mem[addr], nil
+	return m.Mem[addr], true
 }
 
-func (m *Machine) storeMem(addr int64, val uint64) error {
+// storeMem writes addr (into the region buffer when buffering); ok is
+// false for an out-of-range address.
+func (m *Machine) storeMem(addr int64, val uint64) (ok bool) {
 	if addr <= 0 || addr >= int64(len(m.Mem)) {
-		return fmt.Errorf("machine: store to invalid address %d (pc=%d, fn=%s)", addr, m.PC, m.fn())
+		return false
 	}
 	if m.Cfg.BufferStores {
-		m.storeBuf = append(m.storeBuf, bufEntry{addr, val})
-		return nil
+		m.sb.insert(addr, int32(len(m.storeBuf)))
+		m.storeBuf = append(m.storeBuf, sbEntry{addr, val})
+		return true
 	}
 	m.Mem[addr] = val
-	return nil
+	return true
+}
+
+// loadErr/storeErr format the out-of-range diagnostics (slow path only).
+func (m *Machine) loadErr(addr int64) error {
+	return fmt.Errorf("machine: load from invalid address %d (pc=%d, fn=%s)", addr, m.PC, m.fn())
+}
+
+func (m *Machine) storeErr(addr int64) error {
+	return fmt.Errorf("machine: store to invalid address %d (pc=%d, fn=%s)", addr, m.PC, m.fn())
 }
 
 func (m *Machine) fn() string {
@@ -513,10 +584,13 @@ func (m *Machine) fn() string {
 
 // commitRegion commits buffered stores and opens a new region at pc.
 func (m *Machine) commitRegion() {
-	for _, e := range m.storeBuf {
-		m.Mem[e.addr] = e.val
+	if len(m.storeBuf) > 0 {
+		for _, e := range m.storeBuf {
+			m.Mem[e.addr] = e.val
+		}
+		m.storeBuf = m.storeBuf[:0]
+		m.sb.reset()
 	}
-	m.storeBuf = m.storeBuf[:0]
 	m.rp = m.PC
 	m.rpSP = m.Regs[isa.SP]
 	m.rpLR = m.Regs[isa.LR]
@@ -528,10 +602,18 @@ func (m *Machine) commitRegion() {
 	}
 }
 
-// recover performs the configured recovery action. Returns false when the
-// scheme cannot recover (RecoverNone) or the bounded re-execution retry
-// counter overflowed (m.livelocked is then set and callers escalate to
-// ErrLivelock via detectErr).
+// discardRegion drops the speculative store buffer (recovery).
+func (m *Machine) discardRegion() {
+	if len(m.storeBuf) > 0 {
+		m.storeBuf = m.storeBuf[:0]
+		m.sb.reset()
+	}
+}
+
+// recoverFault performs the configured recovery action. Returns false when
+// the scheme cannot recover (RecoverNone) or the bounded re-execution
+// retry counter overflowed (m.livelocked is then set and callers escalate
+// to ErrLivelock via detectErr).
 func (m *Machine) recoverFault() bool {
 	m.Stats.Detections++
 	m.noteDetect()
@@ -563,7 +645,7 @@ func (m *Machine) recoverFault() bool {
 		// Discard speculative stores, restore the calling-convention
 		// registers snapshotted at the boundary, clear taint, and
 		// re-execute from the region entry held in rp (§6.3).
-		m.storeBuf = m.storeBuf[:0]
+		m.discardRegion()
 		m.Regs[isa.SP] = m.rpSP
 		m.Regs[isa.LR] = m.rpLR
 		// The calling-convention snapshot is trusted (verified at the
@@ -589,10 +671,8 @@ func (m *Machine) recoverFault() bool {
 		}
 		m.logPtr = m.ckptLog
 		m.Regs = m.ckptRegs
-		m.FReg = m.ckptFReg
 		// The checkpoint was verified clean when taken.
 		m.golden = m.ckptRegs
-		m.goldenF = m.ckptFReg
 		// A wrong-path excursion is undone by the rollback; without this
 		// the stale flag would re-trigger recovery at HALT forever.
 		m.wrongPath = false
@@ -614,7 +694,6 @@ func (m *Machine) takeCheckpoint() {
 	// divergence at the next wrap).
 	m.golden[isa.RP] = uint64(m.Cfg.LogBase)
 	m.ckptRegs = m.Regs
-	m.ckptFReg = m.FReg
 	m.ckptPC = m.PC
 	m.ckptLog = m.Cfg.LogBase
 	m.logPtr = m.Cfg.LogBase
@@ -624,31 +703,20 @@ func (m *Machine) takeCheckpoint() {
 }
 
 // tainted reports whether r's architectural value diverges from the
-// golden mirror.
-func (m *Machine) tainted(r isa.Reg) bool {
-	if r.IsFloat() {
-		return m.FReg[r-16] != m.goldenF[r-16]
-	}
-	return m.Regs[r] != m.golden[r]
+// golden mirror. Before the machine goes hot the mirror is not
+// maintained — and no fault can have materialized — so nothing is
+// tainted by construction.
+func (m *Machine) tainted(r uint8) bool {
+	return m.hot && m.Regs[r] != m.golden[r]
 }
 
 // anyTaint reports whether any register diverges (checked at region
 // boundaries and checkpoints).
 func (m *Machine) anyTaint() bool {
-	if !m.injecting {
+	if !m.hot {
 		return false
 	}
-	for i := range m.Regs {
-		if m.Regs[i] != m.golden[i] {
-			return true
-		}
-	}
-	for i := range m.FReg {
-		if m.FReg[i] != m.goldenF[i] {
-			return true
-		}
-	}
-	return false
+	return m.Regs != m.golden
 }
 
 // reconcile resynchronizes the golden mirror for registers whose
@@ -660,24 +728,22 @@ func (m *Machine) anyTaint() bool {
 // livelock a dead corrupted register would otherwise cause.
 func (m *Machine) reconcile() {
 	m.golden = m.Regs
-	m.goldenF = m.FReg
 }
 
-// goldenOf reads r from the golden mirror.
-func (m *Machine) goldenOf(r isa.Reg) uint64 {
-	if r.IsFloat() {
-		return m.goldenF[r-16]
-	}
-	return m.golden[r]
+// IntRegs returns a copy of the architectural integer register file
+// (r0..r15), in register order.
+func (m *Machine) IntRegs() []uint64 {
+	out := make([]uint64, isa.NumIntRegs)
+	copy(out, m.Regs[:isa.NumIntRegs])
+	return out
 }
 
-// setGolden writes r in the golden mirror.
-func (m *Machine) setGolden(r isa.Reg, v uint64) {
-	if r.IsFloat() {
-		m.goldenF[r-16] = v
-	} else {
-		m.golden[r] = v
-	}
+// FloatRegs returns a copy of the architectural floating-point register
+// file (f0..f31), in register order.
+func (m *Machine) FloatRegs() []uint64 {
+	out := make([]uint64, isa.NumFloatRegs)
+	copy(out, m.Regs[isa.NumIntRegs:])
+	return out
 }
 
 // DebugReconcile toggles reconcile diagnostics (test hook).

@@ -213,11 +213,11 @@ func TestFloat(t *testing.T) {
 		m := New(p, Config{BufferStores: idem})
 		// Calling convention: float args in f0.., int args in r0.. —
 		// Run only fills integer registers, so set f0 directly.
-		m.FReg[0] = ir.F2W(1.5)
+		m.Regs[16] = ir.F2W(1.5)
 		if _, err := m.Run(10); err != nil {
 			t.Fatal(err)
 		}
-		if got := m.FReg[0]; got != uint64(want) {
+		if got := m.Regs[16]; got != uint64(want) {
 			t.Fatalf("idem=%v: horner = %x, want %x", idem, got, want)
 		}
 	}

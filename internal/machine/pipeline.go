@@ -7,12 +7,17 @@ import "idemproc/internal/isa"
 // becomes available, and issues up to two instructions per cycle subject
 // to: operands ready, at most one memory operation per cycle, and a taken
 // or mispredicted branch ending the issue group.
+//
+// All operand and destination slots are precomputed by the predecode
+// pass: decoded.psrc0/psrc1/pdst are direct indices into ready[] with the
+// shadow-bank offset already folded in, so accounting is pure array
+// arithmetic with no per-instruction operand re-derivation.
 type pipeline struct {
 	cycle   int64
 	slots   int
 	memUsed bool
 	// ready[r + 48*bank] is the availability cycle of register r.
-	ready [48 * 3]int64
+	ready [isa.NumRegs * 3]int64
 	// extraLat extends the next accounted instruction's result latency
 	// (cache miss on a load); extraStall advances the clock before it
 	// issues (cache miss on a store fill).
@@ -24,48 +29,25 @@ type pipeline struct {
 // branch misprediction.
 const mispredictPenalty = 8
 
-func regIndex(r isa.Reg, shadow uint8) int { return int(r) + 48*int(shadow) }
-
-// srcRegs writes the instruction's source registers into buf and returns
-// the slice.
-func srcRegs(in isa.Instr, buf []isa.Reg) []isa.Reg {
-	buf = buf[:0]
-	switch in.Op {
-	case isa.NOP, isa.MOVI, isa.FMOVI, isa.B, isa.CALL, isa.HALT, isa.MARK:
-		return buf
-	case isa.RET:
-		return append(buf, isa.LR)
-	case isa.CBZ, isa.CBNZ, isa.CHECK:
-		return append(buf, in.Rs1)
-	case isa.MAJ:
-		return append(buf, in.Rd)
-	case isa.STR, isa.FSTR:
-		return append(buf, in.Rs1, in.Rs2)
-	default:
-		buf = append(buf, in.Rs1)
-		if hasRs2(in.Op) {
-			buf = append(buf, in.Rs2)
-		}
-		return buf
-	}
-}
-
-// account issues one instruction into the model.
-func (p *pipeline) account(m *Machine, in isa.Instr) {
+// account issues one predecoded instruction into the model.
+func (p *pipeline) account(m *Machine, d *decoded) {
 	if p.extraStall > 0 {
 		p.cycle += p.extraStall
 		p.slots = 0
 		p.memUsed = false
 		p.extraStall = 0
 	}
-	var buf [2]isa.Reg
-	srcs := srcRegs(in, buf[:0])
 
 	// Stall until operands are ready.
 	earliest := p.cycle
-	for _, s := range srcs {
-		if r := p.ready[regIndex(s, in.Shadow)]; r > earliest {
+	if d.nsrc > 0 {
+		if r := p.ready[d.psrc0]; r > earliest {
 			earliest = r
+		}
+		if d.nsrc > 1 {
+			if r := p.ready[d.psrc1]; r > earliest {
+				earliest = r
+			}
 		}
 	}
 	if earliest > p.cycle {
@@ -74,51 +56,34 @@ func (p *pipeline) account(m *Machine, in isa.Instr) {
 		p.memUsed = false
 	}
 	// Structural hazards: issue width and the single memory port.
-	if p.slots >= 2 || (in.IsMem() && p.memUsed) {
+	if p.slots >= 2 || (d.isMem && p.memUsed) {
 		p.cycle++
 		p.slots = 0
 		p.memUsed = false
 	}
 	p.slots++
-	if in.IsMem() {
+	if d.isMem {
 		p.memUsed = true
 	}
-	if in.IsBranch() {
+	if d.isBranch {
 		p.slots = 2 // a branch ends the issue group
 	}
 
 	// Result availability.
-	if writesReg(in) {
-		p.ready[regIndex(in.Rd, in.Shadow)] = p.cycle + int64(in.Latency()+p.extraLat)
+	if d.pipeWrites {
+		p.ready[d.pdst] = p.cycle + d.lat + int64(p.extraLat)
 	}
 	p.extraLat = 0
 	m.Stats.Cycles = p.cycle + 1
 }
 
-// accountBranch applies the static-prediction penalty for conditional
-// branches: backward predicted taken, forward predicted not-taken;
-// unconditional branches, calls and returns predict perfectly (BTB/RAS).
-func (p *pipeline) accountBranch(m *Machine, in isa.Instr, taken bool) {
-	switch in.Op {
-	case isa.CBZ, isa.CBNZ:
-		predictTaken := in.Imm <= int64(m.PC)
-		if taken != predictTaken {
-			p.cycle += mispredictPenalty
-			p.slots = 0
-			p.memUsed = false
-			m.Stats.Mispredicts++
-		}
-	}
-}
-
-// writesReg reports whether the instruction produces a register result.
-func writesReg(in isa.Instr) bool {
-	switch in.Op {
-	case isa.NOP, isa.STR, isa.FSTR, isa.B, isa.CBZ, isa.CBNZ,
-		isa.RET, isa.HALT, isa.MARK, isa.CHECK, isa.MAJ:
-		return false
-	case isa.CALL:
-		return false // LR write modeled as free
-	}
-	return true
+// mispredict applies the static-prediction penalty after a conditional
+// branch resolves against its predecoded prediction (backward predicted
+// taken, forward predicted not-taken; unconditional branches, calls and
+// returns predict perfectly through the BTB/RAS).
+func (p *pipeline) mispredict(m *Machine) {
+	p.cycle += mispredictPenalty
+	p.slots = 0
+	p.memUsed = false
+	m.Stats.Mispredicts++
 }

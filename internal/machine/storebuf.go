@@ -1,0 +1,116 @@
+package machine
+
+// The region store buffer (§2.3: stores are held until control flow is
+// verified at the next boundary) used to be searched backward on every
+// load — O(region stores) per load, quadratic for store-heavy regions.
+// sbIndex is a generation-stamped open-addressing hash table mapping
+// address → youngest buffered entry, making forwarding O(1): inserts
+// overwrite the last-writer slot, and discarding a region (commit or
+// recovery) is a single generation bump instead of a clear. The table
+// never shrinks and rehashes only when a region's store set outgrows it,
+// so steady-state execution performs no heap allocation.
+
+// sbEntry is one buffered store, in program order (commit replays the
+// slice so the youngest write to an address wins, exactly like the old
+// linear buffer).
+type sbEntry struct {
+	addr int64
+	val  uint64
+}
+
+type sbSlot struct {
+	addr int64
+	pos  int32  // index of the youngest entry for addr in Machine.storeBuf
+	gen  uint32 // slot is live iff gen matches the table generation
+}
+
+type sbIndex struct {
+	slots []sbSlot
+	mask  uint64
+	gen   uint32
+	n     int // live slots this generation
+}
+
+const sbInitialSlots = 64 // power of two
+
+func (t *sbIndex) init() {
+	t.slots = make([]sbSlot, sbInitialSlots)
+	t.mask = sbInitialSlots - 1
+	t.gen = 1
+	t.n = 0
+}
+
+// reset invalidates every entry in O(1) by bumping the generation. On
+// the (unreachable in practice) 2^32 wrap the slots are cleared so stale
+// stamps cannot alias the new generation.
+func (t *sbIndex) reset() {
+	t.gen++
+	t.n = 0
+	if t.gen == 0 {
+		for i := range t.slots {
+			t.slots[i] = sbSlot{}
+		}
+		t.gen = 1
+	}
+}
+
+// sbHash is Fibonacci hashing on the word address.
+func sbHash(addr int64) uint64 {
+	return uint64(addr) * 0x9E3779B97F4A7C15
+}
+
+// lookup returns the youngest buffered position for addr.
+func (t *sbIndex) lookup(addr int64) (int32, bool) {
+	for i := sbHash(addr) & t.mask; ; i = (i + 1) & t.mask {
+		s := &t.slots[i]
+		if s.gen != t.gen {
+			return 0, false
+		}
+		if s.addr == addr {
+			return s.pos, true
+		}
+	}
+}
+
+// insert records pos as the youngest entry for addr, growing the table
+// at 50% load so probe chains stay short.
+func (t *sbIndex) insert(addr int64, pos int32) {
+	if 2*(t.n+1) > len(t.slots) {
+		t.grow()
+	}
+	for i := sbHash(addr) & t.mask; ; i = (i + 1) & t.mask {
+		s := &t.slots[i]
+		if s.gen != t.gen {
+			*s = sbSlot{addr: addr, pos: pos, gen: t.gen}
+			t.n++
+			return
+		}
+		if s.addr == addr {
+			s.pos = pos // last writer wins
+			return
+		}
+	}
+}
+
+// grow doubles the table, reinserting only the live generation.
+func (t *sbIndex) grow() {
+	old := t.slots
+	oldGen := t.gen
+	t.slots = make([]sbSlot, 2*len(old))
+	t.mask = uint64(len(t.slots) - 1)
+	t.gen = 1
+	t.n = 0
+	for _, s := range old {
+		if s.gen != oldGen {
+			continue
+		}
+		for i := sbHash(s.addr) & t.mask; ; i = (i + 1) & t.mask {
+			d := &t.slots[i]
+			if d.gen != t.gen {
+				*d = sbSlot{addr: s.addr, pos: s.pos, gen: t.gen}
+				t.n++
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,275 @@
+// Differential pin of the simulator engine: every workload is executed
+// under every recovery scheme (plus seeded fault injections on a small
+// subset) and the resulting architectural state — statistics, register
+// file, memory image, path histogram — is digested and compared against
+// testdata/machine_digests.json, which was generated with the pre-
+// predecode interpreter. Any semantic drift in the hot-loop rewrite
+// (operand decode, store-buffer forwarding, fault scheduling, pipeline
+// accounting) shows up here as a digest mismatch naming the exact
+// (workload, scheme) cell that diverged.
+//
+// Regenerate with:  go test -run TestMachineStateDigests -update-digests .
+// (only legitimate when a change intentionally alters simulator
+// semantics; the whole point of the file is to make that loud.)
+package idemproc
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"sort"
+	"sync"
+	"testing"
+
+	"idemproc/internal/buildcache"
+	"idemproc/internal/codegen"
+	"idemproc/internal/core"
+	"idemproc/internal/fault"
+	"idemproc/internal/machine"
+	"idemproc/internal/workloads"
+)
+
+var updateDigests = flag.Bool("update-digests", false, "rewrite testdata/machine_digests.json from the current engine")
+
+const digestPath = "testdata/machine_digests.json"
+
+// digest is the per-run state fingerprint.
+type digest struct {
+	R0          uint64 `json:"r0"`
+	Err         string `json:"err,omitempty"`
+	DynInstrs   int64  `json:"dyn"`
+	Cycles      int64  `json:"cycles"`
+	Loads       int64  `json:"loads"`
+	Stores      int64  `json:"stores"`
+	Marks       int64  `json:"marks"`
+	Mispredicts int64  `json:"mispredicts"`
+	Recoveries  int64  `json:"recoveries"`
+	Detections  int64  `json:"detections"`
+	Faults      int64  `json:"faults"`
+	Reconciles  int64  `json:"reconciles"`
+	CacheHits   int64  `json:"chits"`
+	CacheMisses int64  `json:"cmisses"`
+	PathHash    uint64 `json:"paths"`
+	RegsHash    uint64 `json:"regs"`
+	MemHash     uint64 `json:"mem"`
+}
+
+func digestOf(m *machine.Machine, r0 uint64, err error) digest {
+	d := digest{
+		R0:          r0,
+		DynInstrs:   m.Stats.DynInstrs,
+		Cycles:      m.Stats.Cycles,
+		Loads:       m.Stats.Loads,
+		Stores:      m.Stats.Stores,
+		Marks:       m.Stats.Marks,
+		Mispredicts: m.Stats.Mispredicts,
+		Recoveries:  m.Stats.Recoveries,
+		Detections:  m.Stats.Detections,
+		Faults:      m.Stats.Faults,
+		Reconciles:  m.Stats.Reconciles,
+		CacheHits:   m.Stats.CacheHits,
+		CacheMisses: m.Stats.CacheMisses,
+		PathHash:    hashPaths(m.Stats.PathLens),
+		RegsHash:    hashWords(regWords(m)),
+		MemHash:     hashWords(m.Mem),
+	}
+	if err != nil {
+		d.Err = err.Error()
+	}
+	return d
+}
+
+// regWords serializes the architectural register file in the canonical
+// r0..r15, f0..f31 order the digests are pinned to.
+func regWords(m *machine.Machine) []uint64 {
+	out := make([]uint64, 0, 48)
+	out = append(out, m.IntRegs()...)
+	out = append(out, m.FloatRegs()...)
+	return out
+}
+
+func hashWords(ws []uint64) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, w := range ws {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(w >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+func hashPaths(paths map[int64]int64) uint64 {
+	lens := make([]int64, 0, len(paths))
+	for l := range paths {
+		lens = append(lens, l)
+	}
+	sort.Slice(lens, func(i, j int) bool { return lens[i] < lens[j] })
+	h := fnv.New64a()
+	for _, l := range lens {
+		fmt.Fprintf(h, "%d:%d;", l, paths[l])
+	}
+	return h.Sum64()
+}
+
+// schemeCase is one (binary, machine config) cell of the matrix.
+type schemeCase struct {
+	name  string
+	idem  bool // compile the idempotent binary
+	apply fault.Scheme
+	doApp bool // run fault.Apply
+	cfg   machine.Config
+}
+
+func schemeCases() []schemeCase {
+	cache := machine.DefaultCache()
+	return []schemeCase{
+		{name: "plain", cfg: machine.Config{Cache: cache}},
+		{name: "idem", idem: true, cfg: machine.Config{BufferStores: true, TrackPaths: true, Cache: cache}},
+		{name: "dmr", doApp: true, apply: fault.SchemeDMR, cfg: machine.Config{Cache: cache}},
+		{name: "tmr", doApp: true, apply: fault.SchemeTMR, cfg: machine.Config{Recovery: machine.RecoverTMR, Cache: cache}},
+		{name: "cl", doApp: true, apply: fault.SchemeCheckpointLog, cfg: machine.Config{Recovery: machine.RecoverCheckpointLog, Cache: cache}},
+		{name: "idem-rec", idem: true, doApp: true, apply: fault.SchemeIdempotence,
+			cfg: machine.Config{BufferStores: true, Recovery: machine.RecoverIdempotence, Cache: cache}},
+	}
+}
+
+// injectedWorkloads are the (small) workloads additionally digested with
+// seeded fault injections armed, pinning the injection machinery itself.
+var injectedWorkloads = []string{"mcf", "sjeng", "lbm"}
+
+// injections is a fixed battery covering every fault model; steps and
+// masks are deliberately mid-run primes so they land inside regions.
+func injections() []fault.Injection {
+	return []fault.Injection{
+		{Model: fault.ModelRegisterBitFlip, Step: 101, Mask: 1 << 7},
+		{Model: fault.ModelRegisterBurst, Step: 211, Mask: 0b111 << 12},
+		{Model: fault.ModelMemoryWord, Step: 307, Addr: 5, Mask: 1 << 3},
+		{Model: fault.ModelControlFlow, Step: 401},
+		{Model: fault.ModelBoundary, Step: 149, Mask: 1 << 9},
+		{Model: fault.ModelNested, Step: 173, Mask: 1 << 5, After: 1, NestedMask: 1 << 11},
+	}
+}
+
+func buildFor(t testing.TB, cache *buildcache.Cache, w workloads.Workload, sc schemeCase) *codegen.Program {
+	t.Helper()
+	mo := codegen.ModuleOptions{Core: core.DefaultOptions(), Idempotent: sc.idem}
+	p, _, err := cache.Compile(w, mo)
+	if err != nil {
+		t.Fatalf("%s/%s: compile: %v", w.Name, sc.name, err)
+	}
+	if sc.doApp {
+		p = fault.Apply(p, sc.apply)
+	}
+	return p
+}
+
+// TestMachineStateDigests runs the full matrix and compares digests.
+func TestMachineStateDigests(t *testing.T) {
+	cache := buildcache.New()
+	type cell struct {
+		key string
+		run func() digest
+	}
+	var cells []cell
+
+	for _, w := range workloads.All() {
+		for _, sc := range schemeCases() {
+			w, sc := w, sc
+			cells = append(cells, cell{
+				key: w.Name + "/" + sc.name,
+				run: func() digest {
+					p := buildFor(t, cache, w, sc)
+					m := machine.New(p, sc.cfg)
+					r0, err := m.Run(w.Args...)
+					return digestOf(m, r0, err)
+				},
+			})
+		}
+	}
+
+	// Injected runs: idempotence recovery on the instrumented idempotent
+	// binary, one digest per fault model, plus an unprotected plain run
+	// for the memory model (SDC path).
+	for _, name := range injectedWorkloads {
+		w, ok := workloads.ByName(name)
+		if !ok {
+			t.Fatalf("injected workload %q missing", name)
+		}
+		for _, inj := range injections() {
+			w, inj := w, inj
+			cells = append(cells, cell{
+				key: fmt.Sprintf("%s/inject-%s", w.Name, inj.Model),
+				run: func() digest {
+					sc := schemeCase{idem: true, doApp: true, apply: fault.SchemeIdempotence,
+						cfg: machine.Config{BufferStores: true, Recovery: machine.RecoverIdempotence,
+							Cache: machine.DefaultCache(), WatchdogRef: 1 << 20}}
+					p := buildFor(t, cache, w, sc)
+					m := machine.New(p, sc.cfg)
+					fault.Arm(m, inj)
+					r0, err := m.Run(w.Args...)
+					return digestOf(m, r0, err)
+				},
+			})
+		}
+	}
+
+	got := make(map[string]digest, len(cells))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, 8)
+	for _, c := range cells {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			d := c.run()
+			mu.Lock()
+			got[c.key] = d
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+
+	if *updateDigests {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		blob, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(digestPath, append(blob, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d digests to %s", len(got), digestPath)
+		return
+	}
+
+	blob, err := os.ReadFile(digestPath)
+	if err != nil {
+		t.Fatalf("read %s (generate with -update-digests): %v", digestPath, err)
+	}
+	var want map[string]digest
+	if err := json.Unmarshal(blob, &want); err != nil {
+		t.Fatalf("parse %s: %v", digestPath, err)
+	}
+	if len(want) != len(got) {
+		t.Errorf("digest count mismatch: golden has %d, run produced %d", len(want), len(got))
+	}
+	for key, wd := range want {
+		gd, ok := got[key]
+		if !ok {
+			t.Errorf("%s: missing from current run", key)
+			continue
+		}
+		if gd != wd {
+			t.Errorf("%s: state diverged\n  want %+v\n  got  %+v", key, wd, gd)
+		}
+	}
+}
