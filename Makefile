@@ -6,7 +6,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: all build fmt-check vet check test race race-fault bench bench-sim bench-quick ci
+.PHONY: all build fmt-check vet check test race race-fault bench bench-sim bench-serve bench-quick serve-smoke ci
 
 all: build
 
@@ -25,13 +25,23 @@ check: fmt-check vet
 
 test: check
 	$(GO) test ./...
+	$(MAKE) serve-smoke
+
+# serve-smoke is the end-to-end service gate: boot idemd on a free port,
+# fire a seeded idemload burst twice (same seed must yield byte-identical
+# response digests, with a warm compile cache), then again under a tiny
+# -cache-bytes bound (evictions must happen), draining with SIGTERM both
+# times. See scripts/serve_smoke.sh and docs/service.md.
+serve-smoke: build
+	./scripts/serve_smoke.sh
 
 # The race detector multiplies runtime; race-fault covers the concurrent
 # components quickly (campaign engine, simulator, compile cache,
-# experiment engine), race runs the whole tree.
+# experiment engine, idemd service core), race runs the whole tree.
 race-fault:
 	$(GO) test -race ./internal/fault/... ./internal/machine/... \
-		./internal/buildcache/... ./internal/experiments/...
+		./internal/buildcache/... ./internal/experiments/... \
+		./internal/server/...
 
 race:
 	$(GO) test -race ./...
@@ -60,11 +70,24 @@ bench-sim: build
 	@rm -f BENCH_sim.txt
 	@echo "wrote BENCH_sim.json:"; cat BENCH_sim.json
 
+# bench-serve measures the idemd service under the acceptance workload
+# (2000 mixed requests at concurrency 32, run twice with one seed) and
+# writes req/s and latency percentiles to BENCH_serve.json. The run
+# doubles as a correctness gate: any non-200 response or cross-pass
+# digest mismatch fails it.
+BENCH_SERVE_REQUESTS ?= 2000
+BENCH_SERVE_CONCURRENCY ?= 32
+bench-serve: build
+	BENCH_SERVE_REQUESTS=$(BENCH_SERVE_REQUESTS) \
+	BENCH_SERVE_CONCURRENCY=$(BENCH_SERVE_CONCURRENCY) \
+		./scripts/bench_serve.sh
+
 # bench-quick is the fast smoke slice of the evaluation: the simulator
-# engine microbenchmarks plus a representative figure pair over one suite
-# on a parallel engine, with the stage breakdown (compile vs simulate,
-# cache hits) printed.
+# engine microbenchmarks, a representative figure pair over one suite on
+# a parallel engine (with the stage breakdown printed), and a reduced
+# service benchmark.
 bench-quick: bench-sim
 	$(GO) run ./cmd/idembench -table2 -fig10 -suite PARSEC -workers 8 -timing
+	$(MAKE) bench-serve BENCH_SERVE_REQUESTS=400
 
 ci: build check race

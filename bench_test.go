@@ -12,6 +12,7 @@
 package idemproc
 
 import (
+	"context"
 	"flag"
 	"runtime"
 	"testing"
@@ -51,7 +52,7 @@ func BenchmarkMachineStep(b *testing.B) {
 	if !ok {
 		b.Fatal("workload gcc missing")
 	}
-	p, _, err := cache.Compile(w, codegen.ModuleOptions{Core: core.DefaultOptions()})
+	p, _, err := cache.Compile(context.Background(), w, codegen.ModuleOptions{Core: core.DefaultOptions()})
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -1,0 +1,132 @@
+// Command idemd serves the idempotence-analysis pipeline over HTTP/JSON:
+// compile a workload (or ad-hoc source) to an idempotent-region report,
+// simulate it under a recovery scheme with fault injection, or fan a batch
+// of such units onto the experiment engine's worker pool. One daemon holds
+// one byte-bounded compile cache, so repeated requests for the same
+// (workload, options) pair coalesce onto a single build.
+//
+//	idemd -addr 127.0.0.1:7777
+//	idemd -addr 127.0.0.1:0 -addr-file /tmp/idemd.addr   # scripts read the port
+//	idemd -cache-bytes 1048576 -max-inflight 32
+//
+// Endpoints: POST /v1/compile, /v1/simulate, /v1/batch; GET /healthz,
+// /readyz, /metrics. See docs/service.md for the request schema, the
+// metrics catalog and capacity-tuning guidance. SIGINT/SIGTERM drain
+// gracefully: /readyz flips to 503, in-flight requests finish (up to
+// -drain-timeout), then the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"idemproc/internal/server"
+)
+
+func main() {
+	os.Exit(realMain(os.Args[1:], os.Stderr, signalContext))
+}
+
+// signalContext is the production signal hook; tests substitute their own
+// to trigger drains without delivering real signals.
+func signalContext() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+}
+
+// realMain is main with injectable args, log stream and signal hook so
+// tests can assert on exit codes and drain behavior.
+func realMain(args []string, stderr io.Writer, signals func() (context.Context, context.CancelFunc)) int {
+	fs := flag.NewFlagSet("idemd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr         = fs.String("addr", "127.0.0.1:7777", "listen address (host:port; port 0 picks a free port)")
+		addrFile     = fs.String("addr-file", "", "write the bound address to this file once listening (for scripts with -addr :0)")
+		workers      = fs.Int("workers", 0, "experiment-engine worker pool width for /v1/batch (0 = GOMAXPROCS)")
+		maxInflight  = fs.Int("max-inflight", 64, "concurrent request cap on the /v1/* endpoints; excess requests are shed with 429")
+		reqTimeout   = fs.Duration("request-timeout", 30*time.Second, "per-request deadline on /v1/* endpoints (negative disables)")
+		cacheBytes   = fs.Int64("cache-bytes", 0, "compile-cache byte bound; LRU entries are evicted past it (0 = unbounded)")
+		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests before abandoning them")
+		quiet        = fs.Bool("quiet", false, "suppress the per-request log line")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "idemd: unexpected arguments: %v\n", fs.Args())
+		return 2
+	}
+
+	logf := func(format string, args ...any) { fmt.Fprintf(stderr, format+"\n", args...) }
+	cfg := server.Config{
+		Workers:        *workers,
+		MaxInFlight:    *maxInflight,
+		RequestTimeout: *reqTimeout,
+		CacheMaxBytes:  *cacheBytes,
+		Logf:           logf,
+	}
+	if *quiet {
+		cfg.Logf = func(string, ...any) {}
+	}
+	srv := server.New(cfg)
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "idemd: listen: %v\n", err)
+		return 1
+	}
+	if *addrFile != "" {
+		// Write-then-rename so a polling script never reads a partial
+		// address.
+		tmp := *addrFile + ".tmp"
+		if err := os.WriteFile(tmp, []byte(l.Addr().String()+"\n"), 0o644); err != nil {
+			fmt.Fprintf(stderr, "idemd: addr-file: %v\n", err)
+			l.Close()
+			return 1
+		}
+		if err := os.Rename(tmp, *addrFile); err != nil {
+			fmt.Fprintf(stderr, "idemd: addr-file: %v\n", err)
+			l.Close()
+			return 1
+		}
+	}
+
+	ctx, stop := signals()
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(l) }()
+
+	select {
+	case err := <-serveErr:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(stderr, "idemd: serve: %v\n", err)
+			return 1
+		}
+		return 0
+	case <-ctx.Done():
+	}
+
+	logf("idemd: draining (timeout %s)", *drainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	code := 0
+	if err := srv.Shutdown(dctx); err != nil {
+		fmt.Fprintf(stderr, "idemd: drain: %v\n", err)
+		code = 1
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(stderr, "idemd: serve: %v\n", err)
+		code = 1
+	}
+	logf("idemd: stopped")
+	return code
+}

@@ -1,0 +1,435 @@
+// Command idemload is a deterministic, seeded load generator for idemd.
+// It fires a fixed mix of /v1/compile, /v1/simulate and /v1/batch
+// requests at a running daemon, checks every response, and digests the
+// response bodies in request order — so two runs with the same -seed
+// against fresh daemons must produce the same digest, and -repeat N
+// asserts that property in one process (the daemon's responses must be a
+// pure function of the request, not of cache state or concurrency).
+//
+//	idemload -addr 127.0.0.1:7777 -concurrency 32 -requests 2000
+//	idemload -addr $(cat /tmp/idemd.addr) -repeat 2 -min-hit-ratio 0.5
+//	idemload -addr ... -json BENCH_serve.json
+//
+// Exit status is nonzero on any transport error, any non-200 response,
+// a digest mismatch between repeats, or an unmet -min-hit-ratio /
+// -min-evictions assertion (scraped from the daemon's /metrics, so
+// smoke-test scripts need no curl/jq).
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"idemproc/internal/server"
+)
+
+func main() {
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func realMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("idemload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr         = fs.String("addr", "127.0.0.1:7777", "idemd address (host:port)")
+		concurrency  = fs.Int("concurrency", 32, "concurrent in-flight requests")
+		requests     = fs.Int("requests", 2000, "requests per pass")
+		seed         = fs.Uint64("seed", 1, "request-mix seed (same seed => same requests => same digest)")
+		repeat       = fs.Int("repeat", 1, "passes to run; all passes must produce the same digest")
+		mix          = fs.String("mix", "45,40,15", "compile,simulate,batch weight percentages")
+		timeout      = fs.Duration("timeout", 60*time.Second, "per-request client timeout")
+		jsonOut      = fs.String("json", "", "write the benchmark summary to this file (BENCH_serve.json)")
+		minHitRatio  = fs.Float64("min-hit-ratio", -1, "assert the daemon's compile-cache hit ratio is at least this (scraped from /metrics; <0 disables)")
+		minEvictions = fs.Int64("min-evictions", -1, "assert at least this many compile-cache evictions (<0 disables)")
+		quiet        = fs.Bool("quiet", false, "suppress the per-pass progress line")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *concurrency < 1 || *requests < 1 || *repeat < 1 {
+		fmt.Fprintln(stderr, "idemload: -concurrency, -requests and -repeat must be >= 1")
+		return 2
+	}
+	weights, err := parseMix(*mix)
+	if err != nil {
+		fmt.Fprintf(stderr, "idemload: %v\n", err)
+		return 2
+	}
+
+	base := "http://" + *addr
+	client := &http.Client{Timeout: *timeout}
+
+	var digests []uint64
+	var last passResult
+	start := time.Now()
+	for pass := 0; pass < *repeat; pass++ {
+		res := runPass(client, base, *seed, *requests, *concurrency, weights)
+		if res.errors > 0 {
+			for _, s := range res.errSamples {
+				fmt.Fprintf(stderr, "idemload: %s\n", s)
+			}
+			fmt.Fprintf(stderr, "idemload: pass %d: %d/%d requests failed\n", pass, res.errors, *requests)
+			return 1
+		}
+		if !*quiet {
+			fmt.Fprintf(stdout, "pass %d: %d requests in %s (%.1f req/s), p50 %.2fms p90 %.2fms p99 %.2fms, digest %016x\n",
+				pass, *requests, res.elapsed.Round(time.Millisecond), res.reqPerSec,
+				res.p50.Seconds()*1e3, res.p90.Seconds()*1e3, res.p99.Seconds()*1e3, res.digest)
+		}
+		digests = append(digests, res.digest)
+		last = res
+	}
+	elapsed := time.Since(start)
+
+	for i := 1; i < len(digests); i++ {
+		if digests[i] != digests[0] {
+			fmt.Fprintf(stderr, "idemload: digest mismatch: pass 0 %016x != pass %d %016x (responses are not deterministic)\n",
+				digests[0], i, digests[i])
+			return 1
+		}
+	}
+
+	// Scrape the daemon's own view of the compile cache; assertions here
+	// keep smoke scripts free of curl/jq.
+	cache, err := scrapeCache(client, base)
+	if err != nil {
+		fmt.Fprintf(stderr, "idemload: metrics scrape: %v\n", err)
+		return 1
+	}
+	if !*quiet {
+		fmt.Fprintf(stdout, "cache: %d hits / %d misses (%.1f%% hit ratio), %d evictions\n",
+			cache.hits, cache.misses, 100*cache.hitRatio(), cache.evictions)
+	}
+	if *minHitRatio >= 0 && cache.hitRatio() < *minHitRatio {
+		fmt.Fprintf(stderr, "idemload: cache hit ratio %.3f below required %.3f\n", cache.hitRatio(), *minHitRatio)
+		return 1
+	}
+	if *minEvictions >= 0 && cache.evictions < *minEvictions {
+		fmt.Fprintf(stderr, "idemload: %d cache evictions below required %d\n", cache.evictions, *minEvictions)
+		return 1
+	}
+
+	if *jsonOut != "" {
+		summary := map[string]any{
+			"bench":       "serve",
+			"requests":    *requests,
+			"concurrency": *concurrency,
+			"seed":        *seed,
+			"repeats":     *repeat,
+			"elapsed_sec": elapsed.Seconds(),
+			"req_per_sec": last.reqPerSec,
+			"p50_ms":      last.p50.Seconds() * 1e3,
+			"p90_ms":      last.p90.Seconds() * 1e3,
+			"p99_ms":      last.p99.Seconds() * 1e3,
+			"errors":      0,
+			"digest":      fmt.Sprintf("%016x", digests[0]),
+			"cache": map[string]any{
+				"hits": cache.hits, "misses": cache.misses,
+				"hit_ratio": cache.hitRatio(), "evictions": cache.evictions,
+			},
+		}
+		b, _ := json.MarshalIndent(summary, "", "  ")
+		if err := os.WriteFile(*jsonOut, append(b, '\n'), 0o644); err != nil {
+			fmt.Fprintf(stderr, "idemload: %v\n", err)
+			return 1
+		}
+		if !*quiet {
+			fmt.Fprintf(stdout, "wrote %s\n", *jsonOut)
+		}
+	}
+	return 0
+}
+
+// parseMix parses "compile,simulate,batch" percentage weights.
+func parseMix(s string) ([3]int, error) {
+	parts := strings.Split(s, ",")
+	var w [3]int
+	if len(parts) != 3 {
+		return w, fmt.Errorf("-mix wants three comma-separated weights, got %q", s)
+	}
+	total := 0
+	for i, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n < 0 {
+			return w, fmt.Errorf("-mix weight %q must be a non-negative integer", p)
+		}
+		w[i] = n
+		total += n
+	}
+	if total <= 0 {
+		return w, fmt.Errorf("-mix weights must not all be zero")
+	}
+	return w, nil
+}
+
+// ---------------------------------------------------------------------
+// One pass: fire every request, digest bodies in index order.
+
+type passResult struct {
+	digest     uint64
+	elapsed    time.Duration
+	reqPerSec  float64
+	p50        time.Duration
+	p90        time.Duration
+	p99        time.Duration
+	errors     int64
+	errSamples []string
+}
+
+func runPass(client *http.Client, base string, seed uint64, n, concurrency int, weights [3]int) passResult {
+	hashes := make([]uint64, n)
+	lats := make([]time.Duration, n)
+	var errCount atomic.Int64
+	var mu sync.Mutex
+	var samples []string
+
+	if concurrency > n {
+		concurrency = n
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for k := 0; k < concurrency; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				path, body := genRequest(seed, i, weights)
+				t0 := time.Now()
+				status, resp, err := post(client, base+path, body)
+				lats[i] = time.Since(t0)
+				if err != nil || status != http.StatusOK {
+					errCount.Add(1)
+					mu.Lock()
+					if len(samples) < 5 {
+						msg := fmt.Sprintf("request %d %s: status %d err %v", i, path, status, err)
+						if len(resp) > 0 {
+							msg += " body " + strings.TrimSpace(string(resp[:min(len(resp), 200)]))
+						}
+						samples = append(samples, msg)
+					}
+					mu.Unlock()
+					continue
+				}
+				h := fnv.New64a()
+				h.Write(resp)
+				hashes[i] = h.Sum64()
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	// Aggregate the per-request hashes in index order so the digest is
+	// independent of completion order.
+	agg := fnv.New64a()
+	var buf [8]byte
+	for _, hv := range hashes {
+		for b := 0; b < 8; b++ {
+			buf[b] = byte(hv >> (8 * b))
+		}
+		agg.Write(buf[:])
+	}
+
+	sorted := append([]time.Duration(nil), lats...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+	pct := func(p float64) time.Duration {
+		idx := int(p * float64(len(sorted)-1))
+		return sorted[idx]
+	}
+	return passResult{
+		digest:     agg.Sum64(),
+		elapsed:    elapsed,
+		reqPerSec:  float64(n) / elapsed.Seconds(),
+		p50:        pct(0.50),
+		p90:        pct(0.90),
+		p99:        pct(0.99),
+		errors:     errCount.Load(),
+		errSamples: samples,
+	}
+}
+
+func post(client *http.Client, url string, body []byte) (int, []byte, error) {
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, nil, err
+	}
+	return resp.StatusCode, b, nil
+}
+
+// ---------------------------------------------------------------------
+// Deterministic request generation. genRequest is a pure function of
+// (seed, index, weights): no global state, so passes and processes with
+// the same seed produce byte-identical request streams.
+
+// rng is splitmix64 — tiny, seedable, and stable across Go versions
+// (math/rand's stream is not part of its compatibility promise).
+type rng struct{ s uint64 }
+
+func newRNG(seed, index uint64) *rng {
+	r := &rng{s: seed ^ (index+1)*0x9e3779b97f4a7c15}
+	r.next() // decorrelate nearby indices
+	return r
+}
+
+func (r *rng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// n returns a value in [0, bound).
+func (r *rng) n(bound int) int { return int(r.next() % uint64(bound)) }
+
+// The palettes are small on purpose: a bounded request vocabulary is what
+// makes the compile cache's hit ratio high and measurable.
+var compileWorkloads = []string{
+	"bzip2", "mcf", "hmmer", "libquantum", "milc", "lbm",
+	"blackscholes", "streamcluster", "swaptions", "canneal",
+}
+
+var simWorkloads = []string{
+	"bzip2", "mcf", "libquantum", "milc", "blackscholes", "swaptions",
+}
+
+var schemes = []string{"none", "dmr", "tmr", "cl", "idem"}
+
+func boolPtr(b bool) *bool { return &b }
+
+func genCompile(r *rng) *server.CompileRequest {
+	req := &server.CompileRequest{Workload: compileWorkloads[r.n(len(compileWorkloads))]}
+	switch r.n(4) {
+	case 0: // paper-default idempotent construction
+	case 1: // conventional compilation
+		req.Options = &server.OptionsSpec{Idempotent: boolPtr(false)}
+	case 2: // idempotent without redundancy elimination
+		req.Options = &server.OptionsSpec{Core: &server.CoreOptionsSpec{RedElim: boolPtr(false)}}
+	case 3: // bounded region size
+		sizes := []int{8, 16, 32, 64}
+		req.Options = &server.OptionsSpec{Core: &server.CoreOptionsSpec{MaxRegionSize: sizes[r.n(len(sizes))]}}
+	}
+	return req
+}
+
+func genSimulate(r *rng) *server.SimulateRequest {
+	req := &server.SimulateRequest{
+		Workload: simWorkloads[r.n(len(simWorkloads))],
+		Scheme:   schemes[r.n(len(schemes))],
+	}
+	if req.Scheme == "idem" {
+		req.TrackPaths = true
+	}
+	// Half the simulations arm a register-bit-flip fault; recovery-capable
+	// schemes mask it, detection-only ones report it in the digest.
+	if r.n(2) == 0 {
+		req.Injections = []server.InjectionSpec{{
+			Model: "reg",
+			Step:  int64(100 + r.n(20000)),
+			Mask:  1 << uint(r.n(32)),
+		}}
+	}
+	return req
+}
+
+func genRequest(seed uint64, index int, weights [3]int) (string, []byte) {
+	r := newRNG(seed, uint64(index))
+	total := weights[0] + weights[1] + weights[2]
+	roll := r.n(total)
+	var (
+		path string
+		req  any
+	)
+	switch {
+	case roll < weights[0]:
+		path, req = "/v1/compile", genCompile(r)
+	case roll < weights[0]+weights[1]:
+		path, req = "/v1/simulate", genSimulate(r)
+	default:
+		units := make([]server.BatchUnit, 2+r.n(3))
+		for i := range units {
+			if r.n(2) == 0 {
+				units[i].Compile = genCompile(r)
+			} else {
+				units[i].Simulate = genSimulate(r)
+			}
+		}
+		path, req = "/v1/batch", &server.BatchRequest{Units: units}
+	}
+	b, err := json.Marshal(req)
+	if err != nil {
+		panic(err) // request structs always marshal
+	}
+	return path, b
+}
+
+// ---------------------------------------------------------------------
+// /metrics scrape (Prometheus text format, only the three cache counters).
+
+type cacheCounters struct {
+	hits, misses, evictions int64
+}
+
+func (c cacheCounters) hitRatio() float64 {
+	if c.hits+c.misses == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(c.hits+c.misses)
+}
+
+func scrapeCache(client *http.Client, base string) (cacheCounters, error) {
+	var out cacheCounters
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return out, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return out, fmt.Errorf("/metrics: status %d", resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		for _, m := range []struct {
+			name string
+			dst  *int64
+		}{
+			{"idemd_buildcache_hits_total ", &out.hits},
+			{"idemd_buildcache_misses_total ", &out.misses},
+			{"idemd_buildcache_evictions_total ", &out.evictions},
+		} {
+			if v, ok := strings.CutPrefix(line, m.name); ok {
+				n, err := strconv.ParseInt(strings.TrimSpace(v), 10, 64)
+				if err != nil {
+					return out, fmt.Errorf("parsing %q: %v", line, err)
+				}
+				*m.dst = n
+			}
+		}
+	}
+	return out, sc.Err()
+}

@@ -1,16 +1,38 @@
 // Package buildcache memoizes workload compilation for the experiment
-// drivers. Every figure of the paper's evaluation compiles the same
-// (workload, options) pairs — Fig. 10 and Fig. 12 alone rebuild the full
-// suite twice each — so the drivers route all compiles through a shared,
-// concurrency-safe, content-keyed cache: at most one compile ever runs
-// per distinct key, concurrent requesters for the same key block on the
-// in-flight build (singleflight), and the resulting *codegen.Program is
-// shared by every subsequent simulator run (safe because a linked Program
-// is read-only — see the codegen.Program immutability contract).
+// drivers and the idemd analysis daemon. Every figure of the paper's
+// evaluation compiles the same (workload, options) pairs — Fig. 10 and
+// Fig. 12 alone rebuild the full suite twice each — so the drivers route
+// all compiles through a shared, concurrency-safe, content-keyed cache:
+// at most one compile ever runs per distinct key, concurrent requesters
+// for the same key block on the in-flight build (singleflight), and the
+// resulting *codegen.Program is shared by every subsequent simulator run
+// (safe because a linked Program is read-only — see the codegen.Program
+// immutability contract).
+//
+// Two properties matter for the long-running service (cmd/idemd) beyond
+// the batch drivers:
+//
+//   - Cancellation: Compile takes a context. The compile itself runs on a
+//     detached goroutine owned by the cache, so a canceled requester
+//     returns immediately with ctx.Err() while the build keeps going and
+//     lands in the cache for the next requester. Waiters on an in-flight
+//     entry likewise unblock on cancellation instead of riding out the
+//     compile.
+//
+//   - Bounded memory: NewBounded caps the (estimated) resident bytes of
+//     completed entries with LRU eviction, so a daemon serving an open-
+//     ended mix of sources and option fingerprints can run indefinitely.
+//     Evicting an entry drops the cache's reference (and the memoized
+//     predecode, see machine.DropPredecode); Programs already handed out
+//     remain valid because they are immutable.
 package buildcache
 
 import (
+	"container/list"
+	"context"
+	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"idemproc/internal/codegen"
@@ -19,8 +41,9 @@ import (
 )
 
 // Key identifies one distinct compile: the workload (workload sources are
-// static, so the name identifies the module), the memory size it is
-// linked for, and the canonical options fingerprint.
+// static, so the name identifies the module; synthetic source workloads
+// must embed a content hash in the name), the memory size it is linked
+// for, and the canonical options fingerprint.
 type Key struct {
 	Workload string
 	MemWords int
@@ -33,27 +56,48 @@ func KeyOf(w workloads.Workload, mo codegen.ModuleOptions) Key {
 }
 
 // entry is one cache slot. done is closed when the compile finishes;
-// waiters block on it and then read the immutable result fields.
+// waiters block on it and then read the immutable result fields. elem is
+// the entry's LRU node (nil while the compile is in flight: only
+// completed entries participate in eviction).
 type entry struct {
+	key   Key
 	done  chan struct{}
 	prog  *codegen.Program
 	stats *codegen.BuildStats
 	err   error
+
+	cost int64
+	elem *list.Element
 }
 
 // Cache is a concurrency-safe compile cache. The zero value is not
-// usable; call New.
+// usable; call New or NewBounded.
 type Cache struct {
 	mu      sync.Mutex
 	entries map[Key]*entry
+	// lru orders completed entries most-recently-used first; bytes is the
+	// summed cost of entries on it. maxBytes <= 0 means unbounded.
+	lru      *list.List
+	bytes    int64
+	maxBytes int64
 
-	hits, misses int64
-	compileNanos int64
+	// Counters are atomics: they are written on the request path (under
+	// mu or not) and read lock-free by Stats, which /metrics scrapes
+	// concurrently with in-flight compiles.
+	hits, misses atomic.Int64
+	evictions    atomic.Int64
+	compileNanos atomic.Int64
 }
 
-// New returns an empty cache.
-func New() *Cache {
-	return &Cache{entries: map[Key]*entry{}}
+// New returns an empty, unbounded cache.
+func New() *Cache { return NewBounded(0) }
+
+// NewBounded returns an empty cache that evicts least-recently-used
+// completed entries once their estimated resident size exceeds maxBytes
+// (<= 0 means unbounded). The most recently completed entry is never
+// evicted, so a single entry larger than the bound still caches.
+func NewBounded(maxBytes int64) *Cache {
+	return &Cache{entries: map[Key]*entry{}, lru: list.New(), maxBytes: maxBytes}
 }
 
 // Compile returns the compiled program for (w, mo), building it on first
@@ -61,28 +105,81 @@ func New() *Cache {
 // with the same key perform exactly one compile. Errors are memoized too
 // (a workload that fails to build fails identically for every figure).
 //
+// The compile runs on a cache-owned goroutine: if ctx is canceled the
+// caller returns ctx.Err() immediately, but the build completes and is
+// cached for later requesters (and waiters on an in-flight entry stop
+// waiting without discarding the build).
+//
 // The returned Program and BuildStats are shared across callers and must
 // be treated as immutable.
-func (c *Cache) Compile(w workloads.Workload, mo codegen.ModuleOptions) (*codegen.Program, *codegen.BuildStats, error) {
+func (c *Cache) Compile(ctx context.Context, w workloads.Workload, mo codegen.ModuleOptions) (*codegen.Program, *codegen.BuildStats, error) {
 	key := KeyOf(w, mo)
 
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
-		c.hits++
+		c.hits.Add(1)
+		if e.elem != nil {
+			c.lru.MoveToFront(e.elem)
+		}
 		c.mu.Unlock()
-		<-e.done
-		return e.prog, e.stats, e.err
+		return c.wait(ctx, e)
 	}
-	e := &entry{done: make(chan struct{})}
+	e := &entry{key: key, done: make(chan struct{})}
 	c.entries[key] = e
-	c.misses++
+	c.misses.Add(1)
 	c.mu.Unlock()
 
-	// Compile outside the lock so distinct keys build in parallel. The
-	// deferred close guarantees waiters are released even if the compile
-	// panics (the panic still propagates to this caller).
-	defer close(e.done)
+	go c.build(e, w, mo)
+	return c.wait(ctx, e)
+}
+
+// wait blocks until e's compile completes or ctx is canceled.
+func (c *Cache) wait(ctx context.Context, e *entry) (*codegen.Program, *codegen.BuildStats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// Fast path: a completed entry never blocks (and never loses the
+	// select race to an already-canceled context).
+	select {
+	case <-e.done:
+		return e.prog, e.stats, e.err
+	default:
+	}
+	select {
+	case <-e.done:
+		return e.prog, e.stats, e.err
+	case <-ctx.Done():
+		return nil, nil, ctx.Err()
+	}
+}
+
+// build runs the compile for e and publishes the result. It owns the
+// entry until done is closed. A panicking compile (e.g. a workload whose
+// source does not even parse — Workload.Module panics) is converted into
+// a memoized error instead of killing the process: the cache backs a
+// long-running daemon that must survive hostile inputs.
+func (c *Cache) build(e *entry, w workloads.Workload, mo codegen.ModuleOptions) {
 	start := time.Now()
+	defer func() {
+		if r := recover(); r != nil {
+			e.prog, e.stats = nil, nil
+			e.err = fmt.Errorf("buildcache: compile %s: panic: %v", w.Name, r)
+		}
+		c.compileNanos.Add(time.Since(start).Nanoseconds())
+		close(e.done)
+
+		c.mu.Lock()
+		// The entry may have raced with an eviction sweep only after
+		// insertion below, so this is the unique insertion point.
+		if _, still := c.entries[e.key]; still {
+			e.cost = entryCost(e)
+			e.elem = c.lru.PushFront(e)
+			c.bytes += e.cost
+			c.evict()
+		}
+		c.mu.Unlock()
+	}()
+
 	e.prog, e.stats, e.err = codegen.CompileModuleOpts(w.Module(), "main", w.MemWords, mo)
 	if e.err == nil {
 		// Predecode at compile time: the decoded form is memoized per
@@ -91,10 +188,51 @@ func (c *Cache) Compile(w workloads.Workload, mo codegen.ModuleOptions) (*codege
 		// and never decode on the simulation path.
 		machine.Predecode(e.prog)
 	}
-	c.mu.Lock()
-	c.compileNanos += time.Since(start).Nanoseconds()
-	c.mu.Unlock()
-	return e.prog, e.stats, e.err
+}
+
+// evict drops LRU completed entries until the cache fits its bound,
+// always keeping the most recently used entry. Caller holds c.mu.
+func (c *Cache) evict() {
+	for c.maxBytes > 0 && c.bytes > c.maxBytes && c.lru.Len() > 1 {
+		el := c.lru.Back()
+		ev := el.Value.(*entry)
+		c.lru.Remove(el)
+		delete(c.entries, ev.key)
+		c.bytes -= ev.cost
+		c.evictions.Add(1)
+		if ev.prog != nil {
+			// Drop the memoized predecode alongside the Program so the
+			// eviction actually frees memory (the predecode cache keys on
+			// Program identity and would otherwise pin it forever).
+			machine.DropPredecode(ev.prog)
+		}
+	}
+}
+
+// Cost model: entries are sized by a documented estimate, not exact heap
+// accounting. Per instruction we charge the encoded isa.Instr, the
+// predecoded record and the FuncOf string header; symbols and global
+// words are charged flat. The estimate only needs to be proportional to
+// the real footprint for LRU eviction to bound memory.
+const (
+	entryBaseCost  = 1 << 10 // entry + Program + BuildStats fixed parts
+	perInstrCost   = 128
+	perSymbolCost  = 64
+	perGlobalWord  = 8
+	errorEntryCost = entryBaseCost // memoized failures hold only an error
+)
+
+// entryCost estimates the resident bytes of a completed entry.
+func entryCost(e *entry) int64 {
+	if e.prog == nil {
+		return errorEntryCost
+	}
+	p := e.prog
+	cost := int64(entryBaseCost)
+	cost += int64(len(p.Instrs)) * perInstrCost
+	cost += int64(len(p.FuncEntry)+len(p.GlobalBase)) * perSymbolCost
+	cost += p.GlobalEnd * perGlobalWord
+	return cost
 }
 
 // Stats is a point-in-time snapshot of cache effectiveness.
@@ -102,24 +240,39 @@ type Stats struct {
 	// Hits counts requests served from an existing entry (including
 	// requests that waited on an in-flight compile); Misses counts
 	// requests that triggered a compile. Hits+Misses is the total request
-	// count and Misses equals Distinct.
+	// count; Misses equals the number of compiles ever started (>=
+	// Distinct once eviction is on, because evicted keys recompile).
 	Hits, Misses int64
-	// Distinct is the number of distinct (workload, options) pairs ever
-	// compiled.
+	// Distinct is the number of (workload, options) pairs currently
+	// resident (including in-flight compiles).
 	Distinct int
 	// CompileTime is the total wall time spent inside compiles, summed
 	// across workers (it can exceed elapsed wall time under parallelism).
 	CompileTime time.Duration
+	// Evictions counts entries dropped by the byte bound; BytesInUse is
+	// the estimated resident size of completed entries; MaxBytes is the
+	// configured bound (0 = unbounded).
+	Evictions  int64
+	BytesInUse int64
+	MaxBytes   int64
 }
 
-// Stats returns a snapshot of the cache counters.
+// Stats returns a snapshot of the cache counters. The monotonic counters
+// (hits, misses, evictions, compile time) are read atomically and may be
+// fractionally newer than the mu-guarded occupancy numbers; /metrics
+// scrapes tolerate that.
 func (c *Cache) Stats() Stats {
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	distinct := len(c.entries)
+	bytes := c.bytes
+	c.mu.Unlock()
 	return Stats{
-		Hits:        c.hits,
-		Misses:      c.misses,
-		Distinct:    len(c.entries),
-		CompileTime: time.Duration(c.compileNanos),
+		Hits:        c.hits.Load(),
+		Misses:      c.misses.Load(),
+		Distinct:    distinct,
+		CompileTime: time.Duration(c.compileNanos.Load()),
+		Evictions:   c.evictions.Load(),
+		BytesInUse:  bytes,
+		MaxBytes:    c.maxBytes,
 	}
 }

@@ -1,9 +1,14 @@
 package buildcache
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"idemproc/internal/codegen"
 	"idemproc/internal/core"
@@ -36,7 +41,7 @@ func TestCompileOnceUnderConcurrency(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			p, st, err := c.Compile(w, mo)
+			p, st, err := c.Compile(context.Background(), w, mo)
 			if err != nil {
 				t.Errorf("caller %d: %v", i, err)
 				return
@@ -81,7 +86,7 @@ func TestDistinctOptionsDistinctEntries(t *testing.T) {
 	}
 	var progs []*codegen.Program
 	for _, mo := range configs {
-		p, _, err := c.Compile(w, mo)
+		p, _, err := c.Compile(context.Background(), w, mo)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -98,7 +103,7 @@ func TestDistinctOptionsDistinctEntries(t *testing.T) {
 		}
 	}
 	// Re-requesting an existing key must hit.
-	if _, _, err := c.Compile(w, configs[0]); err != nil {
+	if _, _, err := c.Compile(context.Background(), w, configs[0]); err != nil {
 		t.Fatal(err)
 	}
 	if st := c.Stats(); st.Hits != 1 {
@@ -114,7 +119,7 @@ func TestDistinctOptionsDistinctEntries(t *testing.T) {
 func TestConcurrentRunsMatchSerial(t *testing.T) {
 	w := testWorkload(t)
 	c := New()
-	p, _, err := c.Compile(w, codegen.ModuleOptions{Idempotent: true, Core: core.DefaultOptions()})
+	p, _, err := c.Compile(context.Background(), w, codegen.ModuleOptions{Idempotent: true, Core: core.DefaultOptions()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,5 +206,142 @@ func TestFingerprintCoversAllFields(t *testing.T) {
 			t.Errorf("flipping %s produced the same fingerprint as %s: %q", name, prev, fp)
 		}
 		seen[fp] = name
+	}
+}
+
+// slowWorkload synthesizes a source workload big enough that its compile
+// takes measurable time (many independent functions), for cancellation
+// tests that must observe an in-flight build.
+func slowWorkload() workloads.Workload {
+	var b []byte
+	b = append(b, "global int g[4] = {1, 2, 3};\n"...)
+	for i := 0; i < 160; i++ {
+		b = append(b, []byte(fmt.Sprintf(
+			"func f%d(int x) int { int s = 0; for (int i = 0; i < x; i = i + 1) { s = s + i * %d; } return s; }\n", i, i+1))...)
+	}
+	b = append(b, "func main(int n) int { int s = 0; for (int i = 0; i < n; i = i + 1) { s = s + i; } return s; }\n"...)
+	return workloads.Workload{Name: "slow-synthetic", Source: string(b), Args: []uint64{8}, MemWords: 4096}
+}
+
+// TestCancelAbandonsInflightCompile checks the context contract: a
+// canceled requester stops waiting on an in-flight singleflight entry
+// immediately, the detached build still completes, and a later request
+// is served from the cache as a hit.
+func TestCancelAbandonsInflightCompile(t *testing.T) {
+	w := slowWorkload()
+	c := New()
+	mo := codegen.ModuleOptions{Idempotent: true, Core: core.DefaultOptions()}
+
+	// Trigger the compile from a background requester.
+	started := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		close(started)
+		_, _, err := c.Compile(context.Background(), w, mo)
+		done <- err
+	}()
+	<-started
+
+	// A canceled waiter must return promptly with ctx.Err even while the
+	// compile is in flight (or already finished — then it gets the
+	// result; both are allowed, blocking until cancellation is not).
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	waited := make(chan struct{})
+	go func() {
+		defer close(waited)
+		_, _, err := c.Compile(ctx, w, mo)
+		if err != nil && !errors.Is(err, context.Canceled) {
+			t.Errorf("canceled waiter: unexpected error %v", err)
+		}
+	}()
+	select {
+	case <-waited:
+	case <-time.After(10 * time.Second):
+		t.Fatal("canceled waiter did not return")
+	}
+
+	// The detached build completes and serves subsequent requests.
+	if err := <-done; err != nil {
+		t.Fatalf("background compile: %v", err)
+	}
+	p, _, err := c.Compile(context.Background(), w, mo)
+	if err != nil || p == nil {
+		t.Fatalf("post-compile request: %v", err)
+	}
+	if st := c.Stats(); st.Misses != 1 {
+		t.Fatalf("got %d misses, want exactly one compile", st.Misses)
+	}
+}
+
+// TestBoundedEviction drives distinct configurations through a cache
+// whose byte bound fits roughly one program and asserts LRU eviction:
+// evictions observed, occupancy bounded, evicted keys recompile (miss)
+// while the resident key still hits.
+func TestBoundedEviction(t *testing.T) {
+	w := testWorkload(t)
+	configs := make([]codegen.ModuleOptions, 4)
+	for i := range configs {
+		o := core.DefaultOptions()
+		o.MaxRegionSize = 8 * (i + 1)
+		configs[i] = codegen.ModuleOptions{Idempotent: true, Core: o}
+	}
+
+	// Size the bound from a real compile: big enough for one entry, too
+	// small for two.
+	probe := New()
+	if _, _, err := probe.Compile(context.Background(), w, configs[0]); err != nil {
+		t.Fatal(err)
+	}
+	bound := probe.Stats().BytesInUse * 3 / 2
+
+	c := NewBounded(bound)
+	for _, mo := range configs {
+		if _, _, err := c.Compile(context.Background(), w, mo); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("no evictions under bound %d (bytes in use %d)", bound, st.BytesInUse)
+	}
+	if st.BytesInUse > bound {
+		t.Fatalf("bytes in use %d exceeds bound %d with %d entries", st.BytesInUse, bound, st.Distinct)
+	}
+	if st.MaxBytes != bound {
+		t.Fatalf("MaxBytes = %d, want %d", st.MaxBytes, bound)
+	}
+
+	// The most recent config must still be resident (LRU keeps MRU)...
+	before := c.Stats().Misses
+	if _, _, err := c.Compile(context.Background(), w, configs[len(configs)-1]); err != nil {
+		t.Fatal(err)
+	}
+	if after := c.Stats().Misses; after != before {
+		t.Fatalf("MRU entry was evicted: misses went %d -> %d", before, after)
+	}
+	// ...and the oldest must have been evicted (recompiles as a miss).
+	if _, _, err := c.Compile(context.Background(), w, configs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if after := c.Stats().Misses; after != before+1 {
+		t.Fatalf("evicted entry did not recompile: misses %d, want %d", after, before+1)
+	}
+}
+
+// TestCompilePanicMemoizedAsError checks that a panicking compile (a
+// workload whose source does not parse) surfaces as a memoized error
+// instead of killing the process — the daemon depends on this.
+func TestCompilePanicMemoizedAsError(t *testing.T) {
+	w := workloads.Workload{Name: "broken-synthetic", Source: "func main(", MemWords: 1024}
+	c := New()
+	for i := 0; i < 2; i++ {
+		_, _, err := c.Compile(context.Background(), w, codegen.ModuleOptions{Core: core.DefaultOptions()})
+		if err == nil || !strings.Contains(err.Error(), "panic") {
+			t.Fatalf("request %d: got err %v, want memoized compile panic", i, err)
+		}
+	}
+	if st := c.Stats(); st.Misses != 1 || st.Hits != 1 {
+		t.Fatalf("got %d misses / %d hits, want the failure memoized once", st.Misses, st.Hits)
 	}
 }

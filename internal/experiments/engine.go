@@ -43,11 +43,25 @@ type Engine struct {
 // NewEngine returns an engine with the given worker-pool width; workers
 // <= 0 selects GOMAXPROCS.
 func NewEngine(workers int) *Engine {
+	return NewEngineWithCache(workers, buildcache.New())
+}
+
+// NewEngineWithCache returns an engine backed by an externally owned
+// compile cache. The idemd service uses this to share one byte-bounded
+// cache between the batch engine and the single-request handlers (and to
+// scrape its stats for /metrics).
+func NewEngineWithCache(workers int, cache *buildcache.Cache) *Engine {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &Engine{workers: workers, cache: buildcache.New()}
+	if cache == nil {
+		cache = buildcache.New()
+	}
+	return &Engine{workers: workers, cache: cache}
 }
+
+// Cache returns the engine's compile cache.
+func (e *Engine) Cache() *buildcache.Cache { return e.cache }
 
 // defaultEngine returns the serial engine backing the package-level
 // wrapper functions.
@@ -57,10 +71,16 @@ func defaultEngine() *Engine { return NewEngine(1) }
 func (e *Engine) Workers() int { return e.workers }
 
 // Build compiles w under mo through the shared cache, naming the workload
-// in any error (so a failing figure identifies its culprit).
-func (e *Engine) Build(w workloads.Workload, mo codegen.ModuleOptions) (*codegen.Program, *codegen.BuildStats, error) {
-	p, st, err := e.cache.Compile(w, mo)
+// in any error (so a failing figure identifies its culprit). A canceled
+// ctx abandons the wait on an in-flight singleflight compile immediately
+// (the compile itself still completes and is cached — see
+// buildcache.Cache.Compile).
+func (e *Engine) Build(ctx context.Context, w workloads.Workload, mo codegen.ModuleOptions) (*codegen.Program, *codegen.BuildStats, error) {
+	p, st, err := e.cache.Compile(ctx, w, mo)
 	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return nil, nil, err
+		}
 		return nil, nil, fmt.Errorf("%s: %w", w.Name, err)
 	}
 	return p, st, nil
@@ -76,13 +96,15 @@ func (e *Engine) Run(p *codegen.Program, w workloads.Workload, cfg machine.Confi
 	return m, err
 }
 
-// forEach evaluates fn(ctx, i) for every i in [0, n) on the worker pool.
+// ForEach evaluates fn(ctx, i) for every i in [0, n) on the worker pool.
 // Each unit must write results only into its own index slot; callers
 // aggregate in index order afterwards, which is what makes output
 // independent of the worker count. The first error cancels ctx so
 // outstanding units are skipped; among units that genuinely ran, the
-// lowest-index non-cancellation error is returned.
-func (e *Engine) forEach(ctx context.Context, n int, fn func(ctx context.Context, i int) error) error {
+// lowest-index non-cancellation error is returned. (Callers that want
+// per-unit error collection instead of fail-fast — the idemd /v1/batch
+// handler — record errors into their slots and return nil from fn.)
+func (e *Engine) ForEach(ctx context.Context, n int, fn func(ctx context.Context, i int) error) error {
 	if n <= 0 {
 		return ctx.Err()
 	}

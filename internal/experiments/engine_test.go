@@ -102,7 +102,7 @@ func TestForEachErrorDeterminism(t *testing.T) {
 	e := NewEngine(8)
 	unitErr := errors.New("unit 13 broke")
 	var ran atomic.Int64
-	err := e.forEach(context.Background(), 64, func(ctx context.Context, i int) error {
+	err := e.ForEach(context.Background(), 64, func(ctx context.Context, i int) error {
 		ran.Add(1)
 		if i == 13 {
 			return unitErr
@@ -118,7 +118,7 @@ func TestForEachErrorDeterminism(t *testing.T) {
 
 	// No error, no cancellation: every unit runs exactly once.
 	ran.Store(0)
-	if err := e.forEach(context.Background(), 64, func(ctx context.Context, i int) error {
+	if err := e.ForEach(context.Background(), 64, func(ctx context.Context, i int) error {
 		ran.Add(1)
 		return nil
 	}); err != nil {

@@ -111,9 +111,9 @@ func Fig4(ws []workloads.Workload) (*Fig4Result, error) { return defaultEngine()
 // binaries, dynamic clobber tracking).
 func (e *Engine) Fig4(ws []workloads.Workload) (*Fig4Result, error) {
 	rows := make([]Fig4Row, len(ws))
-	err := e.forEach(context.Background(), len(ws), func(ctx context.Context, i int) error {
+	err := e.ForEach(context.Background(), len(ws), func(ctx context.Context, i int) error {
 		w := ws[i]
-		p, _, err := e.Build(w, codegen.ModuleOptions{Core: defaultCore()})
+		p, _, err := e.Build(ctx, w, codegen.ModuleOptions{Core: defaultCore()})
 		if err != nil {
 			return err
 		}
@@ -184,9 +184,9 @@ func Fig8(ws []workloads.Workload) ([]Fig8Row, error) { return defaultEngine().F
 // Fig8 measures the constructed binaries' dynamic path distributions.
 func (e *Engine) Fig8(ws []workloads.Workload) ([]Fig8Row, error) {
 	rows := make([]Fig8Row, len(ws))
-	err := e.forEach(context.Background(), len(ws), func(ctx context.Context, i int) error {
+	err := e.ForEach(context.Background(), len(ws), func(ctx context.Context, i int) error {
 		w := ws[i]
-		p, _, err := e.Build(w, codegen.ModuleOptions{Idempotent: true, Core: defaultCore()})
+		p, _, err := e.Build(ctx, w, codegen.ModuleOptions{Idempotent: true, Core: defaultCore()})
 		if err != nil {
 			return err
 		}
@@ -363,13 +363,13 @@ func Fig10(ws []workloads.Workload) (*Fig10Result, error) { return defaultEngine
 // Fig10 measures both binaries for every workload.
 func (e *Engine) Fig10(ws []workloads.Workload) (*Fig10Result, error) {
 	rows := make([]Fig10Row, len(ws))
-	err := e.forEach(context.Background(), len(ws), func(ctx context.Context, i int) error {
+	err := e.ForEach(context.Background(), len(ws), func(ctx context.Context, i int) error {
 		w := ws[i]
-		pb, _, err := e.Build(w, codegen.ModuleOptions{Core: defaultCore()})
+		pb, _, err := e.Build(ctx, w, codegen.ModuleOptions{Core: defaultCore()})
 		if err != nil {
 			return err
 		}
-		pi, _, err := e.Build(w, codegen.ModuleOptions{Idempotent: true, Core: defaultCore()})
+		pi, _, err := e.Build(ctx, w, codegen.ModuleOptions{Idempotent: true, Core: defaultCore()})
 		if err != nil {
 			return err
 		}
@@ -477,13 +477,13 @@ func Fig12(ws []workloads.Workload) (*Fig12Result, error) { return defaultEngine
 // Fig12 builds and times all four configurations per workload.
 func (e *Engine) Fig12(ws []workloads.Workload) (*Fig12Result, error) {
 	rows := make([]Fig12Row, len(ws))
-	err := e.forEach(context.Background(), len(ws), func(ctx context.Context, i int) error {
+	err := e.ForEach(context.Background(), len(ws), func(ctx context.Context, i int) error {
 		w := ws[i]
-		base, _, err := e.Build(w, codegen.ModuleOptions{Core: defaultCore()})
+		base, _, err := e.Build(ctx, w, codegen.ModuleOptions{Core: defaultCore()})
 		if err != nil {
 			return err
 		}
-		idem, _, err := e.Build(w, codegen.ModuleOptions{Idempotent: true, Core: defaultCore()})
+		idem, _, err := e.Build(ctx, w, codegen.ModuleOptions{Idempotent: true, Core: defaultCore()})
 		if err != nil {
 			return err
 		}

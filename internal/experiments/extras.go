@@ -38,7 +38,7 @@ func Table2(ws []workloads.Workload) ([]Table2Row, error) { return defaultEngine
 // Table2 analyses every workload statically.
 func (e *Engine) Table2(ws []workloads.Workload) ([]Table2Row, error) {
 	rows := make([]Table2Row, len(ws))
-	err := e.forEach(context.Background(), len(ws), func(ctx context.Context, i int) error {
+	err := e.ForEach(context.Background(), len(ws), func(ctx context.Context, i int) error {
 		w := ws[i]
 		m := w.Module()
 		row := Table2Row{Name: w.Name, Suite: w.Suite}
@@ -160,11 +160,11 @@ func (e *Engine) AblationUnroll(ws []workloads.Workload) ([]AblationRow, error) 
 
 func (e *Engine) pathLenAblation(ws []workloads.Workload, opt func(bool) core.Options) ([]AblationRow, error) {
 	rows := make([]AblationRow, len(ws))
-	err := e.forEach(context.Background(), len(ws), func(ctx context.Context, i int) error {
+	err := e.ForEach(context.Background(), len(ws), func(ctx context.Context, i int) error {
 		w := ws[i]
 		row := AblationRow{Name: w.Name}
 		for _, on := range []bool{true, false} {
-			p, _, err := e.Build(w, codegen.ModuleOptions{Idempotent: true, Core: opt(on)})
+			p, _, err := e.Build(ctx, w, codegen.ModuleOptions{Idempotent: true, Core: opt(on)})
 			if err != nil {
 				return err
 			}
@@ -198,7 +198,7 @@ func AblationRedElim(ws []workloads.Workload) ([]AblationRow, error) {
 // vs off.
 func (e *Engine) AblationRedElim(ws []workloads.Workload) ([]AblationRow, error) {
 	rows := make([]AblationRow, len(ws))
-	err := e.forEach(context.Background(), len(ws), func(ctx context.Context, i int) error {
+	err := e.ForEach(context.Background(), len(ws), func(ctx context.Context, i int) error {
 		w := ws[i]
 		row := AblationRow{Name: w.Name}
 		for _, on := range []bool{true, false} {
@@ -237,11 +237,11 @@ func AblationRegalloc(ws []workloads.Workload) ([]AblationRow, error) {
 // MARKs, allocation constraint on vs off, measured in cycles.
 func (e *Engine) AblationRegalloc(ws []workloads.Workload) ([]AblationRow, error) {
 	rows := make([]AblationRow, len(ws))
-	err := e.forEach(context.Background(), len(ws), func(ctx context.Context, i int) error {
+	err := e.ForEach(context.Background(), len(ws), func(ctx context.Context, i int) error {
 		w := ws[i]
 		row := AblationRow{Name: w.Name}
 		for _, constrained := range []bool{true, false} {
-			p, _, err := e.Build(w, codegen.ModuleOptions{
+			p, _, err := e.Build(ctx, w, codegen.ModuleOptions{
 				Idempotent: true, Core: defaultCore(), RelaxedAlloc: !constrained,
 			})
 			if err != nil {
@@ -309,9 +309,9 @@ func Characteristics(ws []workloads.Workload) ([]CharacteristicsRow, error) {
 // Characteristics runs the construction on every workload.
 func (e *Engine) Characteristics(ws []workloads.Workload) ([]CharacteristicsRow, error) {
 	rows := make([]CharacteristicsRow, len(ws))
-	err := e.forEach(context.Background(), len(ws), func(ctx context.Context, i int) error {
+	err := e.ForEach(context.Background(), len(ws), func(ctx context.Context, i int) error {
 		w := ws[i]
-		_, st, err := e.Build(w, codegen.ModuleOptions{Idempotent: true, Core: defaultCore()})
+		_, st, err := e.Build(ctx, w, codegen.ModuleOptions{Idempotent: true, Core: defaultCore()})
 		if err != nil {
 			return err
 		}
@@ -368,11 +368,11 @@ func AblationPureCalls(ws []workloads.Workload) ([]AblationRow, error) {
 // vs the strictly intra-procedural default.
 func (e *Engine) AblationPureCalls(ws []workloads.Workload) ([]AblationRow, error) {
 	rows := make([]AblationRow, len(ws))
-	err := e.forEach(context.Background(), len(ws), func(ctx context.Context, i int) error {
+	err := e.ForEach(context.Background(), len(ws), func(ctx context.Context, i int) error {
 		w := ws[i]
 		row := AblationRow{Name: w.Name}
 		for _, on := range []bool{true, false} {
-			p, _, err := e.Build(w, codegen.ModuleOptions{Idempotent: true, Core: defaultCore(), PureCalls: on})
+			p, _, err := e.Build(ctx, w, codegen.ModuleOptions{Idempotent: true, Core: defaultCore(), PureCalls: on})
 			if err != nil {
 				return err
 			}

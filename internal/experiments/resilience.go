@@ -115,11 +115,11 @@ func (e *Engine) Resilience(ctx context.Context, ws []workloads.Workload, runs i
 	}
 	counts := map[string]int{}
 	for _, w := range ws {
-		base, _, err := e.Build(w, codegen.ModuleOptions{Core: defaultCore()})
+		base, _, err := e.Build(ctx, w, codegen.ModuleOptions{Core: defaultCore()})
 		if err != nil {
 			return nil, err
 		}
-		idem, _, err := e.Build(w, codegen.ModuleOptions{Idempotent: true, Core: defaultCore()})
+		idem, _, err := e.Build(ctx, w, codegen.ModuleOptions{Idempotent: true, Core: defaultCore()})
 		if err != nil {
 			return nil, err
 		}

@@ -38,7 +38,7 @@ func RegionSizeSweep(w workloads.Workload, sizes []int) ([]SweepPoint, error) {
 // RegionSizeSweep measures the trade-off curve for one workload, fanning
 // the per-size build/run units out over the engine's pool.
 func (e *Engine) RegionSizeSweep(w workloads.Workload, sizes []int) ([]SweepPoint, error) {
-	base, _, err := e.Build(w, codegen.ModuleOptions{Core: defaultCore()})
+	base, _, err := e.Build(context.Background(), w, codegen.ModuleOptions{Core: defaultCore()})
 	if err != nil {
 		return nil, err
 	}
@@ -49,10 +49,10 @@ func (e *Engine) RegionSizeSweep(w workloads.Workload, sizes []int) ([]SweepPoin
 	baseCycles := float64(mb.Stats.Cycles)
 
 	out := make([]SweepPoint, len(sizes))
-	err = e.forEach(context.Background(), len(sizes), func(ctx context.Context, i int) error {
+	err = e.ForEach(context.Background(), len(sizes), func(ctx context.Context, i int) error {
 		opts := core.DefaultOptions()
 		opts.MaxRegionSize = sizes[i]
-		p, _, err := e.Build(w, codegen.ModuleOptions{Idempotent: true, Core: opts})
+		p, _, err := e.Build(ctx, w, codegen.ModuleOptions{Idempotent: true, Core: opts})
 		if err != nil {
 			return err
 		}

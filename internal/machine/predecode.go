@@ -101,6 +101,15 @@ func Predecode(p *codegen.Program) *Code {
 	return actual.(*Code)
 }
 
+// DropPredecode removes p's memoized decoded form, if any. The compile
+// cache calls this when it evicts a Program so the predecode memo does
+// not pin evicted Programs in memory forever; Machines already holding
+// the Code keep working (the Code itself is immutable), and a later
+// Predecode simply recomputes.
+func DropPredecode(p *codegen.Program) {
+	codeCache.Delete(p)
+}
+
 // decodeOne resolves one instruction at absolute index pc.
 func decodeOne(in isa.Instr, pc int) decoded {
 	d := decoded{

@@ -1,0 +1,107 @@
+// Machine state snapshots: a compact, serializable digest of a finished
+// run's architectural state and statistics. The repository-root
+// differential test pins the simulator engine against golden snapshots,
+// and the idemd service returns them from /v1/simulate so clients can
+// assert byte-identical behavior across runs and deployments without
+// shipping whole memory images.
+package machine
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Snapshot digests one completed execution: the result value, every
+// Stats counter, and FNV-1a hashes of the architectural register file,
+// the memory image and the dynamic path histogram. Two runs are
+// architecturally identical iff their Snapshots are equal, which makes
+// the type directly comparable (==) and a stable JSON artifact (fixed
+// field set, no maps).
+//
+// The JSON field names are pinned by testdata/machine_digests.json; do
+// not rename them without regenerating the goldens.
+type Snapshot struct {
+	R0          uint64 `json:"r0"`
+	Err         string `json:"err,omitempty"`
+	DynInstrs   int64  `json:"dyn"`
+	Cycles      int64  `json:"cycles"`
+	Loads       int64  `json:"loads"`
+	Stores      int64  `json:"stores"`
+	Marks       int64  `json:"marks"`
+	Mispredicts int64  `json:"mispredicts"`
+	Recoveries  int64  `json:"recoveries"`
+	Detections  int64  `json:"detections"`
+	Faults      int64  `json:"faults"`
+	Reconciles  int64  `json:"reconciles"`
+	CacheHits   int64  `json:"chits"`
+	CacheMisses int64  `json:"cmisses"`
+	PathHash    uint64 `json:"paths"`
+	RegsHash    uint64 `json:"regs"`
+	MemHash     uint64 `json:"mem"`
+}
+
+// Snapshot digests the machine's current state after a run that returned
+// (r0, runErr). The machine is not mutated; taking a snapshot is safe at
+// any quiescent point (i.e. not concurrently with Run).
+func (m *Machine) Snapshot(r0 uint64, runErr error) Snapshot {
+	s := Snapshot{
+		R0:          r0,
+		DynInstrs:   m.Stats.DynInstrs,
+		Cycles:      m.Stats.Cycles,
+		Loads:       m.Stats.Loads,
+		Stores:      m.Stats.Stores,
+		Marks:       m.Stats.Marks,
+		Mispredicts: m.Stats.Mispredicts,
+		Recoveries:  m.Stats.Recoveries,
+		Detections:  m.Stats.Detections,
+		Faults:      m.Stats.Faults,
+		Reconciles:  m.Stats.Reconciles,
+		CacheHits:   m.Stats.CacheHits,
+		CacheMisses: m.Stats.CacheMisses,
+		PathHash:    hashPathLens(m.Stats.PathLens),
+		RegsHash:    hashU64s(m.regWords()),
+		MemHash:     hashU64s(m.Mem),
+	}
+	if runErr != nil {
+		s.Err = runErr.Error()
+	}
+	return s
+}
+
+// regWords serializes the architectural register file in the canonical
+// r0..r15, f0..f31 order the digests are pinned to.
+func (m *Machine) regWords() []uint64 {
+	out := make([]uint64, 0, 48)
+	out = append(out, m.IntRegs()...)
+	out = append(out, m.FloatRegs()...)
+	return out
+}
+
+// hashU64s FNV-1a hashes a word slice in little-endian byte order.
+func hashU64s(ws []uint64) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, w := range ws {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(w >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// hashPathLens FNV-1a hashes the dynamic path histogram in ascending
+// length order (map iteration order must not leak into the digest).
+func hashPathLens(paths map[int64]int64) uint64 {
+	lens := make([]int64, 0, len(paths))
+	for l := range paths {
+		lens = append(lens, l)
+	}
+	sort.Slice(lens, func(i, j int) bool { return lens[i] < lens[j] })
+	h := fnv.New64a()
+	for _, l := range lens {
+		fmt.Fprintf(h, "%d:%d;", l, paths[l])
+	}
+	return h.Sum64()
+}

@@ -1,0 +1,174 @@
+// Hand-rolled Prometheus text-format metrics for idemd: per-endpoint
+// request/error counters and latency histograms, an in-flight gauge,
+// shed (429) counts, and the compile cache's counters. No dependency on
+// a metrics library — the exposition format is plain text and the
+// daemon's metric set is small and fixed (docs/service.md catalogs it).
+package server
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"idemproc/internal/buildcache"
+)
+
+// latencyBuckets are the histogram upper bounds in seconds (a +Inf
+// bucket is implicit).
+var latencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// endpointStats accumulates one path's counters. Guarded by Metrics.mu:
+// the request rate a single simulator-bound daemon sustains is far below
+// the contention point of a mutex, and a mutex keeps the histogram and
+// its sum/count coherent in one shot.
+type endpointStats struct {
+	codes      map[int]int64
+	buckets    []int64 // cumulative form is computed at render time
+	count      int64
+	sumSeconds float64
+	errors     int64 // 4xx + 5xx responses
+}
+
+// Metrics is the daemon's metric registry.
+type Metrics struct {
+	mu        sync.Mutex
+	endpoints map[string]*endpointStats
+
+	// inflight/shed are touched on the hot path before any handler work
+	// and read lock-free by the renderer.
+	inflight atomic.Int64
+	shed     atomic.Int64
+
+	start time.Time
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{endpoints: map[string]*endpointStats{}, start: time.Now()}
+}
+
+// Observe records one finished request.
+func (m *Metrics) Observe(path string, code int, d time.Duration) {
+	sec := d.Seconds()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ep := m.endpoints[path]
+	if ep == nil {
+		ep = &endpointStats{codes: map[int]int64{}, buckets: make([]int64, len(latencyBuckets))}
+		m.endpoints[path] = ep
+	}
+	ep.codes[code]++
+	ep.count++
+	ep.sumSeconds += sec
+	if code >= 400 {
+		ep.errors++
+	}
+	for i, ub := range latencyBuckets {
+		if sec <= ub {
+			ep.buckets[i]++
+			break
+		}
+	}
+}
+
+// Shed records one load-shed (429) rejection; the rejection is also
+// Observed like any response.
+func (m *Metrics) Shed() { m.shed.Add(1) }
+
+// InFlight tracks the in-flight request gauge; call the returned func on
+// completion.
+func (m *Metrics) InFlight() func() {
+	m.inflight.Add(1)
+	return func() { m.inflight.Add(-1) }
+}
+
+// InFlightNow reads the gauge (tests poll this through /metrics).
+func (m *Metrics) InFlightNow() int64 { return m.inflight.Load() }
+
+// Render emits the Prometheus text exposition. Output ordering is
+// deterministic (sorted paths and codes) so scrapes diff cleanly.
+func (m *Metrics) Render(cache buildcache.Stats) string {
+	var b strings.Builder
+
+	m.mu.Lock()
+	paths := make([]string, 0, len(m.endpoints))
+	for p := range m.endpoints {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+
+	fmt.Fprintf(&b, "# HELP idemd_http_requests_total Requests served, by path and status code.\n")
+	fmt.Fprintf(&b, "# TYPE idemd_http_requests_total counter\n")
+	for _, p := range paths {
+		ep := m.endpoints[p]
+		codes := make([]int, 0, len(ep.codes))
+		for c := range ep.codes {
+			codes = append(codes, c)
+		}
+		sort.Ints(codes)
+		for _, c := range codes {
+			fmt.Fprintf(&b, "idemd_http_requests_total{path=%q,code=\"%d\"} %d\n", p, c, ep.codes[c])
+		}
+	}
+
+	fmt.Fprintf(&b, "# HELP idemd_http_request_errors_total 4xx/5xx responses, by path.\n")
+	fmt.Fprintf(&b, "# TYPE idemd_http_request_errors_total counter\n")
+	for _, p := range paths {
+		fmt.Fprintf(&b, "idemd_http_request_errors_total{path=%q} %d\n", p, m.endpoints[p].errors)
+	}
+
+	fmt.Fprintf(&b, "# HELP idemd_http_request_duration_seconds Request latency histogram, by path.\n")
+	fmt.Fprintf(&b, "# TYPE idemd_http_request_duration_seconds histogram\n")
+	for _, p := range paths {
+		ep := m.endpoints[p]
+		cum := int64(0)
+		for i, ub := range latencyBuckets {
+			cum += ep.buckets[i]
+			fmt.Fprintf(&b, "idemd_http_request_duration_seconds_bucket{path=%q,le=\"%g\"} %d\n", p, ub, cum)
+		}
+		fmt.Fprintf(&b, "idemd_http_request_duration_seconds_bucket{path=%q,le=\"+Inf\"} %d\n", p, ep.count)
+		fmt.Fprintf(&b, "idemd_http_request_duration_seconds_sum{path=%q} %.9f\n", p, ep.sumSeconds)
+		fmt.Fprintf(&b, "idemd_http_request_duration_seconds_count{path=%q} %d\n", p, ep.count)
+	}
+	m.mu.Unlock()
+
+	fmt.Fprintf(&b, "# HELP idemd_http_inflight_requests Requests currently being served.\n")
+	fmt.Fprintf(&b, "# TYPE idemd_http_inflight_requests gauge\n")
+	fmt.Fprintf(&b, "idemd_http_inflight_requests %d\n", m.inflight.Load())
+
+	fmt.Fprintf(&b, "# HELP idemd_http_shed_total Requests rejected with 429 by the concurrency limiter.\n")
+	fmt.Fprintf(&b, "# TYPE idemd_http_shed_total counter\n")
+	fmt.Fprintf(&b, "idemd_http_shed_total %d\n", m.shed.Load())
+
+	fmt.Fprintf(&b, "# HELP idemd_buildcache_hits_total Compile cache hits.\n")
+	fmt.Fprintf(&b, "# TYPE idemd_buildcache_hits_total counter\n")
+	fmt.Fprintf(&b, "idemd_buildcache_hits_total %d\n", cache.Hits)
+	fmt.Fprintf(&b, "# HELP idemd_buildcache_misses_total Compile cache misses (compiles started).\n")
+	fmt.Fprintf(&b, "# TYPE idemd_buildcache_misses_total counter\n")
+	fmt.Fprintf(&b, "idemd_buildcache_misses_total %d\n", cache.Misses)
+	fmt.Fprintf(&b, "# HELP idemd_buildcache_evictions_total Entries evicted by the byte bound.\n")
+	fmt.Fprintf(&b, "# TYPE idemd_buildcache_evictions_total counter\n")
+	fmt.Fprintf(&b, "idemd_buildcache_evictions_total %d\n", cache.Evictions)
+	fmt.Fprintf(&b, "# HELP idemd_buildcache_entries Resident cache entries.\n")
+	fmt.Fprintf(&b, "# TYPE idemd_buildcache_entries gauge\n")
+	fmt.Fprintf(&b, "idemd_buildcache_entries %d\n", cache.Distinct)
+	fmt.Fprintf(&b, "# HELP idemd_buildcache_bytes Estimated resident bytes of completed entries.\n")
+	fmt.Fprintf(&b, "# TYPE idemd_buildcache_bytes gauge\n")
+	fmt.Fprintf(&b, "idemd_buildcache_bytes %d\n", cache.BytesInUse)
+	fmt.Fprintf(&b, "# HELP idemd_buildcache_max_bytes Configured cache byte bound (0 = unbounded).\n")
+	fmt.Fprintf(&b, "# TYPE idemd_buildcache_max_bytes gauge\n")
+	fmt.Fprintf(&b, "idemd_buildcache_max_bytes %d\n", cache.MaxBytes)
+	fmt.Fprintf(&b, "# HELP idemd_buildcache_compile_seconds_total Wall time spent compiling, summed across workers.\n")
+	fmt.Fprintf(&b, "# TYPE idemd_buildcache_compile_seconds_total counter\n")
+	fmt.Fprintf(&b, "idemd_buildcache_compile_seconds_total %.9f\n", cache.CompileTime.Seconds())
+
+	fmt.Fprintf(&b, "# HELP idemd_uptime_seconds Seconds since process start.\n")
+	fmt.Fprintf(&b, "# TYPE idemd_uptime_seconds gauge\n")
+	fmt.Fprintf(&b, "idemd_uptime_seconds %.3f\n", time.Since(m.start).Seconds())
+	return b.String()
+}

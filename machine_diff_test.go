@@ -14,12 +14,11 @@
 package idemproc
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
-	"hash/fnv"
 	"os"
-	"sort"
 	"sync"
 	"testing"
 
@@ -35,84 +34,14 @@ var updateDigests = flag.Bool("update-digests", false, "rewrite testdata/machine
 
 const digestPath = "testdata/machine_digests.json"
 
-// digest is the per-run state fingerprint.
-type digest struct {
-	R0          uint64 `json:"r0"`
-	Err         string `json:"err,omitempty"`
-	DynInstrs   int64  `json:"dyn"`
-	Cycles      int64  `json:"cycles"`
-	Loads       int64  `json:"loads"`
-	Stores      int64  `json:"stores"`
-	Marks       int64  `json:"marks"`
-	Mispredicts int64  `json:"mispredicts"`
-	Recoveries  int64  `json:"recoveries"`
-	Detections  int64  `json:"detections"`
-	Faults      int64  `json:"faults"`
-	Reconciles  int64  `json:"reconciles"`
-	CacheHits   int64  `json:"chits"`
-	CacheMisses int64  `json:"cmisses"`
-	PathHash    uint64 `json:"paths"`
-	RegsHash    uint64 `json:"regs"`
-	MemHash     uint64 `json:"mem"`
-}
+// digest is the per-run state fingerprint: the exported machine.Snapshot
+// (its JSON field names are pinned by the golden file, and the idemd
+// service returns the same snapshots from /v1/simulate, so this test
+// also pins the service's digest schema).
+type digest = machine.Snapshot
 
 func digestOf(m *machine.Machine, r0 uint64, err error) digest {
-	d := digest{
-		R0:          r0,
-		DynInstrs:   m.Stats.DynInstrs,
-		Cycles:      m.Stats.Cycles,
-		Loads:       m.Stats.Loads,
-		Stores:      m.Stats.Stores,
-		Marks:       m.Stats.Marks,
-		Mispredicts: m.Stats.Mispredicts,
-		Recoveries:  m.Stats.Recoveries,
-		Detections:  m.Stats.Detections,
-		Faults:      m.Stats.Faults,
-		Reconciles:  m.Stats.Reconciles,
-		CacheHits:   m.Stats.CacheHits,
-		CacheMisses: m.Stats.CacheMisses,
-		PathHash:    hashPaths(m.Stats.PathLens),
-		RegsHash:    hashWords(regWords(m)),
-		MemHash:     hashWords(m.Mem),
-	}
-	if err != nil {
-		d.Err = err.Error()
-	}
-	return d
-}
-
-// regWords serializes the architectural register file in the canonical
-// r0..r15, f0..f31 order the digests are pinned to.
-func regWords(m *machine.Machine) []uint64 {
-	out := make([]uint64, 0, 48)
-	out = append(out, m.IntRegs()...)
-	out = append(out, m.FloatRegs()...)
-	return out
-}
-
-func hashWords(ws []uint64) uint64 {
-	h := fnv.New64a()
-	var buf [8]byte
-	for _, w := range ws {
-		for i := 0; i < 8; i++ {
-			buf[i] = byte(w >> (8 * i))
-		}
-		h.Write(buf[:])
-	}
-	return h.Sum64()
-}
-
-func hashPaths(paths map[int64]int64) uint64 {
-	lens := make([]int64, 0, len(paths))
-	for l := range paths {
-		lens = append(lens, l)
-	}
-	sort.Slice(lens, func(i, j int) bool { return lens[i] < lens[j] })
-	h := fnv.New64a()
-	for _, l := range lens {
-		fmt.Fprintf(h, "%d:%d;", l, paths[l])
-	}
-	return h.Sum64()
+	return m.Snapshot(r0, err)
 }
 
 // schemeCase is one (binary, machine config) cell of the matrix.
@@ -157,7 +86,7 @@ func injections() []fault.Injection {
 func buildFor(t testing.TB, cache *buildcache.Cache, w workloads.Workload, sc schemeCase) *codegen.Program {
 	t.Helper()
 	mo := codegen.ModuleOptions{Core: core.DefaultOptions(), Idempotent: sc.idem}
-	p, _, err := cache.Compile(w, mo)
+	p, _, err := cache.Compile(context.Background(), w, mo)
 	if err != nil {
 		t.Fatalf("%s/%s: compile: %v", w.Name, sc.name, err)
 	}

@@ -1,0 +1,44 @@
+#!/bin/sh
+# bench_serve.sh — the service benchmark behind `make bench-serve`.
+#
+# Boots idemd on a free port and drives the acceptance workload:
+# BENCH_SERVE_REQUESTS requests (default 2000) at concurrency 32, run
+# twice with the same seed. idemload fails the run on any non-200
+# response or on a digest mismatch between the passes, and writes the
+# headline numbers (req/s, p50/p90/p99, cache hit ratio) to
+# BENCH_serve.json.
+set -eu
+
+GO="${GO:-go}"
+REQUESTS="${BENCH_SERVE_REQUESTS:-2000}"
+CONCURRENCY="${BENCH_SERVE_CONCURRENCY:-32}"
+tmp="$(mktemp -d)"
+pid=""
+cleanup() {
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null && wait "$pid" 2>/dev/null
+    rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+"$GO" build -o "$tmp/idemd" ./cmd/idemd
+"$GO" build -o "$tmp/idemload" ./cmd/idemload
+
+"$tmp/idemd" -addr 127.0.0.1:0 -addr-file "$tmp/addr" -quiet &
+pid=$!
+i=0
+while [ ! -f "$tmp/addr" ]; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && { echo "bench-serve: idemd did not start" >&2; exit 1; }
+    sleep 0.1
+done
+
+"$tmp/idemload" -addr "$(cat "$tmp/addr")" \
+    -concurrency "$CONCURRENCY" -requests "$REQUESTS" -seed 1 -repeat 2 \
+    -json BENCH_serve.json
+
+kill -TERM "$pid"
+wait "$pid" || { echo "bench-serve: idemd exited nonzero on drain" >&2; exit 1; }
+pid=""
+
+echo "wrote BENCH_serve.json:"
+cat BENCH_serve.json
