@@ -6,7 +6,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: all build fmt-check vet check test race race-fault bench bench-sim bench-serve bench-quick serve-smoke ci
+.PHONY: all build fmt-check vet check test race race-fault bench bench-sim bench-serve bench-quick serve-smoke chaos-smoke ci
 
 all: build
 
@@ -26,6 +26,7 @@ check: fmt-check vet
 test: check
 	$(GO) test ./...
 	$(MAKE) serve-smoke
+	$(MAKE) chaos-smoke
 
 # serve-smoke is the end-to-end service gate: boot idemd on a free port,
 # fire a seeded idemload burst twice (same seed must yield byte-identical
@@ -35,13 +36,24 @@ test: check
 serve-smoke: build
 	./scripts/serve_smoke.sh
 
+# chaos-smoke is the end-to-end resilience gate: the same seeded load,
+# but routed through the internal/chaos fault proxy (latency, 500s,
+# connection resets, truncated bodies) with retries + hedging enabled.
+# Idempotent re-execution must absorb every injected fault: zero
+# permanently failed requests, zero digest mismatches. See
+# scripts/chaos_smoke.sh and docs/resilience.md.
+chaos-smoke: build
+	./scripts/chaos_smoke.sh
+
 # The race detector multiplies runtime; race-fault covers the concurrent
 # components quickly (campaign engine, simulator, compile cache,
-# experiment engine, idemd service core), race runs the whole tree.
+# experiment engine, idemd service core, resilience/chaos layers and the
+# cmd-level signal paths), race runs the whole tree.
 race-fault:
 	$(GO) test -race ./internal/fault/... ./internal/machine/... \
 		./internal/buildcache/... ./internal/experiments/... \
-		./internal/server/...
+		./internal/server/... ./internal/resilience/... \
+		./internal/chaos/... ./cmd/idemd/... ./cmd/idemload/...
 
 race:
 	$(GO) test -race ./...

@@ -13,7 +13,9 @@
 // /readyz, /metrics. See docs/service.md for the request schema, the
 // metrics catalog and capacity-tuning guidance. SIGINT/SIGTERM drain
 // gracefully: /readyz flips to 503, in-flight requests finish (up to
-// -drain-timeout), then the process exits 0.
+// -drain-timeout), then the process exits 0. A second signal during the
+// drain force-closes every connection and exits 3 immediately, so a
+// stuck drain can always be cut short from the outside.
 package main
 
 import (
@@ -33,18 +35,19 @@ import (
 )
 
 func main() {
-	os.Exit(realMain(os.Args[1:], os.Stderr, signalContext))
+	// Buffered for two deliveries: the graceful drain and the hard exit.
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	os.Exit(realMain(os.Args[1:], os.Stderr, sigs))
 }
 
-// signalContext is the production signal hook; tests substitute their own
-// to trigger drains without delivering real signals.
-func signalContext() (context.Context, context.CancelFunc) {
-	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-}
+// exitHardStop distinguishes a forced shutdown (second signal while
+// draining) from a clean drain (0) and an error (1) for supervisors.
+const exitHardStop = 3
 
-// realMain is main with injectable args, log stream and signal hook so
-// tests can assert on exit codes and drain behavior.
-func realMain(args []string, stderr io.Writer, signals func() (context.Context, context.CancelFunc)) int {
+// realMain is main with injectable args, log stream and signal channel
+// so tests can assert on exit codes and drain behavior.
+func realMain(args []string, stderr io.Writer, sigs <-chan os.Signal) int {
 	fs := flag.NewFlagSet("idemd", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -99,9 +102,6 @@ func realMain(args []string, stderr io.Writer, signals func() (context.Context, 
 		}
 	}
 
-	ctx, stop := signals()
-	defer stop()
-
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(l) }()
 
@@ -112,21 +112,37 @@ func realMain(args []string, stderr io.Writer, signals func() (context.Context, 
 			return 1
 		}
 		return 0
-	case <-ctx.Done():
+	case <-sigs:
 	}
 
+	// First signal: graceful drain in the background so a second signal
+	// can still be heard. In-flight requests run to completion (up to
+	// -drain-timeout); a second signal force-closes everything —
+	// connection teardown cancels request contexts, which preempts any
+	// running simulations within the poll budget.
 	logf("idemd: draining (timeout %s)", *drainTimeout)
-	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
-	defer cancel()
-	code := 0
-	if err := srv.Shutdown(dctx); err != nil {
-		fmt.Fprintf(stderr, "idemd: drain: %v\n", err)
-		code = 1
+	drainDone := make(chan int, 1)
+	go func() {
+		dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		code := 0
+		if err := srv.Shutdown(dctx); err != nil {
+			fmt.Fprintf(stderr, "idemd: drain: %v\n", err)
+			code = 1
+		}
+		if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(stderr, "idemd: serve: %v\n", err)
+			code = 1
+		}
+		drainDone <- code
+	}()
+	select {
+	case code := <-drainDone:
+		logf("idemd: stopped")
+		return code
+	case <-sigs:
+		fmt.Fprintln(stderr, "idemd: second signal during drain, forcing exit")
+		srv.Close()
+		return exitHardStop
 	}
-	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
-		fmt.Fprintf(stderr, "idemd: serve: %v\n", err)
-		code = 1
-	}
-	logf("idemd: stopped")
-	return code
 }

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// launch runs realMain in a goroutine against a fresh port and waits
+// for the addr file, returning the bound address, the signal channel
+// and the exit-code channel.
+func launch(t *testing.T, extra ...string) (addr string, sigs chan os.Signal, exit chan int) {
+	t.Helper()
+	addrFile := filepath.Join(t.TempDir(), "addr")
+	sigs = make(chan os.Signal, 2)
+	exit = make(chan int, 1)
+	args := append([]string{"-addr", "127.0.0.1:0", "-addr-file", addrFile, "-quiet"}, extra...)
+	go func() { exit <- realMain(args, io.Discard, sigs) }()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		b, err := os.ReadFile(addrFile)
+		if err == nil {
+			return strings.TrimSpace(string(b)), sigs, exit
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("daemon never wrote its addr file")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func waitExit(t *testing.T, exit chan int, within time.Duration) int {
+	t.Helper()
+	select {
+	case code := <-exit:
+		return code
+	case <-time.After(within):
+		t.Fatal("daemon did not exit in time")
+		return -1
+	}
+}
+
+// TestGracefulDrainExitsZero: one signal, idle daemon, clean exit.
+func TestGracefulDrainExitsZero(t *testing.T) {
+	addr, sigs, exit := launch(t)
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	sigs <- syscall.SIGTERM
+	if code := waitExit(t, exit, 15*time.Second); code != 0 {
+		t.Fatalf("graceful drain exit = %d, want 0", code)
+	}
+}
+
+// TestSecondSignalForcesHardExit: a long simulation holds the drain
+// open; the second SIGTERM must cut it short with the distinct hard-
+// exit code instead of waiting out the drain timeout.
+func TestSecondSignalForcesHardExit(t *testing.T) {
+	// Long drain timeout: if the hard-exit path is broken this test
+	// fails by timeout rather than passing by accident.
+	addr, sigs, exit := launch(t, "-drain-timeout", "5m", "-request-timeout", "5m")
+
+	// Park a slow simulation in the server (~200M instructions, well
+	// under the step cap but minutes of wall time under -race).
+	body := []byte(`{"source": "func main(int n) int {\n int s = 0;\n int t = 1;\n for (int i = 0; i < n; i = i + 1) { s = s + i; t = t + s; }\n return s + t;\n}\n", "args": [200000000]}`)
+	reqErr := make(chan error, 1)
+	go func() {
+		resp, err := http.Post("http://"+addr+"/v1/simulate", "application/json", bytes.NewReader(body))
+		if err == nil {
+			resp.Body.Close()
+		}
+		reqErr <- err
+	}()
+
+	// Wait until the simulate request is actually in flight: the scrape
+	// itself counts in the gauge, so look for >= 2.
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		resp, err := http.Get("http://" + addr + "/metrics")
+		inFlight := 0
+		if err == nil {
+			b, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			for _, line := range strings.Split(string(b), "\n") {
+				if v, ok := strings.CutPrefix(line, "idemd_http_inflight_requests "); ok {
+					fmt.Sscanf(v, "%d", &inFlight)
+				}
+			}
+		}
+		if inFlight >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("slow simulation never showed up in flight")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// First signal starts the drain (which the parked simulation holds
+	// open); the second must force the hard exit immediately.
+	sigs <- syscall.SIGTERM
+	sigs <- syscall.SIGTERM
+	if code := waitExit(t, exit, 20*time.Second); code != exitHardStop {
+		t.Fatalf("hard exit code = %d, want %d", code, exitHardStop)
+	}
+	// The abandoned request observes a transport error, not a response.
+	if err := <-reqErr; err == nil {
+		t.Error("in-flight request completed cleanly despite the forced exit")
+	}
+}

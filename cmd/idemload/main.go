@@ -10,37 +10,59 @@
 //	idemload -addr $(cat /tmp/idemd.addr) -repeat 2 -min-hit-ratio 0.5
 //	idemload -addr ... -json BENCH_serve.json
 //
-// Exit status is nonzero on any transport error, any non-200 response,
-// a digest mismatch between repeats, or an unmet -min-hit-ratio /
-// -min-evictions assertion (scraped from the daemon's /metrics, so
-// smoke-test scripts need no curl/jq).
+// Resilience and chaos: -retries/-hedge-after enable idempotence-
+// justified re-execution through internal/resilience, and -chaos-seed
+// interposes a seeded internal/chaos fault proxy between the generator
+// and the daemon — together they run the end-to-end campaign that
+// docs/resilience.md describes: under injected transport faults the
+// client must converge to the same digest a fault-free run produces.
+//
+//	idemload -addr ... -chaos-seed 7 -chaos-rates 10,6,6,6 -retries 8 -hedge-after 75ms
+//
+// Exit status is nonzero on any permanently failed request, any
+// non-200 response, a digest or idempotence mismatch, or an unmet
+// -min-hit-ratio / -min-evictions assertion (scraped from the daemon's
+// /metrics, so smoke-test scripts need no curl/jq). SIGINT/SIGTERM
+// flushes partial -json results and exits 130.
 package main
 
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"hash/fnv"
 	"io"
 	"net/http"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
+	"idemproc/internal/chaos"
+	"idemproc/internal/resilience"
 	"idemproc/internal/server"
 )
 
 func main() {
-	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr, sigs))
 }
 
-func realMain(args []string, stdout, stderr io.Writer) int {
+// exitInterrupted is the conventional 128+SIGINT code: the run was cut
+// short but partial results were flushed.
+const exitInterrupted = 130
+
+func realMain(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) int {
 	fs := flag.NewFlagSet("idemload", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -55,6 +77,13 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		minHitRatio  = fs.Float64("min-hit-ratio", -1, "assert the daemon's compile-cache hit ratio is at least this (scraped from /metrics; <0 disables)")
 		minEvictions = fs.Int64("min-evictions", -1, "assert at least this many compile-cache evictions (<0 disables)")
 		quiet        = fs.Bool("quiet", false, "suppress the per-pass progress line")
+
+		retries    = fs.Int("retries", 0, "re-execute failed requests up to this many times (safe: responses are idempotent)")
+		hedgeAfter = fs.Duration("hedge-after", 0, "launch a hedged duplicate if a request is still in flight after this long (0 disables)")
+		breakerThr = fs.Int("breaker-threshold", 8, "open the retry circuit breaker after this many consecutive failures (0 disables)")
+		chaosSeed  = fs.Uint64("chaos-seed", 0, "interpose a seeded fault-injection proxy (0 disables)")
+		chaosRates = fs.String("chaos-rates", "10,6,6,6", "latency,error500,reset,truncate fault percentages for -chaos-seed")
+		metricsOut = fs.String("metrics-out", "", "write client-side resilience counters (Prometheus text) to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -69,19 +98,144 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	base := "http://" + *addr
-	client := &http.Client{Timeout: *timeout}
+	// Signal handling: first signal cancels the run context; workers
+	// stop picking up requests and the partial pass is flushed.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var interrupted atomic.Bool
+	sigDone := make(chan struct{})
+	defer close(sigDone)
+	go func() {
+		select {
+		case <-sigs:
+			interrupted.Store(true)
+			cancel()
+		case <-sigDone:
+		}
+	}()
 
+	// The scrape always goes straight to the daemon; only /v1 traffic is
+	// routed through the chaos proxy, so fault accounting and cache
+	// assertions see the server's ground truth.
+	scrapeBase := "http://" + *addr
+	trafficBase := scrapeBase
+	var proxy *chaos.Proxy
+	if *chaosSeed != 0 {
+		rates, err := parseChaosRates(*chaosRates)
+		if err != nil {
+			fmt.Fprintf(stderr, "idemload: %v\n", err)
+			return 2
+		}
+		proxy, err = chaos.NewProxy(*addr, chaos.Config{
+			Seed:    *chaosSeed,
+			Default: rates,
+			// Keep the observation plane clean even if someone scrapes
+			// through the proxy.
+			PerPath: map[string]chaos.Rates{"/metrics": {}, "/healthz": {}, "/readyz": {}},
+		})
+		if err != nil {
+			fmt.Fprintf(stderr, "idemload: %v\n", err)
+			return 1
+		}
+		defer proxy.Close()
+		trafficBase = "http://" + proxy.Addr()
+		if !*quiet {
+			fmt.Fprintf(stdout, "chaos: proxy %s -> %s (seed %d, rates %s)\n", proxy.Addr(), *addr, *chaosSeed, *chaosRates)
+		}
+	}
+
+	client := &http.Client{Timeout: *timeout}
+	var rc *resilience.Client
+	if *retries > 0 || *hedgeAfter > 0 {
+		rc = resilience.NewClient(resilience.Policy{
+			MaxRetries:       *retries,
+			HedgeAfter:       *hedgeAfter,
+			Seed:             *seed,
+			VerifyIdentical:  *hedgeAfter > 0,
+			BreakerThreshold: *breakerThr,
+		})
+	}
+
+	// flush writes whatever has been measured so far; it runs on the
+	// happy path, on mid-run failure and on interrupt, so a long
+	// campaign never loses its measurements to a late error.
+	start := time.Now()
 	var digests []uint64
 	var last passResult
-	start := time.Now()
+	completedPasses := 0
+	flush := func(failure string) {
+		if *metricsOut != "" && rc != nil {
+			var b bytes.Buffer
+			rc.Counters().WriteProm(&b, "idemload_resilience")
+			if err := os.WriteFile(*metricsOut, b.Bytes(), 0o644); err != nil {
+				fmt.Fprintf(stderr, "idemload: %v\n", err)
+			}
+		}
+		if *jsonOut == "" {
+			return
+		}
+		summary := map[string]any{
+			"bench":              "serve",
+			"requests":           *requests,
+			"concurrency":        *concurrency,
+			"seed":               *seed,
+			"repeats":            *repeat,
+			"completed_passes":   completedPasses,
+			"completed_requests": last.completed,
+			"interrupted":        interrupted.Load(),
+			"elapsed_sec":        time.Since(start).Seconds(),
+			"req_per_sec":        last.reqPerSec,
+			"p50_ms":             last.p50.Seconds() * 1e3,
+			"p90_ms":             last.p90.Seconds() * 1e3,
+			"p99_ms":             last.p99.Seconds() * 1e3,
+			"errors":             last.errors,
+		}
+		if failure != "" {
+			summary["failure"] = failure
+		}
+		if len(digests) > 0 {
+			summary["digest"] = fmt.Sprintf("%016x", digests[0])
+		}
+		if cache, err := scrapeServer(client, scrapeBase); err == nil {
+			summary["cache"] = map[string]any{
+				"hits": cache.hits, "misses": cache.misses,
+				"hit_ratio": cache.hitRatio(), "evictions": cache.evictions,
+			}
+			summary["server"] = map[string]any{"sim_preempted": cache.simPreempted}
+		}
+		if rc != nil {
+			summary["resilience"] = rc.Counters()
+		}
+		if proxy != nil {
+			summary["chaos"] = map[string]any{
+				"seed": *chaosSeed, "rates": *chaosRates, "injected": proxy.Counters(),
+			}
+		}
+		b, _ := json.MarshalIndent(summary, "", "  ")
+		if err := os.WriteFile(*jsonOut, append(b, '\n'), 0o644); err != nil {
+			fmt.Fprintf(stderr, "idemload: %v\n", err)
+			return
+		}
+		if !*quiet {
+			fmt.Fprintf(stdout, "wrote %s\n", *jsonOut)
+		}
+	}
+
+	send := makeSender(client, trafficBase, rc)
 	for pass := 0; pass < *repeat; pass++ {
-		res := runPass(client, base, *seed, *requests, *concurrency, weights)
+		res := runPass(ctx, send, *seed, *requests, *concurrency, weights)
+		last = res
+		if interrupted.Load() {
+			fmt.Fprintf(stderr, "idemload: interrupted during pass %d after %d/%d requests\n", pass, res.completed, *requests)
+			flush("interrupted")
+			return exitInterrupted
+		}
 		if res.errors > 0 {
 			for _, s := range res.errSamples {
 				fmt.Fprintf(stderr, "idemload: %s\n", s)
 			}
 			fmt.Fprintf(stderr, "idemload: pass %d: %d/%d requests failed\n", pass, res.errors, *requests)
+			flush("requests failed")
 			return 1
 		}
 		if !*quiet {
@@ -90,23 +244,41 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 				res.p50.Seconds()*1e3, res.p90.Seconds()*1e3, res.p99.Seconds()*1e3, res.digest)
 		}
 		digests = append(digests, res.digest)
-		last = res
+		completedPasses++
 	}
-	elapsed := time.Since(start)
 
 	for i := 1; i < len(digests); i++ {
 		if digests[i] != digests[0] {
 			fmt.Fprintf(stderr, "idemload: digest mismatch: pass 0 %016x != pass %d %016x (responses are not deterministic)\n",
 				digests[0], i, digests[i])
+			flush("digest mismatch between passes")
 			return 1
 		}
+	}
+	if rc != nil {
+		s := rc.Counters()
+		if !*quiet {
+			fmt.Fprintf(stdout, "resilience: %d attempts, %d retries, %d hedges (%d wins), %d breaker opens, %d mismatches\n",
+				s.Attempts, s.Retries, s.Hedges, s.HedgeWins, s.BreakerOpens, s.Mismatches)
+		}
+		if s.Mismatches > 0 {
+			fmt.Fprintf(stderr, "idemload: %d idempotence violations: re-executed requests produced diverging responses\n", s.Mismatches)
+			flush("idempotence violation")
+			return 1
+		}
+	}
+	if proxy != nil && !*quiet {
+		c := proxy.Counters()
+		fmt.Fprintf(stdout, "chaos: injected %d latencies, %d errors, %d resets, %d truncations over %d requests\n",
+			c.Latencies, c.Errors500, c.Resets, c.Truncates, c.Requests)
 	}
 
 	// Scrape the daemon's own view of the compile cache; assertions here
 	// keep smoke scripts free of curl/jq.
-	cache, err := scrapeCache(client, base)
+	cache, err := scrapeServer(client, scrapeBase)
 	if err != nil {
 		fmt.Fprintf(stderr, "idemload: metrics scrape: %v\n", err)
+		flush("metrics scrape failed")
 		return 1
 	}
 	if !*quiet {
@@ -115,41 +287,16 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	}
 	if *minHitRatio >= 0 && cache.hitRatio() < *minHitRatio {
 		fmt.Fprintf(stderr, "idemload: cache hit ratio %.3f below required %.3f\n", cache.hitRatio(), *minHitRatio)
+		flush("hit-ratio assertion failed")
 		return 1
 	}
 	if *minEvictions >= 0 && cache.evictions < *minEvictions {
 		fmt.Fprintf(stderr, "idemload: %d cache evictions below required %d\n", cache.evictions, *minEvictions)
+		flush("eviction assertion failed")
 		return 1
 	}
 
-	if *jsonOut != "" {
-		summary := map[string]any{
-			"bench":       "serve",
-			"requests":    *requests,
-			"concurrency": *concurrency,
-			"seed":        *seed,
-			"repeats":     *repeat,
-			"elapsed_sec": elapsed.Seconds(),
-			"req_per_sec": last.reqPerSec,
-			"p50_ms":      last.p50.Seconds() * 1e3,
-			"p90_ms":      last.p90.Seconds() * 1e3,
-			"p99_ms":      last.p99.Seconds() * 1e3,
-			"errors":      0,
-			"digest":      fmt.Sprintf("%016x", digests[0]),
-			"cache": map[string]any{
-				"hits": cache.hits, "misses": cache.misses,
-				"hit_ratio": cache.hitRatio(), "evictions": cache.evictions,
-			},
-		}
-		b, _ := json.MarshalIndent(summary, "", "  ")
-		if err := os.WriteFile(*jsonOut, append(b, '\n'), 0o644); err != nil {
-			fmt.Fprintf(stderr, "idemload: %v\n", err)
-			return 1
-		}
-		if !*quiet {
-			fmt.Fprintf(stdout, "wrote %s\n", *jsonOut)
-		}
-	}
+	flush("")
 	return 0
 }
 
@@ -175,23 +322,64 @@ func parseMix(s string) ([3]int, error) {
 	return w, nil
 }
 
+// parseChaosRates parses "latency,error500,reset,truncate" percentages.
+func parseChaosRates(s string) (chaos.Rates, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 4 {
+		return chaos.Rates{}, fmt.Errorf("-chaos-rates wants four comma-separated percentages, got %q", s)
+	}
+	var v [4]float64
+	for i, p := range parts {
+		n, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil || n < 0 || n > 100 {
+			return chaos.Rates{}, fmt.Errorf("-chaos-rates value %q must be a percentage in [0, 100]", p)
+		}
+		v[i] = n / 100
+	}
+	return chaos.Rates{Latency: v[0], Error500: v[1], Reset: v[2], Truncate: v[3]}, nil
+}
+
 // ---------------------------------------------------------------------
 // One pass: fire every request, digest bodies in index order.
 
 type passResult struct {
-	digest     uint64
-	elapsed    time.Duration
-	reqPerSec  float64
-	p50        time.Duration
-	p90        time.Duration
-	p99        time.Duration
+	digest    uint64
+	elapsed   time.Duration
+	reqPerSec float64
+	p50       time.Duration
+	p90       time.Duration
+	p99       time.Duration
+	// completed counts requests that got a checked 200 before the pass
+	// ended; on an interrupted pass this is the partial progress.
+	completed  int
 	errors     int64
 	errSamples []string
 }
 
-func runPass(client *http.Client, base string, seed uint64, n, concurrency int, weights [3]int) passResult {
+// sender executes one request (possibly with retries/hedging behind it).
+// key is the request index, feeding the deterministic jitter stream.
+type sender func(ctx context.Context, key uint64, path string, body []byte) (int, []byte, error)
+
+// makeSender builds the pass's transport: a bare ctx-aware POST, or the
+// same POST wrapped in the resilience client when one is configured.
+func makeSender(client *http.Client, base string, rc *resilience.Client) sender {
+	if rc == nil {
+		return func(ctx context.Context, _ uint64, path string, body []byte) (int, []byte, error) {
+			return post(ctx, client, base+path, body)
+		}
+	}
+	return func(ctx context.Context, key uint64, path string, body []byte) (int, []byte, error) {
+		res, err := rc.Do(ctx, key, func(ctx context.Context) (int, []byte, error) {
+			return post(ctx, client, base+path, body)
+		})
+		return res.Status, res.Body, err
+	}
+}
+
+func runPass(ctx context.Context, send sender, seed uint64, n, concurrency int, weights [3]int) passResult {
 	hashes := make([]uint64, n)
 	lats := make([]time.Duration, n)
+	done := make([]bool, n)
 	var errCount atomic.Int64
 	var mu sync.Mutex
 	var samples []string
@@ -209,14 +397,18 @@ func runPass(client *http.Client, base string, seed uint64, n, concurrency int, 
 			defer wg.Done()
 			for {
 				i := int(next.Add(1))
-				if i >= n {
+				if i >= n || ctx.Err() != nil {
 					return
 				}
 				path, body := genRequest(seed, i, weights)
 				t0 := time.Now()
-				status, resp, err := post(client, base+path, body)
+				status, resp, err := send(ctx, uint64(i), path, body)
 				lats[i] = time.Since(t0)
 				if err != nil || status != http.StatusOK {
+					if ctx.Err() != nil && (err == nil || errors.Is(err, context.Canceled)) {
+						// Interrupted mid-request: not a server failure.
+						return
+					}
 					errCount.Add(1)
 					mu.Lock()
 					if len(samples) < 5 {
@@ -232,6 +424,7 @@ func runPass(client *http.Client, base string, seed uint64, n, concurrency int, 
 				h := fnv.New64a()
 				h.Write(resp)
 				hashes[i] = h.Sum64()
+				done[i] = true
 			}
 		}()
 	}
@@ -242,33 +435,51 @@ func runPass(client *http.Client, base string, seed uint64, n, concurrency int, 
 	// independent of completion order.
 	agg := fnv.New64a()
 	var buf [8]byte
-	for _, hv := range hashes {
+	completed := 0
+	var sorted []time.Duration
+	for i, hv := range hashes {
 		for b := 0; b < 8; b++ {
 			buf[b] = byte(hv >> (8 * b))
 		}
 		agg.Write(buf[:])
+		if done[i] {
+			completed++
+			sorted = append(sorted, lats[i])
+		}
 	}
 
-	sorted := append([]time.Duration(nil), lats...)
 	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
 	pct := func(p float64) time.Duration {
+		if len(sorted) == 0 {
+			return 0
+		}
 		idx := int(p * float64(len(sorted)-1))
 		return sorted[idx]
+	}
+	rate := 0.0
+	if elapsed > 0 {
+		rate = float64(completed) / elapsed.Seconds()
 	}
 	return passResult{
 		digest:     agg.Sum64(),
 		elapsed:    elapsed,
-		reqPerSec:  float64(n) / elapsed.Seconds(),
+		reqPerSec:  rate,
 		p50:        pct(0.50),
 		p90:        pct(0.90),
 		p99:        pct(0.99),
+		completed:  completed,
 		errors:     errCount.Load(),
 		errSamples: samples,
 	}
 }
 
-func post(client *http.Client, url string, body []byte) (int, []byte, error) {
-	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+func post(ctx context.Context, client *http.Client, url string, body []byte) (int, []byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
 	if err != nil {
 		return 0, nil, err
 	}
@@ -388,21 +599,23 @@ func genRequest(seed uint64, index int, weights [3]int) (string, []byte) {
 }
 
 // ---------------------------------------------------------------------
-// /metrics scrape (Prometheus text format, only the three cache counters).
+// /metrics scrape (Prometheus text format; cache and preemption
+// counters only).
 
-type cacheCounters struct {
+type serverCounters struct {
 	hits, misses, evictions int64
+	simPreempted            int64
 }
 
-func (c cacheCounters) hitRatio() float64 {
+func (c serverCounters) hitRatio() float64 {
 	if c.hits+c.misses == 0 {
 		return 0
 	}
 	return float64(c.hits) / float64(c.hits+c.misses)
 }
 
-func scrapeCache(client *http.Client, base string) (cacheCounters, error) {
-	var out cacheCounters
+func scrapeServer(client *http.Client, base string) (serverCounters, error) {
+	var out serverCounters
 	resp, err := client.Get(base + "/metrics")
 	if err != nil {
 		return out, err
@@ -421,6 +634,7 @@ func scrapeCache(client *http.Client, base string) (cacheCounters, error) {
 			{"idemd_buildcache_hits_total ", &out.hits},
 			{"idemd_buildcache_misses_total ", &out.misses},
 			{"idemd_buildcache_evictions_total ", &out.evictions},
+			{"idemd_sim_preempted_total ", &out.simPreempted},
 		} {
 			if v, ok := strings.CutPrefix(line, m.name); ok {
 				n, err := strconv.ParseInt(strings.TrimSpace(v), 10, 64)

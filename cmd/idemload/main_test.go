@@ -1,0 +1,186 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"idemproc/internal/server"
+)
+
+// startServer boots a real idemd core on a loopback port and returns
+// its address. The listener and connections die with the test.
+func startServer(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Generous request timeout and a low step cap: simulations run an
+	// order of magnitude slower under -race, and this test is about
+	// transport faults, not simulator throughput. A step-capped run
+	// still yields a deterministic 200 (the cap lands in the report's
+	// error field), which is all the digest needs.
+	srv := server.New(server.Config{
+		RequestTimeout: 5 * time.Minute,
+		MaxSimSteps:    1 << 22,
+	})
+	go srv.Serve(l)
+	t.Cleanup(func() { srv.Close() })
+	return l.Addr().String()
+}
+
+// loadSummary reads a -json output file.
+func loadSummary(t *testing.T, path string) map[string]any {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatalf("parsing %s: %v", path, err)
+	}
+	return m
+}
+
+// TestChaosCampaignConverges is the end-to-end resilience proof: a
+// seeded fault proxy injects latency, 500s, connection resets and
+// truncated bodies, and with retries + hedging enabled the campaign
+// must still finish with zero permanently failed requests, zero
+// idempotence mismatches, and the *same* response digest as a
+// fault-free run — recovery by re-execution, end to end. Rerunning the
+// same chaos seed must reproduce the same outcome.
+func TestChaosCampaignConverges(t *testing.T) {
+	addr := startServer(t)
+	dir := t.TempDir()
+
+	run := func(name string, extra ...string) map[string]any {
+		t.Helper()
+		out := filepath.Join(dir, name+".json")
+		args := append([]string{
+			"-addr", addr, "-requests", "32", "-concurrency", "8",
+			"-seed", "11", "-quiet", "-json", out,
+		}, extra...)
+		var stdout, stderr bytes.Buffer
+		if code := realMain(args, &stdout, &stderr, nil); code != 0 {
+			t.Fatalf("%s: exit %d\nstdout: %s\nstderr: %s", name, code, stdout.String(), stderr.String())
+		}
+		return loadSummary(t, out)
+	}
+
+	clean := run("clean")
+	// The hedge threshold sits above typical request latency so only the
+	// genuine tail hedges — hedging every heavy simulation would double
+	// server work and (under -race) the test's wall time.
+	chaosArgs := []string{
+		"-chaos-seed", "3", "-chaos-rates", "12,8,8,8",
+		"-retries", "8", "-hedge-after", "500ms",
+	}
+	chaotic := run("chaos", chaosArgs...)
+	replay := run("chaos-replay", chaosArgs...)
+
+	// Zero lost requests, zero mismatches, same digest as fault-free.
+	if got, want := chaotic["digest"], clean["digest"]; got != want {
+		t.Errorf("chaos digest %v != clean digest %v — faults changed responses", got, want)
+	}
+	res, ok := chaotic["resilience"].(map[string]any)
+	if !ok {
+		t.Fatalf("summary has no resilience section: %v", chaotic)
+	}
+	if mm := res["digest_mismatches"].(float64); mm != 0 {
+		t.Errorf("digest_mismatches = %v, want 0", mm)
+	}
+	if fails := res["failures"].(float64); fails != 0 {
+		t.Errorf("permanent failures = %v, want 0", fails)
+	}
+	if errs := chaotic["errors"].(float64); errs != 0 {
+		t.Errorf("errors = %v, want 0", errs)
+	}
+
+	// The campaign must actually have injected faults — otherwise the
+	// test proves nothing.
+	ch, ok := chaotic["chaos"].(map[string]any)
+	if !ok {
+		t.Fatalf("summary has no chaos section: %v", chaotic)
+	}
+	inj := ch["injected"].(map[string]any)
+	faults := inj["errors_500"].(float64) + inj["resets"].(float64) + inj["truncates"].(float64)
+	if faults == 0 {
+		t.Error("chaos proxy injected no faults; campaign was vacuous")
+	}
+	if res["retries"].(float64) == 0 {
+		t.Error("no retries happened despite injected faults")
+	}
+
+	// Same seed, same outcome: the converged digest is reproducible.
+	if got, want := replay["digest"], chaotic["digest"]; got != want {
+		t.Errorf("replayed chaos digest %v != first chaos digest %v", got, want)
+	}
+}
+
+// TestInterruptFlushesPartialJSON: SIGINT mid-pass must flush the
+// partial summary (interrupted: true, completed < requested) and exit
+// 130 instead of discarding the measurements.
+func TestInterruptFlushesPartialJSON(t *testing.T) {
+	addr := startServer(t)
+	out := filepath.Join(t.TempDir(), "partial.json")
+
+	sigs := make(chan os.Signal, 2)
+	go func() {
+		time.Sleep(300 * time.Millisecond)
+		sigs <- os.Interrupt
+	}()
+
+	var stdout, stderr bytes.Buffer
+	code := realMain([]string{
+		"-addr", addr, "-requests", "1000000", "-concurrency", "4",
+		"-seed", "2", "-quiet", "-json", out,
+	}, &stdout, &stderr, sigs)
+	if code != exitInterrupted {
+		t.Fatalf("exit = %d, want %d\nstderr: %s", code, exitInterrupted, stderr.String())
+	}
+
+	m := loadSummary(t, out)
+	if m["interrupted"] != true {
+		t.Errorf("interrupted = %v, want true", m["interrupted"])
+	}
+	completed := m["completed_requests"].(float64)
+	if completed <= 0 || completed >= 1000000 {
+		t.Errorf("completed_requests = %v, want a partial count", completed)
+	}
+}
+
+// TestMidRunFailureFlushesJSON: a permanently failing run (no server
+// behind the address) still writes the summary with a failure note and
+// exits 1.
+func TestMidRunFailureFlushesJSON(t *testing.T) {
+	// Grab a port and close it again: connections will be refused.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	out := filepath.Join(t.TempDir(), "failed.json")
+	var stdout, stderr bytes.Buffer
+	code := realMain([]string{
+		"-addr", addr, "-requests", "4", "-concurrency", "2",
+		"-quiet", "-json", out,
+	}, &stdout, &stderr, nil)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	m := loadSummary(t, out)
+	if m["failure"] != "requests failed" {
+		t.Errorf("failure = %v, want %q", m["failure"], "requests failed")
+	}
+	if m["errors"].(float64) == 0 {
+		t.Error("errors = 0 in a failed run's summary")
+	}
+}

@@ -1,0 +1,196 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// okHandler replies 200 with a fixed body.
+func okHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "payload-0123456789-payload")
+	})
+}
+
+// TestReset: at rate 1.0 every request dies with a transport error
+// before any response.
+func TestReset(t *testing.T) {
+	inj := Wrap(okHandler(), Config{Seed: 1, Default: Rates{Reset: 1}})
+	srv := httptest.NewServer(inj)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/x")
+	if err == nil {
+		resp.Body.Close()
+		t.Fatalf("got status %d, want transport error", resp.StatusCode)
+	}
+	if got := inj.Counters().Resets; got != 1 {
+		t.Errorf("resets = %d, want 1", got)
+	}
+}
+
+// TestError500: at rate 1.0 every request gets an injected 500 and the
+// wrapped handler never runs.
+func TestError500(t *testing.T) {
+	reached := false
+	next := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { reached = true })
+	inj := Wrap(next, Config{Seed: 1, Default: Rates{Error500: 1}})
+	srv := httptest.NewServer(inj)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 500 {
+		t.Fatalf("status = %d, want 500", resp.StatusCode)
+	}
+	if reached {
+		t.Error("wrapped handler ran despite injected 500")
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "chaos: injected") {
+		t.Errorf("body %q does not identify the injection", body)
+	}
+}
+
+// TestTruncate: the client sees valid headers with the full
+// Content-Length but the body stops short (unexpected EOF).
+func TestTruncate(t *testing.T) {
+	inj := Wrap(okHandler(), Config{Seed: 1, Default: Rates{Truncate: 1}})
+	srv := httptest.NewServer(inj)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d, want 200 (truncation is a body fault)", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err == nil {
+		t.Fatalf("read %q cleanly, want unexpected EOF", body)
+	}
+	if !errors.Is(err, io.ErrUnexpectedEOF) && !strings.Contains(err.Error(), "EOF") {
+		t.Errorf("err = %v, want an EOF-shaped error", err)
+	}
+	if len(body) >= len("payload-0123456789-payload") {
+		t.Errorf("got %d body bytes, want a truncated prefix", len(body))
+	}
+}
+
+// TestLatency: at rate 1.0 requests are delayed by at least LatencyMin.
+func TestLatency(t *testing.T) {
+	inj := Wrap(okHandler(), Config{Seed: 1, Default: Rates{
+		Latency: 1, LatencyMin: 20 * time.Millisecond, LatencyMax: 30 * time.Millisecond,
+	}})
+	srv := httptest.NewServer(inj)
+	defer srv.Close()
+
+	start := time.Now()
+	resp, err := http.Get(srv.URL + "/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Errorf("request took %v, want >= 20ms injected latency", d)
+	}
+	if got := inj.Counters().Latencies; got != 1 {
+		t.Errorf("latencies = %d, want 1", got)
+	}
+}
+
+// TestPerPathOverride: /metrics stays clean while the default path
+// takes 100% faults.
+func TestPerPathOverride(t *testing.T) {
+	inj := Wrap(okHandler(), Config{
+		Seed:    1,
+		Default: Rates{Error500: 1},
+		PerPath: map[string]Rates{"/metrics": {}},
+	})
+	srv := httptest.NewServer(inj)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("/metrics status = %d, want clean 200", resp.StatusCode)
+	}
+	resp, err = http.Get(srv.URL + "/v1/simulate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 500 {
+		t.Errorf("default path status = %d, want injected 500", resp.StatusCode)
+	}
+}
+
+// TestDeterministicSchedule: two injectors with the same seed make the
+// same fault decisions for the same request sequence; a different seed
+// diverges somewhere.
+func TestDeterministicSchedule(t *testing.T) {
+	run := func(seed uint64) []int {
+		inj := Wrap(okHandler(), Config{Seed: seed, Default: Rates{Error500: 0.4}})
+		srv := httptest.NewServer(inj)
+		defer srv.Close()
+		var codes []int
+		for i := 0; i < 40; i++ {
+			resp, err := http.Get(srv.URL + "/x")
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			codes = append(codes, resp.StatusCode)
+		}
+		return codes
+	}
+	a, b, c := run(7), run(7), run(8)
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Errorf("same seed, different schedules:\n%v\n%v", a, b)
+	}
+	if fmt.Sprint(a) == fmt.Sprint(c) {
+		t.Errorf("seeds 7 and 8 produced identical 40-request schedules")
+	}
+}
+
+// TestProxyPassThrough: a zero-rate proxy forwards bodies unchanged.
+func TestProxyPassThrough(t *testing.T) {
+	backend := httptest.NewServer(okHandler())
+	defer backend.Close()
+
+	p, err := NewProxy(strings.TrimPrefix(backend.URL, "http://"), Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	resp, err := http.Get("http://" + p.Addr() + "/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(body) != "payload-0123456789-payload" {
+		t.Errorf("proxied body = %q", body)
+	}
+	if got := p.Counters().Requests; got != 1 {
+		t.Errorf("requests = %d, want 1", got)
+	}
+}

@@ -96,6 +96,22 @@ func (e *Engine) Run(p *codegen.Program, w workloads.Workload, cfg machine.Confi
 	return m, err
 }
 
+// RunMachine executes an already-prepared machine (configuration set,
+// injections armed) under ctx, accounting the wall time to the simulate
+// stage. The machine's step loop polls ctx every cfg.PreemptEvery
+// dynamic instructions, so a canceled or expired ctx — a request
+// deadline, an abandoned /v1/batch fan-out — stops the simulation with
+// machine.ErrPreempted within that instruction budget instead of
+// running the workload to completion.
+func (e *Engine) RunMachine(ctx context.Context, m *machine.Machine, args ...uint64) (uint64, error) {
+	m.BindContext(ctx)
+	start := time.Now()
+	r0, err := m.Run(args...)
+	e.simNanos.Add(time.Since(start).Nanoseconds())
+	e.simRuns.Add(1)
+	return r0, err
+}
+
 // ForEach evaluates fn(ctx, i) for every i in [0, n) on the worker pool.
 // Each unit must write results only into its own index slot; callers
 // aggregate in index order afterwards, which is what makes output

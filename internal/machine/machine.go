@@ -16,6 +16,7 @@
 package machine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -146,6 +147,13 @@ type Config struct {
 	// the same point (default 64): a fault storm that re-corrupts every
 	// re-execution escalates to ErrLivelock instead of spinning.
 	MaxRegionRetries int
+	// PreemptEvery is the cancellation-poll stride in dynamic
+	// instructions for a context bound via BindContext (default 4096).
+	// It is the preemption budget: once the bound context is canceled,
+	// Run stops within PreemptEvery further instructions. The poll is a
+	// non-blocking channel receive gated on an instruction counter, so
+	// the fault-free hot path stays allocation-free.
+	PreemptEvery int64
 	// Tracer, if set, observes every executed instruction.
 	Tracer Tracer
 	// Cache configures the L1 data cache timing model; the zero value
@@ -262,6 +270,14 @@ type Machine struct {
 	// have hit one).
 	justRecovered bool
 
+	// Cooperative preemption state (see BindContext): preemptDone is the
+	// bound context's cancellation channel, polled by Run every
+	// pollStride dynamic instructions once DynInstrs reaches nextPoll.
+	preemptCtx  context.Context
+	preemptDone <-chan struct{}
+	pollStride  int64
+	nextPoll    int64
+
 	halted bool
 }
 
@@ -274,6 +290,35 @@ var ErrDetectedUnrecoverable = errors.New("machine: fault detected, no recovery 
 // in memory) or the bounded re-execution retry counter overflowed (every
 // re-execution was re-corrupted before reaching a boundary).
 var ErrLivelock = errors.New("machine: livelock watchdog fired")
+
+// ErrPreempted reports cooperative preemption: the context bound via
+// BindContext was canceled and the step loop stopped within the
+// Cfg.PreemptEvery instruction budget instead of running the workload to
+// completion. The returned error also wraps the context's error, so
+// errors.Is(err, context.Canceled) / context.DeadlineExceeded hold.
+// Because every region is idempotent and the machine's outcome is a pure
+// function of (program, args, armed faults), a preempted run can simply
+// be re-executed later — the same recovery-by-re-execution discipline
+// the compiled regions rely on, applied at request granularity.
+var ErrPreempted = errors.New("machine: preempted")
+
+// BindContext arms cooperative preemption: Run polls ctx's cancellation
+// channel every Cfg.PreemptEvery dynamic instructions (default 4096) and
+// returns ErrPreempted within that budget once ctx is canceled. Binding
+// nil or a context that can never be canceled disarms the poll. The
+// binding survives Reset, like armed fault injections.
+func (m *Machine) BindContext(ctx context.Context) {
+	if ctx == nil || ctx.Done() == nil {
+		m.preemptCtx, m.preemptDone = nil, nil
+		return
+	}
+	m.pollStride = m.Cfg.PreemptEvery
+	if m.pollStride <= 0 {
+		m.pollStride = 4096
+	}
+	m.preemptCtx, m.preemptDone = ctx, ctx.Done()
+	m.nextPoll = m.Stats.DynInstrs + m.pollStride
+}
 
 // New creates a machine for p. The predecoded form of p is shared with
 // every other Machine running the same Program (see Predecode).
@@ -322,6 +367,9 @@ func (m *Machine) Reset() {
 	m.retryPC = -1
 	m.retryCount = 0
 	m.livelocked = false
+	if m.preemptDone != nil {
+		m.nextPoll = m.pollStride
+	}
 	m.halted = false
 }
 
@@ -525,6 +573,15 @@ func (m *Machine) Run(args ...uint64) (uint64, error) {
 	for !m.halted {
 		if err := m.step(); err != nil {
 			return 0, err
+		}
+		if m.preemptDone != nil && m.Stats.DynInstrs >= m.nextPoll {
+			select {
+			case <-m.preemptDone:
+				return 0, fmt.Errorf("%w after %d instructions: %w",
+					ErrPreempted, m.Stats.DynInstrs, context.Cause(m.preemptCtx))
+			default:
+				m.nextPoll = m.Stats.DynInstrs + m.pollStride
+			}
 		}
 		if wdBudget > 0 && m.Stats.DynInstrs > wdBudget {
 			return 0, fmt.Errorf("%w: %d dynamic instructions against a fault-free reference of %d",

@@ -1,0 +1,87 @@
+package resilience
+
+import (
+	"sync"
+	"time"
+)
+
+// breaker is a classic three-state circuit breaker. Closed passes all
+// traffic; Threshold consecutive retryable failures open it; after
+// Cooldown one probe is admitted (half-open) and its outcome decides
+// between re-closing and re-opening. State transitions are driven
+// entirely by allow/record, so a fake clock makes the whole lifecycle
+// unit-testable without sleeping.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // swappable for tests
+
+	mu          sync.Mutex
+	state       string // "closed", "open", "half-open"
+	consecutive int
+	openedAt    time.Time
+	opens       int64
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown, now: time.Now, state: "closed"}
+}
+
+// allow reports whether a request may proceed. When the breaker is open
+// and the cooldown has not elapsed, it returns (remaining wait, false);
+// the caller sleeps and asks again rather than failing the request —
+// idempotent re-execution is cheap, losing a request is not. When the
+// cooldown has elapsed the breaker flips to half-open and admits the
+// caller as the probe.
+func (b *breaker) allow() (time.Duration, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case "open":
+		elapsed := b.now().Sub(b.openedAt)
+		if elapsed < b.cooldown {
+			return b.cooldown - elapsed, false
+		}
+		b.state = "half-open"
+		return 0, true
+	default:
+		// closed and half-open both admit; concurrent extra probes in
+		// half-open are tolerated (their outcomes just feed record too).
+		return 0, true
+	}
+}
+
+// record feeds an outcome back. Only retryable failures count: a 400 is
+// the caller's bug, not server sickness, and must not open the circuit.
+func (b *breaker) record(ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if ok {
+		b.consecutive = 0
+		b.state = "closed"
+		return
+	}
+	b.consecutive++
+	if b.state == "half-open" || b.consecutive >= b.threshold {
+		if b.state != "open" {
+			b.opens++
+		}
+		b.state = "open"
+		b.openedAt = b.now()
+	}
+}
+
+// State names the current state for metrics ("closed", "open",
+// "half-open").
+func (b *breaker) State() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Opens counts closed->open transitions.
+func (b *breaker) Opens() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens
+}

@@ -1,0 +1,385 @@
+// Package resilience implements safe re-execution over the idemd API:
+// seeded-deterministic retries with exponential backoff, hedged requests
+// for tail latency, and a circuit breaker around overload.
+//
+// All three mechanisms are justified by the same property the paper
+// exploits at region granularity: idempotence. Every /v1/* response is
+// a deterministic function of the request body (content-keyed compiles,
+// seeded simulations), so re-executing a failed or slow request cannot
+// change the answer — at worst it wastes work, never correctness. The
+// package makes that claim checkable: with Policy.VerifyIdentical set,
+// hedged siblings that both succeed are compared byte-for-byte and a
+// divergence is reported as ErrDivergent instead of being papered over.
+//
+// Determinism: all jitter and backoff decisions derive from a splitmix64
+// stream seeded by (Policy.Seed, request key, attempt), so a campaign
+// replayed with the same seed makes the same scheduling decisions.
+package resilience
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// ErrBreakerOpen is returned when the circuit breaker gives up: the
+// cooldown was waited out repeatedly and the probe kept failing.
+var ErrBreakerOpen = errors.New("resilience: circuit breaker open")
+
+// ErrDivergent is returned in VerifyIdentical mode when two successful
+// attempts of the same request produced different bodies — a violation
+// of the response-idempotence contract that retries rely on. It is not
+// retried: re-executing cannot fix a server that is not deterministic.
+var ErrDivergent = errors.New("resilience: hedged responses diverged")
+
+// Policy configures a Client. The zero value means "no resilience":
+// one attempt, no hedge, no breaker.
+type Policy struct {
+	// MaxRetries is the number of re-executions after the first attempt
+	// (0 = fail on first error).
+	MaxRetries int
+	// BaseBackoff is the first retry delay; each retry doubles it up to
+	// MaxBackoff. Defaults 5ms / 1s.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// HedgeAfter, when > 0, launches a second identical attempt if the
+	// first has not completed within this duration; the first success
+	// wins. Safe because responses are idempotent.
+	HedgeAfter time.Duration
+	// Seed drives the deterministic jitter stream.
+	Seed uint64
+	// VerifyIdentical waits for a losing hedge sibling and asserts its
+	// body is byte-identical to the winner's (200s only) — turning the
+	// idempotence assumption into a checked invariant.
+	VerifyIdentical bool
+	// BreakerThreshold opens the circuit after this many consecutive
+	// retryable failures (0 = breaker disabled).
+	BreakerThreshold int
+	// BreakerCooldown is how long the breaker stays open before letting
+	// one probe through (default 250ms).
+	BreakerCooldown time.Duration
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 5 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = time.Second
+	}
+	if p.BreakerCooldown <= 0 {
+		p.BreakerCooldown = 250 * time.Millisecond
+	}
+	return p
+}
+
+// Attempt performs one execution of a request and reports the HTTP
+// status, response body and transport error. Implementations must be
+// safe for concurrent calls (hedging runs two at once).
+type Attempt func(ctx context.Context) (status int, body []byte, err error)
+
+// Result is the final outcome of a resilient request.
+type Result struct {
+	Status int
+	Body   []byte
+	// Attempts is how many executions ran (including hedges).
+	Attempts int
+	// Hedged reports whether the winning response came from a hedge.
+	Hedged bool
+}
+
+// Counters aggregates what a Client did, all atomically updated so a
+// load generator can snapshot them mid-run.
+type Counters struct {
+	attempts      atomic.Int64
+	retries       atomic.Int64
+	hedges        atomic.Int64
+	hedgeWins     atomic.Int64
+	shortCircuits atomic.Int64
+	mismatches    atomic.Int64
+	failures      atomic.Int64
+}
+
+// Snapshot is a point-in-time copy of a Client's counters.
+type Snapshot struct {
+	Attempts      int64  `json:"attempts"`
+	Retries       int64  `json:"retries"`
+	Hedges        int64  `json:"hedges"`
+	HedgeWins     int64  `json:"hedge_wins"`
+	ShortCircuits int64  `json:"short_circuits"`
+	Mismatches    int64  `json:"digest_mismatches"`
+	Failures      int64  `json:"failures"`
+	BreakerOpens  int64  `json:"breaker_opens"`
+	BreakerState  string `json:"breaker_state"`
+}
+
+// WriteProm renders the snapshot in Prometheus text format under the
+// given metric prefix (the same hand-rolled exposition idemd uses).
+func (s Snapshot) WriteProm(b *bytes.Buffer, prefix string) {
+	emit := func(name, help string, v int64) {
+		fmt.Fprintf(b, "# HELP %s_%s %s\n", prefix, name, help)
+		fmt.Fprintf(b, "# TYPE %s_%s counter\n", prefix, name)
+		fmt.Fprintf(b, "%s_%s %d\n", prefix, name, v)
+	}
+	emit("attempts_total", "Request executions, including retries and hedges.", s.Attempts)
+	emit("retries_total", "Re-executions after a retryable failure.", s.Retries)
+	emit("hedges_total", "Hedge attempts launched.", s.Hedges)
+	emit("hedge_wins_total", "Requests won by the hedge attempt.", s.HedgeWins)
+	emit("breaker_short_circuits_total", "Rounds delayed by an open breaker.", s.ShortCircuits)
+	emit("breaker_opens_total", "Times the circuit breaker opened.", s.BreakerOpens)
+	emit("response_mismatches_total", "Idempotence violations: diverging sibling responses.", s.Mismatches)
+	emit("failures_total", "Requests that failed permanently.", s.Failures)
+}
+
+// Client executes Attempts under a Policy. Safe for concurrent use.
+type Client struct {
+	policy   Policy
+	breaker  *breaker
+	counters Counters
+	// sleep is swappable for tests; it must honor ctx.
+	sleep func(ctx context.Context, d time.Duration) error
+}
+
+// NewClient builds a client for the policy.
+func NewClient(p Policy) *Client {
+	p = p.withDefaults()
+	c := &Client{policy: p, sleep: sleepCtx}
+	if p.BreakerThreshold > 0 {
+		c.breaker = newBreaker(p.BreakerThreshold, p.BreakerCooldown)
+	}
+	return c
+}
+
+// Counters snapshots the client's activity.
+func (c *Client) Counters() Snapshot {
+	s := Snapshot{
+		Attempts:      c.counters.attempts.Load(),
+		Retries:       c.counters.retries.Load(),
+		Hedges:        c.counters.hedges.Load(),
+		HedgeWins:     c.counters.hedgeWins.Load(),
+		ShortCircuits: c.counters.shortCircuits.Load(),
+		Mismatches:    c.counters.mismatches.Load(),
+		Failures:      c.counters.failures.Load(),
+		BreakerState:  "disabled",
+	}
+	if c.breaker != nil {
+		s.BreakerOpens = c.breaker.Opens()
+		s.BreakerState = c.breaker.State()
+	}
+	return s
+}
+
+// retryable reports whether a round outcome justifies re-execution:
+// transport errors (the response may never have left the server — but
+// idempotence makes re-sending safe either way), 429 shed, and 5xx.
+// Other 4xx are the caller's bug; re-execution cannot fix them.
+func retryable(status int, err error) bool {
+	if err != nil {
+		return true
+	}
+	return status == 429 || status >= 500
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return context.Cause(ctx)
+	case <-t.C:
+		return nil
+	}
+}
+
+// backoff returns the delay before retry number try (1-based), with
+// deterministic jitter in [d/2, d) drawn from the (seed, key, try)
+// splitmix64 stream.
+func (c *Client) backoff(key uint64, try int) time.Duration {
+	d := c.policy.BaseBackoff << (try - 1)
+	if d > c.policy.MaxBackoff || d <= 0 {
+		d = c.policy.MaxBackoff
+	}
+	x := mix(mix(c.policy.Seed^key) + uint64(try))
+	half := uint64(d) / 2
+	if half == 0 {
+		return d
+	}
+	return time.Duration(half + x%half)
+}
+
+// mix is one splitmix64 scramble step — the same generator idemload
+// uses for its request mix, so seeded campaigns share one PRNG family.
+func mix(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Do executes attempt under the policy until success, a non-retryable
+// response, the retry budget is exhausted, or ctx is done. key names the
+// request for the deterministic jitter stream (idemload passes the
+// request index).
+//
+// Breaker short-circuits do not consume the retry budget: an open
+// breaker delays the round until the cooldown admits a probe, so a
+// burst of faults cannot turn into spurious permanent failures. The
+// wait is bounded by ctx and a generous short-circuit cap.
+func (c *Client) Do(ctx context.Context, key uint64, attempt Attempt) (Result, error) {
+	var res Result
+	const maxShortCircuits = 64
+	shorted := 0
+	for try := 0; ; try++ {
+		// Admission: wait out an open breaker rather than burning a try.
+		for c.breaker != nil {
+			wait, ok := c.breaker.allow()
+			if ok {
+				break
+			}
+			shorted++
+			c.counters.shortCircuits.Add(1)
+			if shorted > maxShortCircuits {
+				c.counters.failures.Add(1)
+				return res, fmt.Errorf("%w after %d waits", ErrBreakerOpen, shorted)
+			}
+			if err := c.sleep(ctx, wait); err != nil {
+				c.counters.failures.Add(1)
+				return res, err
+			}
+		}
+
+		status, body, hedged, err := c.round(ctx, attempt)
+		res.Attempts += 1
+		if hedged {
+			res.Attempts++
+		}
+		ok := err == nil && status < 400
+		if c.breaker != nil {
+			// Only retryable outcomes count against the breaker: a 400 is
+			// the caller's bug, not server sickness.
+			if ok || !retryable(status, err) {
+				c.breaker.record(true)
+			} else {
+				c.breaker.record(false)
+			}
+		}
+		if err == nil && !retryable(status, err) {
+			// Success, or a non-retryable response returned as-is.
+			res.Status, res.Body, res.Hedged = status, body, hedged
+			return res, nil
+		}
+		if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, ErrDivergent)) {
+			c.counters.failures.Add(1)
+			return res, err
+		}
+		if try >= c.policy.MaxRetries {
+			c.counters.failures.Add(1)
+			if err != nil {
+				return res, fmt.Errorf("resilience: %d attempt(s) failed: %w", try+1, err)
+			}
+			res.Status, res.Body = status, body
+			return res, fmt.Errorf("resilience: %d attempt(s) failed: status %d", try+1, status)
+		}
+		c.counters.retries.Add(1)
+		if err := c.sleep(ctx, c.backoff(key, try+1)); err != nil {
+			c.counters.failures.Add(1)
+			return res, err
+		}
+	}
+}
+
+// outcome is one attempt's result, tagged with which lane ran it.
+type outcome struct {
+	status int
+	body   []byte
+	err    error
+	hedge  bool
+}
+
+// round runs one primary attempt, optionally hedged. It returns the
+// winning outcome; hedged reports whether the hedge lane won. In
+// VerifyIdentical mode a successful round waits for the sibling and
+// compares bodies.
+func (c *Client) round(ctx context.Context, attempt Attempt) (status int, body []byte, hedged bool, err error) {
+	c.counters.attempts.Add(1)
+	if c.policy.HedgeAfter <= 0 {
+		status, body, err = attempt(ctx)
+		return status, body, false, err
+	}
+
+	ch := make(chan outcome, 2)
+	run := func(hedge bool) {
+		st, b, e := attempt(ctx)
+		ch <- outcome{status: st, body: b, err: e, hedge: hedge}
+	}
+	go run(false)
+
+	timer := time.NewTimer(c.policy.HedgeAfter)
+	defer timer.Stop()
+
+	launched := false
+	var first *outcome
+	for {
+		select {
+		case <-timer.C:
+			if !launched {
+				launched = true
+				c.counters.hedges.Add(1)
+				c.counters.attempts.Add(1)
+				go run(true)
+			}
+			continue
+		case o := <-ch:
+			good := o.err == nil && o.status < 500 && o.status != 429
+			if good {
+				if o.hedge {
+					c.counters.hedgeWins.Add(1)
+				}
+				if c.policy.VerifyIdentical && launched && o.status == 200 {
+					if d, ok := c.awaitSibling(ch); ok && d.err == nil && d.status == 200 {
+						if !bytes.Equal(o.body, d.body) {
+							c.counters.mismatches.Add(1)
+							return 0, nil, launched, fmt.Errorf("%w (status 200 vs 200)", ErrDivergent)
+						}
+					}
+				}
+				return o.status, o.body, o.hedge && launched, nil
+			}
+			if first == nil && launched {
+				// The other lane is still in flight; let it race on.
+				first = &o
+				continue
+			}
+			// Both lanes failed (or no hedge launched): surface the
+			// primary's outcome for retry accounting.
+			if first != nil && !first.hedge {
+				o = *first
+			}
+			return o.status, o.body, launched, o.err
+		}
+	}
+}
+
+// awaitSibling drains the losing lane's outcome, bounded so a hung
+// sibling cannot wedge verification (it reports ok=false on timeout and
+// the comparison is skipped — verification is best-effort by design).
+func (c *Client) awaitSibling(ch chan outcome) (outcome, bool) {
+	wait := 4 * c.policy.HedgeAfter
+	if min := 50 * time.Millisecond; wait < min {
+		wait = min
+	}
+	t := time.NewTimer(wait)
+	defer t.Stop()
+	select {
+	case o := <-ch:
+		return o, true
+	case <-t.C:
+		return outcome{}, false
+	}
+}

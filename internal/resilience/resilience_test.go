@@ -1,0 +1,266 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// instantClient returns a client whose backoff sleeps don't really
+// sleep, so retry-loop tests run in microseconds.
+func instantClient(p Policy) *Client {
+	c := NewClient(p)
+	c.sleep = func(ctx context.Context, _ time.Duration) error { return ctx.Err() }
+	return c
+}
+
+func TestRetryAfterTransientFailure(t *testing.T) {
+	var calls atomic.Int64
+	attempt := func(context.Context) (int, []byte, error) {
+		if calls.Add(1) < 3 {
+			return 500, nil, nil
+		}
+		return 200, []byte("ok"), nil
+	}
+	c := instantClient(Policy{MaxRetries: 4, Seed: 1})
+	res, err := c.Do(context.Background(), 7, attempt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != 200 || string(res.Body) != "ok" {
+		t.Fatalf("got %d %q", res.Status, res.Body)
+	}
+	if got := c.Counters().Retries; got != 2 {
+		t.Errorf("retries = %d, want 2", got)
+	}
+}
+
+func TestRetryBudgetExhausted(t *testing.T) {
+	attempt := func(context.Context) (int, []byte, error) {
+		return 0, nil, errors.New("connection reset")
+	}
+	c := instantClient(Policy{MaxRetries: 3, Seed: 1})
+	_, err := c.Do(context.Background(), 1, attempt)
+	if err == nil {
+		t.Fatal("want permanent failure")
+	}
+	s := c.Counters()
+	if s.Attempts != 4 || s.Failures != 1 {
+		t.Errorf("attempts=%d failures=%d, want 4/1", s.Attempts, s.Failures)
+	}
+}
+
+func TestNonRetryable4xxReturnsImmediately(t *testing.T) {
+	var calls atomic.Int64
+	attempt := func(context.Context) (int, []byte, error) {
+		calls.Add(1)
+		return 400, []byte(`{"error":"bad"}`), nil
+	}
+	c := instantClient(Policy{MaxRetries: 5, Seed: 1})
+	res, err := c.Do(context.Background(), 1, attempt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != 400 || calls.Load() != 1 {
+		t.Errorf("status=%d calls=%d, want 400 after exactly 1 call", res.Status, calls.Load())
+	}
+}
+
+func TestHedgeWinsSlowPrimary(t *testing.T) {
+	var calls atomic.Int64
+	attempt := func(ctx context.Context) (int, []byte, error) {
+		if calls.Add(1) == 1 {
+			// Slow primary: the hedge should beat it.
+			select {
+			case <-time.After(2 * time.Second):
+			case <-ctx.Done():
+			}
+			return 200, []byte("slow"), nil
+		}
+		return 200, []byte("slow"), nil
+	}
+	c := NewClient(Policy{HedgeAfter: 5 * time.Millisecond, Seed: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	res, err := c.Do(ctx, 1, attempt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Hedged {
+		t.Error("winner was not the hedge")
+	}
+	s := c.Counters()
+	if s.Hedges != 1 || s.HedgeWins != 1 {
+		t.Errorf("hedges=%d wins=%d, want 1/1", s.Hedges, s.HedgeWins)
+	}
+}
+
+func TestVerifyIdenticalCatchesDivergence(t *testing.T) {
+	var calls atomic.Int64
+	attempt := func(ctx context.Context) (int, []byte, error) {
+		n := calls.Add(1)
+		if n == 1 {
+			time.Sleep(20 * time.Millisecond)
+			return 200, []byte("version-A"), nil
+		}
+		return 200, []byte("version-B"), nil
+	}
+	c := NewClient(Policy{HedgeAfter: 2 * time.Millisecond, VerifyIdentical: true, Seed: 1})
+	_, err := c.Do(context.Background(), 1, attempt)
+	if !errors.Is(err, ErrDivergent) {
+		t.Fatalf("err = %v, want ErrDivergent", err)
+	}
+	if got := c.Counters().Mismatches; got != 1 {
+		t.Errorf("mismatches = %d, want 1", got)
+	}
+}
+
+func TestVerifyIdenticalPassesWhenEqual(t *testing.T) {
+	attempt := func(ctx context.Context) (int, []byte, error) {
+		time.Sleep(5 * time.Millisecond)
+		return 200, []byte("same"), nil
+	}
+	c := NewClient(Policy{HedgeAfter: time.Millisecond, VerifyIdentical: true, Seed: 1})
+	res, err := c.Do(context.Background(), 1, attempt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res.Body) != "same" || c.Counters().Mismatches != 0 {
+		t.Errorf("body=%q mismatches=%d", res.Body, c.Counters().Mismatches)
+	}
+}
+
+func TestDeterministicBackoff(t *testing.T) {
+	p := Policy{MaxRetries: 5, Seed: 42, BaseBackoff: 10 * time.Millisecond, MaxBackoff: time.Second}
+	a, b := NewClient(p), NewClient(p)
+	for try := 1; try <= 5; try++ {
+		da, db := a.backoff(9, try), b.backoff(9, try)
+		if da != db {
+			t.Fatalf("try %d: %v vs %v — backoff not seed-deterministic", try, da, db)
+		}
+		base := p.BaseBackoff << (try - 1)
+		if base > p.MaxBackoff {
+			base = p.MaxBackoff
+		}
+		if da < base/2 || da >= base {
+			t.Errorf("try %d: jittered delay %v outside [%v, %v)", try, da, base/2, base)
+		}
+	}
+	// A different seed must produce a different schedule somewhere.
+	c := NewClient(Policy{MaxRetries: 5, Seed: 43, BaseBackoff: 10 * time.Millisecond, MaxBackoff: time.Second})
+	diff := false
+	for try := 1; try <= 5; try++ {
+		if a.backoff(9, try) != c.backoff(9, try) {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Error("seeds 42 and 43 produced identical jitter schedules")
+	}
+}
+
+func TestBreakerLifecycle(t *testing.T) {
+	b := newBreaker(3, 100*time.Millisecond)
+	clock := time.Unix(0, 0)
+	b.now = func() time.Time { return clock }
+
+	if _, ok := b.allow(); !ok {
+		t.Fatal("closed breaker rejected a request")
+	}
+	b.record(false)
+	b.record(false)
+	if b.State() != "closed" {
+		t.Fatalf("state after 2 failures = %s", b.State())
+	}
+	b.record(false)
+	if b.State() != "open" || b.Opens() != 1 {
+		t.Fatalf("state after threshold = %s opens=%d", b.State(), b.Opens())
+	}
+	if wait, ok := b.allow(); ok || wait != 100*time.Millisecond {
+		t.Fatalf("open breaker: wait=%v ok=%v", wait, ok)
+	}
+
+	// Cooldown elapses: one probe admitted, half-open.
+	clock = clock.Add(150 * time.Millisecond)
+	if _, ok := b.allow(); !ok {
+		t.Fatal("cooldown elapsed but probe rejected")
+	}
+	if b.State() != "half-open" {
+		t.Fatalf("state = %s, want half-open", b.State())
+	}
+
+	// Probe fails: back to open immediately.
+	b.record(false)
+	if b.State() != "open" || b.Opens() != 2 {
+		t.Fatalf("failed probe: state=%s opens=%d", b.State(), b.Opens())
+	}
+
+	// Second probe succeeds: closed again, full threshold restored.
+	clock = clock.Add(150 * time.Millisecond)
+	if _, ok := b.allow(); !ok {
+		t.Fatal("second probe rejected")
+	}
+	b.record(true)
+	if b.State() != "closed" {
+		t.Fatalf("state after good probe = %s", b.State())
+	}
+}
+
+func TestBreakerShortCircuitDoesNotBurnRetries(t *testing.T) {
+	// Server is sick for the first 5 calls, then recovers. With the
+	// breaker opening at 2, the client must still converge to success
+	// without exhausting MaxRetries on short-circuits.
+	var calls atomic.Int64
+	attempt := func(context.Context) (int, []byte, error) {
+		if calls.Add(1) <= 5 {
+			return 503, nil, nil
+		}
+		return 200, []byte("recovered"), nil
+	}
+	// Real sleeps (tiny ones): the breaker cooldown is wall-clock, so an
+	// instant sleep would spin through the short-circuit cap instead of
+	// waiting out the cooldown.
+	c := NewClient(Policy{
+		MaxRetries:       8,
+		Seed:             1,
+		BaseBackoff:      100 * time.Microsecond,
+		MaxBackoff:       500 * time.Microsecond,
+		BreakerThreshold: 2,
+		BreakerCooldown:  2 * time.Millisecond,
+	})
+	res, err := c.Do(context.Background(), 1, attempt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != 200 {
+		t.Fatalf("status = %d", res.Status)
+	}
+	s := c.Counters()
+	if s.ShortCircuits == 0 {
+		t.Error("breaker never short-circuited despite opening")
+	}
+	if s.BreakerState != "closed" {
+		t.Errorf("final breaker state = %s", s.BreakerState)
+	}
+}
+
+func TestContextCancellationStopsRetries(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var calls atomic.Int64
+	attempt := func(context.Context) (int, []byte, error) {
+		if calls.Add(1) == 2 {
+			cancel()
+		}
+		return 500, nil, nil
+	}
+	c := NewClient(Policy{MaxRetries: 100, Seed: 1, BaseBackoff: time.Millisecond})
+	_, err := c.Do(ctx, 1, attempt)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls.Load() > 3 {
+		t.Errorf("kept retrying after cancellation: %d calls", calls.Load())
+	}
+}

@@ -43,6 +43,9 @@ type Metrics struct {
 	// and read lock-free by the renderer.
 	inflight atomic.Int64
 	shed     atomic.Int64
+	// simPreempted counts simulations stopped early by request
+	// cancellation or deadline (machine.ErrPreempted).
+	simPreempted atomic.Int64
 
 	start time.Time
 }
@@ -89,6 +92,12 @@ func (m *Metrics) InFlight() func() {
 
 // InFlightNow reads the gauge (tests poll this through /metrics).
 func (m *Metrics) InFlightNow() int64 { return m.inflight.Load() }
+
+// SimPreempted records one simulation stopped early by cancellation.
+func (m *Metrics) SimPreempted() { m.simPreempted.Add(1) }
+
+// SimPreemptedNow reads the preemption counter (tests poll this).
+func (m *Metrics) SimPreemptedNow() int64 { return m.simPreempted.Load() }
 
 // Render emits the Prometheus text exposition. Output ordering is
 // deterministic (sorted paths and codes) so scrapes diff cleanly.
@@ -144,6 +153,10 @@ func (m *Metrics) Render(cache buildcache.Stats) string {
 	fmt.Fprintf(&b, "# HELP idemd_http_shed_total Requests rejected with 429 by the concurrency limiter.\n")
 	fmt.Fprintf(&b, "# TYPE idemd_http_shed_total counter\n")
 	fmt.Fprintf(&b, "idemd_http_shed_total %d\n", m.shed.Load())
+
+	fmt.Fprintf(&b, "# HELP idemd_sim_preempted_total Simulations stopped early by request cancellation or deadline.\n")
+	fmt.Fprintf(&b, "# TYPE idemd_sim_preempted_total counter\n")
+	fmt.Fprintf(&b, "idemd_sim_preempted_total %d\n", m.simPreempted.Load())
 
 	fmt.Fprintf(&b, "# HELP idemd_buildcache_hits_total Compile cache hits.\n")
 	fmt.Fprintf(&b, "# TYPE idemd_buildcache_hits_total counter\n")

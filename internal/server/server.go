@@ -54,6 +54,12 @@ type Config struct {
 	// MaxSimSteps caps simulated dynamic instructions per request
 	// (default 2^28); requests may lower but not raise it.
 	MaxSimSteps int64
+	// PreemptEvery is the simulator's cancellation-poll stride in
+	// dynamic instructions (default 4096): a canceled or timed-out
+	// request stops its simulation within this many instructions, so
+	// the request deadline bounds server-side work, not just
+	// client-observed latency.
+	PreemptEvery int64
 	// Logf, when set, receives one line per lifecycle event (listen,
 	// drain, shutdown). Per-request logging is intentionally absent —
 	// /metrics is the observation surface.
@@ -75,6 +81,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxSimSteps <= 0 {
 		c.MaxSimSteps = 1 << 28
+	}
+	if c.PreemptEvery <= 0 {
+		c.PreemptEvery = 4096
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
@@ -153,6 +162,19 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	err := s.httpSrv.Shutdown(ctx)
 	s.cfg.Logf("idemd: drained")
 	return err
+}
+
+// Close force-closes the listener and every active connection — the
+// hard-exit path a second SIGTERM during a stuck drain takes. In-flight
+// requests are abandoned; their contexts are canceled by the connection
+// teardown, which preempts any running simulations within the poll
+// budget.
+func (s *Server) Close() error {
+	s.draining.Store(true)
+	if s.httpSrv == nil {
+		return nil
+	}
+	return s.httpSrv.Close()
 }
 
 // Draining reports whether Shutdown has begun.
@@ -392,14 +414,27 @@ func (s *Server) doSimulate(ctx context.Context, req *SimulateRequest) (*Simulat
 		}
 	}
 
+	cfg.PreemptEvery = s.cfg.PreemptEvery
+
 	m := machine.New(p, cfg)
 	for _, inj := range injs {
 		fault.Arm(m, inj)
 	}
-	r0, runErr := m.Run(wk.Args...)
+	r0, runErr := s.engine.RunMachine(ctx, m, wk.Args...)
+	if errors.Is(runErr, machine.ErrPreempted) {
+		// The request deadline (or a canceled batch fan-out) stopped the
+		// step loop within cfg.PreemptEvery instructions. Surface the
+		// context error so writeHTTPErr maps it to 503, and drop the
+		// partial result so batch aggregation stays exact.
+		s.metrics.SimPreempted()
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return nil, runErr
+	}
 	if err := ctx.Err(); err != nil {
-		// The simulation itself is not interruptible; drop the result if
-		// the requester is already gone so batch aggregation stays exact.
+		// Cancellation raced the final instructions; the requester is
+		// already gone, so the (complete) result is dropped all the same.
 		return nil, err
 	}
 	rep := &SimulateReport{

@@ -488,6 +488,7 @@ func TestMetricsCatalog(t *testing.T) {
 		`idemd_http_request_duration_seconds_bucket{path="/v1/compile",le="+Inf"} 2`,
 		"idemd_http_inflight_requests 1", // this scrape itself
 		"idemd_http_shed_total 0",
+		"idemd_sim_preempted_total 0",
 		"idemd_buildcache_hits_total 1",
 		"idemd_buildcache_misses_total 1",
 		"idemd_buildcache_evictions_total 0",

@@ -3,10 +3,12 @@
 #
 # Boots idemd on a free port and drives the acceptance workload:
 # BENCH_SERVE_REQUESTS requests (default 2000) at concurrency 32, run
-# twice with the same seed. idemload fails the run on any non-200
-# response or on a digest mismatch between the passes, and writes the
-# headline numbers (req/s, p50/p90/p99, cache hit ratio) to
-# BENCH_serve.json.
+# twice with the same seed, with the resilience layer enabled (retries +
+# tail hedging) so the summary exercises and records the production
+# client path. idemload fails the run on any permanently failed request
+# or on a digest mismatch between the passes, and writes the headline
+# numbers (req/s, p50/p90/p99, cache hit ratio, retry/hedge/preemption
+# counters) to BENCH_serve.json.
 set -eu
 
 GO="${GO:-go}"
@@ -34,6 +36,7 @@ done
 
 "$tmp/idemload" -addr "$(cat "$tmp/addr")" \
     -concurrency "$CONCURRENCY" -requests "$REQUESTS" -seed 1 -repeat 2 \
+    -retries 2 -hedge-after 2s \
     -json BENCH_serve.json
 
 kill -TERM "$pid"
