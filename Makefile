@@ -6,7 +6,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: all build fmt-check vet check test race race-fault bench bench-sim bench-serve bench-quick serve-smoke chaos-smoke ci
+.PHONY: all build fmt-check vet check test race race-fault bench bench-sim bench-serve bench-quick serve-smoke chaos-smoke persist-smoke ci
 
 all: build
 
@@ -27,6 +27,7 @@ test: check
 	$(GO) test ./...
 	$(MAKE) serve-smoke
 	$(MAKE) chaos-smoke
+	$(MAKE) persist-smoke
 
 # serve-smoke is the end-to-end service gate: boot idemd on a free port,
 # fire a seeded idemload burst twice (same seed must yield byte-identical
@@ -44,6 +45,15 @@ serve-smoke: build
 # scripts/chaos_smoke.sh and docs/resilience.md.
 chaos-smoke: build
 	./scripts/chaos_smoke.sh
+
+# persist-smoke is the end-to-end persistence gate: populate the
+# -cache-dir artifact store under seeded load, SIGTERM, restart over the
+# same store and replay — the daemon must compile nothing, serve every
+# build from disk, and produce a byte-identical digest; then corrupt an
+# artifact and prove the store self-heals. See scripts/persist_smoke.sh
+# and docs/persistence.md.
+persist-smoke: build
+	./scripts/persist_smoke.sh
 
 # The race detector multiplies runtime; race-fault covers the concurrent
 # components quickly (campaign engine, simulator, compile cache,

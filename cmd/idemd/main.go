@@ -8,6 +8,7 @@
 //	idemd -addr 127.0.0.1:7777
 //	idemd -addr 127.0.0.1:0 -addr-file /tmp/idemd.addr   # scripts read the port
 //	idemd -cache-bytes 1048576 -max-inflight 32
+//	idemd -cache-dir /var/lib/idemd/artifacts            # warm restarts (docs/persistence.md)
 //
 // Endpoints: POST /v1/compile, /v1/simulate, /v1/batch; GET /healthz,
 // /readyz, /metrics. See docs/service.md for the request schema, the
@@ -57,6 +58,7 @@ func realMain(args []string, stderr io.Writer, sigs <-chan os.Signal) int {
 		maxInflight  = fs.Int("max-inflight", 64, "concurrent request cap on the /v1/* endpoints; excess requests are shed with 429")
 		reqTimeout   = fs.Duration("request-timeout", 30*time.Second, "per-request deadline on /v1/* endpoints (negative disables)")
 		cacheBytes   = fs.Int64("cache-bytes", 0, "compile-cache byte bound; LRU entries are evicted past it (0 = unbounded)")
+		cacheDir     = fs.String("cache-dir", "", "persistent artifact store directory: compiles are written behind as verified artifacts and reloaded across restarts (empty = memory-only)")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests before abandoning them")
 		quiet        = fs.Bool("quiet", false, "suppress the per-request log line")
 	)
@@ -69,17 +71,35 @@ func realMain(args []string, stderr io.Writer, sigs <-chan os.Signal) int {
 	}
 
 	logf := func(format string, args ...any) { fmt.Fprintf(stderr, format+"\n", args...) }
+	if *cacheDir != "" {
+		// Fail fast on an unusable artifact directory: a daemon told to
+		// persist should not silently run memory-only. Runtime disk errors
+		// after this point degrade gracefully (see internal/buildcache).
+		if err := os.MkdirAll(*cacheDir, 0o755); err != nil {
+			fmt.Fprintf(stderr, "idemd: cache-dir: %v\n", err)
+			return 1
+		}
+	}
 	cfg := server.Config{
 		Workers:        *workers,
 		MaxInFlight:    *maxInflight,
 		RequestTimeout: *reqTimeout,
 		CacheMaxBytes:  *cacheBytes,
+		CacheDir:       *cacheDir,
 		Logf:           logf,
 	}
 	if *quiet {
 		cfg.Logf = func(string, ...any) {}
 	}
 	srv := server.New(cfg)
+	if d := srv.Cache().Disk(); d != nil {
+		// Warm-start scan: validate (and prune) what the store offers
+		// before taking traffic, so corruption surfaces at boot rather
+		// than on first request.
+		scan := d.Scan()
+		cfg.Logf("idemd: artifact store %s: %d artifacts, %d bytes, %d corrupt pruned",
+			d.Dir(), scan.Entries, scan.Bytes, scan.Corrupt)
+	}
 
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -48,6 +48,213 @@ func waitExit(t *testing.T, exit chan int, within time.Duration) int {
 	}
 }
 
+// postJSON fires one request and returns the response body; non-200 is
+// fatal.
+func postJSON(t *testing.T, addr, path, body string) []byte {
+	t.Helper()
+	resp, err := http.Post("http://"+addr+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("%s: read body: %v", path, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("%s: status %d: %s", path, resp.StatusCode, b)
+	}
+	return b
+}
+
+// scrapeCounter reads one counter from /metrics.
+func scrapeCounter(t *testing.T, addr, name string) int64 {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	for _, line := range strings.Split(string(b), "\n") {
+		if v, ok := strings.CutPrefix(line, name+" "); ok {
+			var n int64
+			fmt.Sscanf(v, "%d", &n)
+			return n
+		}
+	}
+	t.Fatalf("metric %s not exposed", name)
+	return 0
+}
+
+// artifactPaths lists the .art files under dir.
+func artifactPaths(t *testing.T, dir string) []string {
+	t.Helper()
+	var files []string
+	filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && strings.HasSuffix(path, ".art") {
+			files = append(files, path)
+		}
+		return nil
+	})
+	return files
+}
+
+// restartRequests is the fixed request set the persistence e2e tests
+// replay across daemon restarts: two distinct compile keys and one
+// simulation (a third key: the conventional pipeline).
+var restartRequests = []struct{ path, body string }{
+	{"/v1/compile", `{"workload": "bzip2"}`},
+	{"/v1/compile", `{"workload": "mcf", "options": {"core": {"max_region_size": 16}}}`},
+	{"/v1/simulate", `{"workload": "libquantum", "scheme": "none"}`},
+}
+
+// TestCacheDirWarmRestart is the end-to-end persistence contract: run
+// idemd -cache-dir, serve a request set, SIGTERM (which flushes the
+// artifact store), restart over the same directory, and assert the
+// replayed requests produce byte-identical bodies with zero compiles
+// and every build served from disk.
+func TestCacheDirWarmRestart(t *testing.T) {
+	cacheDir := filepath.Join(t.TempDir(), "artifacts")
+
+	addr, sigs, exit := launch(t, "-cache-dir", cacheDir)
+	bodies := make([][]byte, len(restartRequests))
+	for i, rq := range restartRequests {
+		bodies[i] = postJSON(t, addr, rq.path, rq.body)
+	}
+	firstCompiles := scrapeCounter(t, addr, "idemd_buildcache_compiles_total")
+	if firstCompiles == 0 {
+		t.Fatal("first run compiled nothing")
+	}
+	sigs <- syscall.SIGTERM
+	if code := waitExit(t, exit, 15*time.Second); code != 0 {
+		t.Fatalf("drain exit = %d, want 0", code)
+	}
+	arts := artifactPaths(t, cacheDir)
+	if int64(len(arts)) != firstCompiles {
+		t.Fatalf("%d artifacts persisted, want %d (one per compile)", len(arts), firstCompiles)
+	}
+
+	// Restart over the same store.
+	addr, sigs, exit = launch(t, "-cache-dir", cacheDir)
+	for i, rq := range restartRequests {
+		got := postJSON(t, addr, rq.path, rq.body)
+		if !bytes.Equal(got, bodies[i]) {
+			t.Errorf("request %d (%s): body differs across restart:\n first %s\n again %s",
+				i, rq.path, bodies[i], got)
+		}
+	}
+	if n := scrapeCounter(t, addr, "idemd_buildcache_compiles_total"); n != 0 {
+		t.Errorf("warm restart ran %d compiles, want 0", n)
+	}
+	if n := scrapeCounter(t, addr, "idemd_buildcache_disk_hits_total"); n != firstCompiles {
+		t.Errorf("warm restart: %d disk hits, want %d (one per distinct key)", n, firstCompiles)
+	}
+	if n := scrapeCounter(t, addr, "idemd_buildcache_disk_corrupt_total"); n != 0 {
+		t.Errorf("healthy store reported %d corrupt artifacts", n)
+	}
+	sigs <- syscall.SIGTERM
+	if code := waitExit(t, exit, 15*time.Second); code != 0 {
+		t.Fatalf("second drain exit = %d, want 0", code)
+	}
+}
+
+// TestCacheDirCorruptArtifactHeals: a truncated or bit-flipped artifact
+// must be counted corrupt, transparently recompiled to the same
+// response, and re-persisted healthy.
+func TestCacheDirCorruptArtifactHeals(t *testing.T) {
+	cacheDir := filepath.Join(t.TempDir(), "artifacts")
+	const path, body = "/v1/compile", `{"workload": "bzip2"}`
+
+	addr, sigs, exit := launch(t, "-cache-dir", cacheDir)
+	want := postJSON(t, addr, path, body)
+	sigs <- syscall.SIGTERM
+	if code := waitExit(t, exit, 15*time.Second); code != 0 {
+		t.Fatalf("drain exit = %d, want 0", code)
+	}
+
+	corrupt := func(name string, mut func([]byte) []byte) {
+		arts := artifactPaths(t, cacheDir)
+		if len(arts) != 1 {
+			t.Fatalf("%s: %d artifacts, want 1", name, len(arts))
+		}
+		data, err := os.ReadFile(arts[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(arts[0], mut(data), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Bit-flip: the boot scan's checksum verification already prunes the
+	// file, so the request recompiles with a plain disk miss.
+	corrupt("bitflip", func(data []byte) []byte {
+		out := append([]byte{}, data...)
+		out[len(out)-1] ^= 0x01
+		return out
+	})
+	addr, sigs, exit = launch(t, "-cache-dir", cacheDir)
+	if got := postJSON(t, addr, path, body); !bytes.Equal(got, want) {
+		t.Errorf("recompile after bit flip: body differs")
+	}
+	bootPruned := len(artifactPaths(t, cacheDir)) == 0 ||
+		scrapeCounter(t, addr, "idemd_buildcache_disk_corrupt_total") > 0
+	if !bootPruned {
+		t.Error("bit-flipped artifact neither pruned at boot nor counted corrupt")
+	}
+	if n := scrapeCounter(t, addr, "idemd_buildcache_compiles_total"); n != 1 {
+		t.Errorf("%d compiles after bit flip, want 1 (transparent recompile)", n)
+	}
+	sigs <- syscall.SIGTERM
+	if code := waitExit(t, exit, 15*time.Second); code != 0 {
+		t.Fatalf("drain exit = %d, want 0", code)
+	}
+
+	// Truncation, same contract; the drain above re-persisted a healthy
+	// artifact, so there is a file to damage again.
+	corrupt("truncate", func(data []byte) []byte { return data[:len(data)/3] })
+	addr, sigs, exit = launch(t, "-cache-dir", cacheDir)
+	if got := postJSON(t, addr, path, body); !bytes.Equal(got, want) {
+		t.Errorf("recompile after truncation: body differs")
+	}
+	if n := scrapeCounter(t, addr, "idemd_buildcache_compiles_total"); n != 1 {
+		t.Errorf("%d compiles after truncation, want 1", n)
+	}
+	sigs <- syscall.SIGTERM
+	if code := waitExit(t, exit, 15*time.Second); code != 0 {
+		t.Fatalf("final drain exit = %d, want 0", code)
+	}
+	// After the final drain the store is healthy again: a last restart
+	// serves the key from disk with zero compiles.
+	addr, sigs, exit = launch(t, "-cache-dir", cacheDir)
+	if got := postJSON(t, addr, path, body); !bytes.Equal(got, want) {
+		t.Errorf("healed artifact served a different body")
+	}
+	if n := scrapeCounter(t, addr, "idemd_buildcache_compiles_total"); n != 0 {
+		t.Errorf("healed store still compiled %d times", n)
+	}
+	sigs <- syscall.SIGTERM
+	waitExit(t, exit, 15*time.Second)
+}
+
+// TestCacheDirUnusableFailsFast: a cache-dir that cannot be created is
+// a startup error, not a silent memory-only daemon.
+func TestCacheDirUnusableFailsFast(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "occupied")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	exit := make(chan int, 1)
+	go func() {
+		exit <- realMain([]string{"-addr", "127.0.0.1:0", "-cache-dir", filepath.Join(file, "sub")},
+			io.Discard, make(chan os.Signal))
+	}()
+	if code := waitExit(t, exit, 10*time.Second); code != 1 {
+		t.Fatalf("unusable cache-dir exit = %d, want 1", code)
+	}
+}
+
 // TestGracefulDrainExitsZero: one signal, idle daemon, clean exit.
 func TestGracefulDrainExitsZero(t *testing.T) {
 	addr, sigs, exit := launch(t)

@@ -21,8 +21,10 @@
 //
 // Exit status is nonzero on any permanently failed request, any
 // non-200 response, a digest or idempotence mismatch, or an unmet
-// -min-hit-ratio / -min-evictions assertion (scraped from the daemon's
-// /metrics, so smoke-test scripts need no curl/jq). SIGINT/SIGTERM
+// -min-hit-ratio / -min-evictions / -min-disk-hit-ratio / -max-compiles
+// assertion (scraped from the daemon's /metrics, so smoke-test scripts
+// need no curl/jq). The disk assertions drive the warm-restart tests
+// against `idemd -cache-dir` (docs/persistence.md). SIGINT/SIGTERM
 // flushes partial -json results and exits 130.
 package main
 
@@ -76,6 +78,8 @@ func realMain(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) in
 		jsonOut      = fs.String("json", "", "write the benchmark summary to this file (BENCH_serve.json)")
 		minHitRatio  = fs.Float64("min-hit-ratio", -1, "assert the daemon's compile-cache hit ratio is at least this (scraped from /metrics; <0 disables)")
 		minEvictions = fs.Int64("min-evictions", -1, "assert at least this many compile-cache evictions (<0 disables)")
+		minDiskRatio = fs.Float64("min-disk-hit-ratio", -1, "assert the disk-tier hit ratio (disk hits / disk lookups) is at least this; restart tests use it to prove warm starts (<0 disables)")
+		maxCompiles  = fs.Int64("max-compiles", -1, "assert at most this many actual codegen runs happened (<0 disables); 0 proves a fully warm start")
 		quiet        = fs.Bool("quiet", false, "suppress the per-pass progress line")
 
 		retries    = fs.Int("retries", 0, "re-execute failed requests up to this many times (safe: responses are idempotent)")
@@ -200,6 +204,12 @@ func realMain(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) in
 			summary["cache"] = map[string]any{
 				"hits": cache.hits, "misses": cache.misses,
 				"hit_ratio": cache.hitRatio(), "evictions": cache.evictions,
+				"compiles": cache.compiles,
+			}
+			summary["disk"] = map[string]any{
+				"hits": cache.diskHits, "misses": cache.diskMisses,
+				"writes": cache.diskWrites, "corrupt": cache.diskCorrupt,
+				"hit_ratio": cache.diskHitRatio(),
 			}
 			summary["server"] = map[string]any{"sim_preempted": cache.simPreempted}
 		}
@@ -282,8 +292,12 @@ func realMain(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) in
 		return 1
 	}
 	if !*quiet {
-		fmt.Fprintf(stdout, "cache: %d hits / %d misses (%.1f%% hit ratio), %d evictions\n",
-			cache.hits, cache.misses, 100*cache.hitRatio(), cache.evictions)
+		fmt.Fprintf(stdout, "cache: %d hits / %d misses (%.1f%% hit ratio), %d evictions, %d compiles\n",
+			cache.hits, cache.misses, 100*cache.hitRatio(), cache.evictions, cache.compiles)
+		if cache.diskHits+cache.diskMisses+cache.diskWrites > 0 {
+			fmt.Fprintf(stdout, "disk: %d hits / %d misses (%.1f%% hit ratio), %d writes, %d corrupt\n",
+				cache.diskHits, cache.diskMisses, 100*cache.diskHitRatio(), cache.diskWrites, cache.diskCorrupt)
+		}
 	}
 	if *minHitRatio >= 0 && cache.hitRatio() < *minHitRatio {
 		fmt.Fprintf(stderr, "idemload: cache hit ratio %.3f below required %.3f\n", cache.hitRatio(), *minHitRatio)
@@ -293,6 +307,17 @@ func realMain(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) in
 	if *minEvictions >= 0 && cache.evictions < *minEvictions {
 		fmt.Fprintf(stderr, "idemload: %d cache evictions below required %d\n", cache.evictions, *minEvictions)
 		flush("eviction assertion failed")
+		return 1
+	}
+	if *minDiskRatio >= 0 && cache.diskHitRatio() < *minDiskRatio {
+		fmt.Fprintf(stderr, "idemload: disk hit ratio %.3f below required %.3f (%d hits / %d misses)\n",
+			cache.diskHitRatio(), *minDiskRatio, cache.diskHits, cache.diskMisses)
+		flush("disk-hit-ratio assertion failed")
+		return 1
+	}
+	if *maxCompiles >= 0 && cache.compiles > *maxCompiles {
+		fmt.Fprintf(stderr, "idemload: %d compiles above allowed %d (warm start failed)\n", cache.compiles, *maxCompiles)
+		flush("compile-count assertion failed")
 		return 1
 	}
 
@@ -604,7 +629,10 @@ func genRequest(seed uint64, index int, weights [3]int) (string, []byte) {
 
 type serverCounters struct {
 	hits, misses, evictions int64
+	compiles                int64
 	simPreempted            int64
+	diskHits, diskMisses    int64
+	diskWrites, diskCorrupt int64
 }
 
 func (c serverCounters) hitRatio() float64 {
@@ -612,6 +640,15 @@ func (c serverCounters) hitRatio() float64 {
 		return 0
 	}
 	return float64(c.hits) / float64(c.hits+c.misses)
+}
+
+// diskHitRatio is disk hits over disk lookups (hits + misses; corrupt
+// artifacts are part of the misses).
+func (c serverCounters) diskHitRatio() float64 {
+	if c.diskHits+c.diskMisses == 0 {
+		return 0
+	}
+	return float64(c.diskHits) / float64(c.diskHits+c.diskMisses)
 }
 
 func scrapeServer(client *http.Client, base string) (serverCounters, error) {
@@ -634,6 +671,11 @@ func scrapeServer(client *http.Client, base string) (serverCounters, error) {
 			{"idemd_buildcache_hits_total ", &out.hits},
 			{"idemd_buildcache_misses_total ", &out.misses},
 			{"idemd_buildcache_evictions_total ", &out.evictions},
+			{"idemd_buildcache_compiles_total ", &out.compiles},
+			{"idemd_buildcache_disk_hits_total ", &out.diskHits},
+			{"idemd_buildcache_disk_misses_total ", &out.diskMisses},
+			{"idemd_buildcache_disk_writes_total ", &out.diskWrites},
+			{"idemd_buildcache_disk_corrupt_total ", &out.diskCorrupt},
 			{"idemd_sim_preempted_total ", &out.simPreempted},
 		} {
 			if v, ok := strings.CutPrefix(line, m.name); ok {

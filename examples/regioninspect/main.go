@@ -39,7 +39,7 @@ func main() {
 	for _, fn := range names {
 		res := st.Construction[fn]
 		fmt.Printf("%-16s %8d %8d %6d %10.1f %9d %8d\n", "@"+fn,
-			res.Stats.Instructions, res.Stats.RegionCount, len(res.Cuts),
+			res.Stats.Instructions, res.Stats.RegionCount, res.Cuts,
 			res.Stats.AvgRegionSize, res.Stats.AntidepsCut, res.Stats.LoopsUnrolled)
 	}
 

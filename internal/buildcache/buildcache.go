@@ -81,10 +81,16 @@ type Cache struct {
 	bytes    int64
 	maxBytes int64
 
+	// disk is the optional write-behind persistence tier (nil when the
+	// cache is memory-only). It is only consulted on memory misses and
+	// written off the singleflight path.
+	disk *Disk
+
 	// Counters are atomics: they are written on the request path (under
 	// mu or not) and read lock-free by Stats, which /metrics scrapes
 	// concurrently with in-flight compiles.
 	hits, misses atomic.Int64
+	compiles     atomic.Int64
 	evictions    atomic.Int64
 	compileNanos atomic.Int64
 }
@@ -94,11 +100,28 @@ func New() *Cache { return NewBounded(0) }
 
 // NewBounded returns an empty cache that evicts least-recently-used
 // completed entries once their estimated resident size exceeds maxBytes
-// (<= 0 means unbounded). The most recently completed entry is never
-// evicted, so a single entry larger than the bound still caches.
+// (<= 0 means unbounded). A single entry larger than the bound still
+// caches (there is no smaller state the cache could be in), but any
+// older entries are evicted to make way for it.
 func NewBounded(maxBytes int64) *Cache {
 	return &Cache{entries: map[Key]*entry{}, lru: list.New(), maxBytes: maxBytes}
 }
+
+// NewBoundedDisk is NewBounded with a persistent artifact tier rooted at
+// dir: memory misses try the disk before compiling, and fresh compiles
+// are written behind as content-keyed artifact files (see Disk). An
+// empty dir means no disk tier.
+func NewBoundedDisk(maxBytes int64, dir string) *Cache {
+	c := NewBounded(maxBytes)
+	if dir != "" {
+		c.disk = newDisk(dir)
+	}
+	return c
+}
+
+// Disk returns the cache's persistence tier, or nil for memory-only
+// caches.
+func (c *Cache) Disk() *Disk { return c.disk }
 
 // Compile returns the compiled program for (w, mo), building it on first
 // request and serving the memoized result afterwards. Concurrent calls
@@ -159,13 +182,16 @@ func (c *Cache) wait(ctx context.Context, e *entry) (*codegen.Program, *codegen.
 // a memoized error instead of killing the process: the cache backs a
 // long-running daemon that must survive hostile inputs.
 func (c *Cache) build(e *entry, w workloads.Workload, mo codegen.ModuleOptions) {
+	var compiled bool
 	start := time.Now()
 	defer func() {
 		if r := recover(); r != nil {
 			e.prog, e.stats = nil, nil
 			e.err = fmt.Errorf("buildcache: compile %s: panic: %v", w.Name, r)
 		}
-		c.compileNanos.Add(time.Since(start).Nanoseconds())
+		if compiled {
+			c.compileNanos.Add(time.Since(start).Nanoseconds())
+		}
 		close(e.done)
 
 		c.mu.Lock()
@@ -180,6 +206,20 @@ func (c *Cache) build(e *entry, w workloads.Workload, mo codegen.ModuleOptions) 
 		c.mu.Unlock()
 	}()
 
+	// Second tier: a valid persisted artifact serves the miss without
+	// compiling (the decoded Program is as immutable as a fresh one, so
+	// it repopulates the LRU like any other entry). Disk failures of any
+	// kind — missing, stale, corrupt — degrade to a recompile.
+	if c.disk != nil {
+		if p, st, ok := c.disk.load(e.key); ok {
+			e.prog, e.stats = p, st
+			machine.Predecode(e.prog)
+			return
+		}
+	}
+
+	compiled = true
+	c.compiles.Add(1)
 	e.prog, e.stats, e.err = codegen.CompileModuleOpts(w.Module(), "main", w.MemWords, mo)
 	if e.err == nil {
 		// Predecode at compile time: the decoded form is memoized per
@@ -187,14 +227,32 @@ func (c *Cache) build(e *entry, w workloads.Workload, mo codegen.ModuleOptions) 
 		// inside the singleflight — means experiment workers find it ready
 		// and never decode on the simulation path.
 		machine.Predecode(e.prog)
+		if c.disk != nil {
+			// Write-behind: persist off the singleflight path so waiters
+			// are not held for disk I/O.
+			c.disk.storeAsync(e.key, e.prog, e.stats)
+		}
 	}
 }
 
-// evict drops LRU completed entries until the cache fits its bound,
-// always keeping the most recently used entry. Caller holds c.mu.
+// evict drops LRU completed entries until the cache fits its bound.
+// The sole entry left is kept only when it alone exceeds the bound
+// (there is no smaller non-empty state); the old `lru.Len() > 1` guard
+// stopped one entry early unconditionally, so a single entry costlier
+// than maxBytes pinned the cache above its budget forever once anything
+// else was resident alongside it. Caller holds c.mu.
 func (c *Cache) evict() {
-	for c.maxBytes > 0 && c.bytes > c.maxBytes && c.lru.Len() > 1 {
+	for c.maxBytes > 0 && c.bytes > c.maxBytes {
 		el := c.lru.Back()
+		if el == nil {
+			return
+		}
+		if el == c.lru.Front() && el.Value.(*entry).cost > c.maxBytes {
+			// The just-inserted entry is itself oversized: keep it (evicting
+			// the result we were asked for would thrash) and accept the
+			// overshoot until the next insert pushes it out.
+			return
+		}
 		ev := el.Value.(*entry)
 		c.lru.Remove(el)
 		delete(c.entries, ev.key)
@@ -210,16 +268,24 @@ func (c *Cache) evict() {
 }
 
 // Cost model: entries are sized by a documented estimate, not exact heap
-// accounting. Per instruction we charge the encoded isa.Instr, the
-// predecoded record and the FuncOf string header; symbols and global
-// words are charged flat. The estimate only needs to be proportional to
-// the real footprint for LRU eviction to bound memory.
+// accounting. Per instruction we charge the encoded isa.Instr and the
+// FuncOf string header (perInstrCost), plus the predecoded record the
+// cache pins alongside every resident Program (perInstrPredecodeCost —
+// build() predecodes each entry at insert, and machine.DropPredecode
+// only runs at evict, so the memo's lifetime is exactly the entry's and
+// omitting it undercounted resident bytes by roughly a third); symbols
+// and global words are charged flat. The estimate only needs to be
+// proportional to the real footprint for LRU eviction to bound memory.
 const (
-	entryBaseCost  = 1 << 10 // entry + Program + BuildStats fixed parts
-	perInstrCost   = 128
-	perSymbolCost  = 64
-	perGlobalWord  = 8
-	errorEntryCost = entryBaseCost // memoized failures hold only an error
+	entryBaseCost = 1 << 10 // entry + Program + BuildStats fixed parts
+	perInstrCost  = 128
+	// perInstrPredecodeCost covers the decoded record machine.Predecode
+	// memoizes per instruction (~48 bytes of fields plus slice/alignment
+	// overhead).
+	perInstrPredecodeCost = 64
+	perSymbolCost         = 64
+	perGlobalWord         = 8
+	errorEntryCost        = entryBaseCost // memoized failures hold only an error
 )
 
 // entryCost estimates the resident bytes of a completed entry.
@@ -229,7 +295,7 @@ func entryCost(e *entry) int64 {
 	}
 	p := e.prog
 	cost := int64(entryBaseCost)
-	cost += int64(len(p.Instrs)) * perInstrCost
+	cost += int64(len(p.Instrs)) * (perInstrCost + perInstrPredecodeCost)
 	cost += int64(len(p.FuncEntry)+len(p.GlobalBase)) * perSymbolCost
 	cost += p.GlobalEnd * perGlobalWord
 	return cost
@@ -238,10 +304,10 @@ func entryCost(e *entry) int64 {
 // Stats is a point-in-time snapshot of cache effectiveness.
 type Stats struct {
 	// Hits counts requests served from an existing entry (including
-	// requests that waited on an in-flight compile); Misses counts
-	// requests that triggered a compile. Hits+Misses is the total request
-	// count; Misses equals the number of compiles ever started (>=
-	// Distinct once eviction is on, because evicted keys recompile).
+	// requests that waited on an in-flight build); Misses counts
+	// requests that triggered a build — a compile, or a disk-tier load.
+	// Hits+Misses is the total request count; Misses >= Distinct once
+	// eviction is on, because evicted keys rebuild.
 	Hits, Misses int64
 	// Distinct is the number of (workload, options) pairs currently
 	// resident (including in-flight compiles).
@@ -249,12 +315,22 @@ type Stats struct {
 	// CompileTime is the total wall time spent inside compiles, summed
 	// across workers (it can exceed elapsed wall time under parallelism).
 	CompileTime time.Duration
+	// Compiles counts actual codegen runs. Without a disk tier it equals
+	// Misses; with one it can be lower, because misses served from a
+	// persisted artifact skip the compiler entirely.
+	Compiles int64
 	// Evictions counts entries dropped by the byte bound; BytesInUse is
 	// the estimated resident size of completed entries; MaxBytes is the
 	// configured bound (0 = unbounded).
 	Evictions  int64
 	BytesInUse int64
 	MaxBytes   int64
+	// Disk tier counters (all zero for memory-only caches). DiskHits
+	// counts misses served from a persisted artifact; DiskMisses counts
+	// lookups the disk could not serve (no artifact, stale header, or
+	// corrupt payload — DiskCorrupt is the subset that found an invalid
+	// file); DiskWrites counts artifacts persisted.
+	DiskHits, DiskMisses, DiskWrites, DiskCorrupt int64
 }
 
 // Stats returns a snapshot of the cache counters. The monotonic counters
@@ -266,13 +342,21 @@ func (c *Cache) Stats() Stats {
 	distinct := len(c.entries)
 	bytes := c.bytes
 	c.mu.Unlock()
-	return Stats{
+	st := Stats{
 		Hits:        c.hits.Load(),
 		Misses:      c.misses.Load(),
+		Compiles:    c.compiles.Load(),
 		Distinct:    distinct,
 		CompileTime: time.Duration(c.compileNanos.Load()),
 		Evictions:   c.evictions.Load(),
 		BytesInUse:  bytes,
 		MaxBytes:    c.maxBytes,
 	}
+	if c.disk != nil {
+		st.DiskHits = c.disk.hits.Load()
+		st.DiskMisses = c.disk.misses.Load()
+		st.DiskWrites = c.disk.writes.Load()
+		st.DiskCorrupt = c.disk.corrupt.Load()
+	}
+	return st
 }

@@ -156,10 +156,14 @@ func TestConcurrentRunsMatchSerial(t *testing.T) {
 }
 
 // TestFingerprintCoversAllFields pins the field counts of the two
-// structs the fingerprint encodes. If either struct grows a field this
-// fails, pointing at codegen.ModuleOptions.Fingerprint, which must be
-// extended in lockstep or distinct configurations would silently alias
-// to one cache entry.
+// structs the fingerprint encodes (codegen.ModuleOptions and the nested
+// core.Options). If either struct grows a field this fails, pointing at
+// codegen.ModuleOptions.Fingerprint, which must be extended in lockstep
+// or distinct configurations would silently alias to one cache entry.
+// With the disk tier this pin is load-bearing for persistence too: the
+// fingerprint is the artifact key on disk, so an unencoded field would
+// alias artifacts across restarts and serve a Program compiled under
+// different options. The fingerprint must fail closed.
 func TestFingerprintCoversAllFields(t *testing.T) {
 	if n := reflect.TypeOf(codegen.ModuleOptions{}).NumField(); n != 4 {
 		t.Errorf("codegen.ModuleOptions has %d fields, fingerprint encodes 4: extend ModuleOptions.Fingerprint", n)
@@ -326,6 +330,93 @@ func TestBoundedEviction(t *testing.T) {
 	}
 	if after := c.Stats().Misses; after != before+1 {
 		t.Fatalf("evicted entry did not recompile: misses %d, want %d", after, before+1)
+	}
+}
+
+// insertCompleted places a synthetic completed entry of a given cost
+// directly on the cache structures (white-box), mimicking build()'s
+// insertion, and runs an eviction sweep.
+func insertCompleted(c *Cache, name string, cost int64) {
+	e := &entry{key: Key{Workload: name}, done: make(chan struct{}), cost: cost}
+	close(e.done)
+	c.mu.Lock()
+	c.entries[e.key] = e
+	e.elem = c.lru.PushFront(e)
+	c.bytes += e.cost
+	c.evict()
+	c.mu.Unlock()
+}
+
+// TestEvictToBoundRegression pins the eviction semantics the old
+// `lru.Len() > 1` guard got wrong: the sweep must evict all the way to
+// the byte bound, and the sole remaining entry may exceed it only when
+// that entry is itself larger than the whole budget (keep-one).
+func TestEvictToBoundRegression(t *testing.T) {
+	const bound = 100
+	c := NewBounded(bound)
+
+	// Entries that fit: eviction keeps occupancy at or under the bound.
+	insertCompleted(c, "a", 40)
+	insertCompleted(c, "b", 40)
+	insertCompleted(c, "c", 40)
+	if c.bytes > bound {
+		t.Fatalf("bytes %d exceeds bound %d after fitting inserts", c.bytes, bound)
+	}
+	if c.lru.Len() != 2 {
+		t.Fatalf("got %d resident entries, want 2 (a evicted)", c.lru.Len())
+	}
+
+	// An oversized insert evicts everything else and is kept alone above
+	// the bound (the only alternative is caching nothing).
+	insertCompleted(c, "big", 150)
+	if c.lru.Len() != 1 {
+		t.Fatalf("oversized insert left %d entries, want keep-one", c.lru.Len())
+	}
+	if _, ok := c.entries[Key{Workload: "big"}]; !ok {
+		t.Fatal("oversized entry was itself evicted")
+	}
+	if c.bytes != 150 {
+		t.Fatalf("bytes = %d, want 150 (the kept oversized entry)", c.bytes)
+	}
+
+	// The next fitting insert pushes the oversized entry out and restores
+	// the bound — the cache must not stay pinned above budget.
+	insertCompleted(c, "d", 40)
+	if c.bytes > bound {
+		t.Fatalf("bytes %d still above bound %d after oversized entry became LRU", c.bytes, bound)
+	}
+	if _, ok := c.entries[Key{Workload: "big"}]; ok {
+		t.Fatal("oversized entry still resident after a fitting insert")
+	}
+	if _, ok := c.entries[Key{Workload: "d"}]; !ok {
+		t.Fatal("newest fitting insert was evicted")
+	}
+}
+
+// TestEntryCostChargesPredecode pins the cost model: every resident
+// Program pins a predecoded record per instruction (build() predecodes
+// at insert; DropPredecode runs at evict), so entryCost must charge it
+// or the byte bound over-admits.
+func TestEntryCostChargesPredecode(t *testing.T) {
+	w := testWorkload(t)
+	c := New()
+	p, _, err := c.Compile(context.Background(), w, codegen.ModuleOptions{Idempotent: true, Core: core.DefaultOptions()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &entry{prog: p}
+	want := int64(entryBaseCost)
+	want += int64(len(p.Instrs)) * (perInstrCost + perInstrPredecodeCost)
+	want += int64(len(p.FuncEntry)+len(p.GlobalBase)) * perSymbolCost
+	want += p.GlobalEnd * perGlobalWord
+	if got := entryCost(e); got != want {
+		t.Fatalf("entryCost = %d, want %d", got, want)
+	}
+	// The predecode term must be material: the per-instruction charge is
+	// the dominant component for real programs.
+	withoutPredecode := want - int64(len(p.Instrs))*perInstrPredecodeCost
+	if want <= withoutPredecode {
+		t.Fatal("predecode term contributes nothing to the cost model")
 	}
 }
 

@@ -1,0 +1,352 @@
+package buildcache
+
+// Disk is the cache's write-behind persistence tier: completed compiles
+// are serialized (codegen.EncodeProgram) into content-keyed artifact
+// files, and later memory misses — including after a process restart —
+// are served by decoding the artifact instead of recompiling.
+//
+// Layout: <dir>/<workload>/<memWords>/<sha256(fingerprint)>.art. The
+// workload and memory size are human-readable path components (so an
+// operator can see and prune what is cached); the options fingerprint is
+// hashed because it is long and contains characters unfit for paths.
+//
+// Every artifact carries a header — magic, codec version, the full key
+// (workload, memWords, verbatim fingerprint), and a sha256 of the
+// payload — and the payload itself decodes strictly. A mismatch on any
+// of these is a MISS, never an error: a stale fingerprint (hash
+// collision or a codec/options change), a truncated write, or bit rot
+// all degrade to a recompile, and the invalid file is removed so it is
+// not re-validated on every miss. Disk I/O failures are likewise
+// swallowed: persistence is an optimization and the cache must keep
+// working on a full or read-only disk.
+//
+// Writes go through a temp file in the same directory followed by an
+// atomic rename, so a crash mid-write never leaves a partially-visible
+// artifact, and they run on background goroutines (bounded by a
+// semaphore) off the singleflight path. Flush waits for them on
+// shutdown.
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"idemproc/internal/codegen"
+)
+
+// artifactMagic is the 8-byte file signature. The trailing newline makes
+// `head -c8` output readable and guards against CRLF translation.
+const artifactMagic = "IDEMART\n"
+
+// maxStoreWorkers bounds concurrent background artifact writes.
+const maxStoreWorkers = 4
+
+// Disk is the persistence tier of a Cache. Create via NewBoundedDisk.
+type Disk struct {
+	dir string
+	sem chan struct{}
+	wg  sync.WaitGroup
+
+	hits, misses, writes, corrupt atomic.Int64
+}
+
+func newDisk(dir string) *Disk {
+	return &Disk{dir: dir, sem: make(chan struct{}, maxStoreWorkers)}
+}
+
+// Dir returns the artifact root directory.
+func (d *Disk) Dir() string { return d.dir }
+
+// path maps a cache key to its artifact file.
+func (d *Disk) path(key Key) string {
+	sum := sha256.Sum256([]byte(key.Options))
+	return filepath.Join(d.dir, sanitize(key.Workload), strconv.Itoa(key.MemWords),
+		hex.EncodeToString(sum[:])+".art")
+}
+
+// sanitize makes a workload name safe as a path component. Workload
+// names are already identifier-like; this is defense against synthetic
+// names carrying separators.
+func sanitize(name string) string {
+	if name == "" {
+		return "_"
+	}
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+			return r
+		}
+		return '_'
+	}, name)
+}
+
+// encodeArtifact frames an encoded payload with the verification header.
+func encodeArtifact(key Key, payload []byte) []byte {
+	buf := []byte(artifactMagic)
+	buf = binary.AppendUvarint(buf, codegen.CodecVersion)
+	buf = appendString(buf, key.Workload)
+	buf = binary.AppendVarint(buf, int64(key.MemWords))
+	buf = appendString(buf, key.Options)
+	buf = binary.AppendUvarint(buf, uint64(len(payload)))
+	sum := sha256.Sum256(payload)
+	buf = append(buf, sum[:]...)
+	buf = append(buf, payload...)
+	return buf
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// decodeArtifact verifies the header against key and returns the
+// payload. Any mismatch or framing problem returns an error; the caller
+// treats every error as "not cached".
+func decodeArtifact(key Key, data []byte) ([]byte, error) {
+	if len(data) < len(artifactMagic) || string(data[:len(artifactMagic)]) != artifactMagic {
+		return nil, fmt.Errorf("bad magic")
+	}
+	data = data[len(artifactMagic):]
+	next := func() (string, error) {
+		n, k := binary.Uvarint(data)
+		if k <= 0 || uint64(len(data)-k) < n {
+			return "", fmt.Errorf("truncated header")
+		}
+		s := string(data[k : k+int(n)])
+		data = data[k+int(n):]
+		return s, nil
+	}
+	ver, k := binary.Uvarint(data)
+	if k <= 0 {
+		return nil, fmt.Errorf("truncated version")
+	}
+	data = data[k:]
+	if ver != codegen.CodecVersion {
+		return nil, fmt.Errorf("codec version %d, want %d", ver, codegen.CodecVersion)
+	}
+	workload, err := next()
+	if err != nil {
+		return nil, err
+	}
+	mem, k := binary.Varint(data)
+	if k <= 0 {
+		return nil, fmt.Errorf("truncated memWords")
+	}
+	data = data[k:]
+	options, err := next()
+	if err != nil {
+		return nil, err
+	}
+	if workload != key.Workload || int(mem) != key.MemWords || options != key.Options {
+		return nil, fmt.Errorf("key mismatch (stale artifact)")
+	}
+	plen, k := binary.Uvarint(data)
+	if k <= 0 {
+		return nil, fmt.Errorf("truncated payload length")
+	}
+	data = data[k:]
+	if len(data) < sha256.Size {
+		return nil, fmt.Errorf("truncated checksum")
+	}
+	want := data[:sha256.Size]
+	payload := data[sha256.Size:]
+	if uint64(len(payload)) != plen {
+		return nil, fmt.Errorf("payload is %d bytes, header says %d", len(payload), plen)
+	}
+	sum := sha256.Sum256(payload)
+	if !bytes.Equal(sum[:], want) {
+		return nil, fmt.Errorf("payload checksum mismatch")
+	}
+	return payload, nil
+}
+
+// load tries to serve key from disk. ok is false on any failure —
+// missing file, stale header, corrupt payload — and the counters
+// distinguish the cases: every failed load counts as a miss, and loads
+// that found an invalid file additionally count it as corrupt (and
+// remove the file so the next miss goes straight to the compiler).
+func (d *Disk) load(key Key) (p *codegen.Program, st *codegen.BuildStats, ok bool) {
+	path := d.path(key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		d.misses.Add(1)
+		return nil, nil, false
+	}
+	payload, err := decodeArtifact(key, data)
+	if err == nil {
+		p, st, err = codegen.DecodeProgram(payload)
+	}
+	if err != nil {
+		d.corrupt.Add(1)
+		d.misses.Add(1)
+		os.Remove(path)
+		return nil, nil, false
+	}
+	d.hits.Add(1)
+	return p, st, true
+}
+
+// storeAsync persists a completed compile in the background. Failures
+// are silent (persistence is best-effort); successes count in writes.
+func (d *Disk) storeAsync(key Key, p *codegen.Program, st *codegen.BuildStats) {
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		d.sem <- struct{}{}
+		defer func() { <-d.sem }()
+		if d.store(key, p, st) == nil {
+			d.writes.Add(1)
+		}
+	}()
+}
+
+// store writes the artifact for key atomically (temp file + rename in
+// the same directory).
+func (d *Disk) store(key Key, p *codegen.Program, st *codegen.BuildStats) error {
+	path := d.path(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	data := encodeArtifact(key, codegen.EncodeProgram(p, st))
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*.art")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// Flush waits for in-flight background writes to land (or ctx to
+// expire). Call on shutdown so a drain leaves the artifact store as
+// warm as the memory tier was.
+func (d *Disk) Flush(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		d.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// ScanResult summarizes a warm-start scan of the artifact directory.
+type ScanResult struct {
+	// Entries and Bytes count well-formed artifact files (header framing
+	// and payload checksum verified; payloads are not fully decoded).
+	Entries int
+	Bytes   int64
+	// Corrupt counts invalid .art files found and removed.
+	Corrupt int
+}
+
+// Scan walks the artifact directory, validating file framing and
+// checksums, and prunes invalid artifacts. idemd runs it at boot so the
+// operator sees what a -cache-dir warm start has to offer and so
+// corruption surfaces immediately rather than on first request. Stale-
+// but-valid artifacts (e.g. from an older options fingerprint) are left
+// in place: they are unreachable until their exact key is requested
+// again, but harmless.
+func (d *Disk) Scan() ScanResult {
+	var res ScanResult
+	filepath.WalkDir(d.dir, func(path string, de fs.DirEntry, err error) error {
+		if err != nil || de.IsDir() || !strings.HasSuffix(path, ".art") ||
+			strings.HasPrefix(filepath.Base(path), ".tmp-") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err == nil {
+			err = verifyFraming(data)
+		}
+		if err != nil {
+			res.Corrupt++
+			d.corrupt.Add(1)
+			os.Remove(path)
+			return nil
+		}
+		res.Entries++
+		res.Bytes += int64(len(data))
+		return nil
+	})
+	return res
+}
+
+// verifyFraming checks an artifact's magic, version, header framing and
+// payload checksum without requiring the cache key or decoding the
+// payload.
+func verifyFraming(data []byte) error {
+	if len(data) < len(artifactMagic) || string(data[:len(artifactMagic)]) != artifactMagic {
+		return fmt.Errorf("bad magic")
+	}
+	data = data[len(artifactMagic):]
+	ver, k := binary.Uvarint(data)
+	if k <= 0 {
+		return fmt.Errorf("truncated version")
+	}
+	data = data[k:]
+	if ver != codegen.CodecVersion {
+		return fmt.Errorf("codec version %d", ver)
+	}
+	skipString := func() error {
+		n, k := binary.Uvarint(data)
+		if k <= 0 || uint64(len(data)-k) < n {
+			return fmt.Errorf("truncated header")
+		}
+		data = data[k+int(n):]
+		return nil
+	}
+	if err := skipString(); err != nil { // workload
+		return err
+	}
+	if _, k := binary.Varint(data); k <= 0 { // memWords
+		return fmt.Errorf("truncated memWords")
+	} else {
+		data = data[k:]
+	}
+	if err := skipString(); err != nil { // fingerprint
+		return err
+	}
+	plen, k := binary.Uvarint(data)
+	if k <= 0 {
+		return fmt.Errorf("truncated payload length")
+	}
+	data = data[k:]
+	if len(data) < sha256.Size {
+		return fmt.Errorf("truncated checksum")
+	}
+	payload := data[sha256.Size:]
+	if uint64(len(payload)) != plen {
+		return fmt.Errorf("payload length mismatch")
+	}
+	sum := sha256.Sum256(payload)
+	if !bytes.Equal(sum[:], data[:sha256.Size]) {
+		return fmt.Errorf("payload checksum mismatch")
+	}
+	return nil
+}

@@ -10,11 +10,15 @@ import (
 	"idemproc/internal/ssa"
 )
 
-// BuildStats aggregates per-module compilation statistics.
+// BuildStats aggregates per-module compilation statistics. It is plain
+// data — no IR pointers — so a BuildStats round-trips losslessly through
+// the binary artifact codec (serialize.go) alongside its Program; the
+// disk tier of internal/buildcache depends on that to serve compile
+// reports from persisted artifacts byte-identically.
 type BuildStats struct {
-	// Construction holds each function's region-construction result
+	// Construction holds each function's region-construction summary
 	// (idempotent builds only).
-	Construction map[string]*core.Result
+	Construction map[string]*FuncConstruction
 	// Marks is the total number of region boundaries.
 	Marks int
 	// SpillLoads/SpillStores are static spill-code counts.
@@ -25,6 +29,43 @@ type BuildStats struct {
 	// paper: "our compiler does not grow the size of the stack
 	// significantly").
 	FrameWords int
+}
+
+// FuncConstruction is one function's §4 region-construction outcome in
+// the plain-data form reports and experiment tables consume. Unlike
+// core.Result it carries no *ir.Value or *ir.Func references: the
+// antidependences are rendered to their textual form at build time, so
+// the summary survives serialization and outlives the (mutated) IR.
+type FuncConstruction struct {
+	// Stats summarizes the construction (see core.Stats).
+	Stats core.Stats
+	// Cuts is the total number of region cuts placed, including any extra
+	// cuts the §4.4 live-in repair loop added during compilation.
+	Cuts int
+	// Antideps are the memory antidependences the construction cut.
+	Antideps []AntidepInfo
+}
+
+// AntidepInfo is one cut clobber antidependence, with the read and write
+// rendered via ir.Value.LongString.
+type AntidepInfo struct {
+	Read, Write string
+	MustAlias   bool
+}
+
+// summarizeConstruction flattens a core.Result. Called after the
+// function is fully compiled so Cuts includes repair-loop additions
+// (codegen.Compile grows the cut set in place).
+func summarizeConstruction(res *core.Result) *FuncConstruction {
+	fc := &FuncConstruction{Stats: res.Stats, Cuts: len(res.Cuts)}
+	for _, d := range res.Antideps {
+		fc.Antideps = append(fc.Antideps, AntidepInfo{
+			Read:      d.Read.LongString(),
+			Write:     d.Write.LongString(),
+			MustAlias: d.MustAliasPair,
+		})
+	}
+	return fc
 }
 
 // CompileModule lowers every function of m and links an executable whose
@@ -59,7 +100,7 @@ func CompileModuleOpts(m *ir.Module, main string, memWords int, mo ModuleOptions
 	idem := mo.Idempotent
 	opts := mo.Core
 	globalBase, _ := LayoutGlobals(m)
-	st := &BuildStats{Construction: map[string]*core.Result{}}
+	st := &BuildStats{Construction: map[string]*FuncConstruction{}}
 	if mo.PureCalls && idem {
 		opts.PureFuncs = core.PureFunctions(m)
 	}
@@ -87,12 +128,13 @@ func CompileModuleOpts(m *ir.Module, main string, memWords int, mo ModuleOptions
 			funcs = append(funcs, c)
 			continue
 		}
+		var res *core.Result
 		if idem {
-			res, err := core.Construct(f, opts)
+			r, err := core.Construct(f, opts)
 			if err != nil {
 				return nil, nil, fmt.Errorf("construct @%s: %w", f.Name, err)
 			}
-			st.Construction[f.Name] = res
+			res = r
 			cuts = res.Cuts
 		} else {
 			// The conventional flow: same mid-end, no region machinery.
@@ -108,6 +150,11 @@ func CompileModuleOpts(m *ir.Module, main string, memWords int, mo ModuleOptions
 		c, err := Compile(f, globalBase, Options{Cuts: cuts, RelaxedAlloc: mo.RelaxedAlloc})
 		if err != nil {
 			return nil, nil, fmt.Errorf("compile @%s: %w", f.Name, err)
+		}
+		if res != nil {
+			// Summarize after Compile so the repair loop's extra cuts are
+			// counted (Compile grows res.Cuts in place).
+			st.Construction[f.Name] = summarizeConstruction(res)
 		}
 		st.Marks += c.Marks
 		st.SpillLoads += c.SpillLoads

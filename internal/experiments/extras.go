@@ -330,7 +330,7 @@ func (e *Engine) Characteristics(ws []workloads.Workload) ([]CharacteristicsRow,
 			row.Functions++
 			row.Instructions += res.Stats.Instructions
 			row.Regions += res.Stats.RegionCount
-			row.Cuts += len(res.Cuts)
+			row.Cuts += res.Cuts
 			total += res.Stats.AvgRegionSize * float64(res.Stats.RegionCount)
 		}
 		if row.Regions > 0 {

@@ -261,9 +261,9 @@ func ReportForBuild(w workloads.Workload, mo codegen.ModuleOptions, st *codegen.
 		}
 		for _, d := range res.Antideps {
 			fr.Antideps = append(fr.Antideps, AntidepReport{
-				Read:      d.Read.LongString(),
-				Write:     d.Write.LongString(),
-				MustAlias: d.MustAliasPair,
+				Read:      d.Read,
+				Write:     d.Write,
+				MustAlias: d.MustAlias,
 			})
 		}
 		rep.Functions = append(rep.Functions, fr)

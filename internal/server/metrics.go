@@ -161,7 +161,7 @@ func (m *Metrics) Render(cache buildcache.Stats) string {
 	fmt.Fprintf(&b, "# HELP idemd_buildcache_hits_total Compile cache hits.\n")
 	fmt.Fprintf(&b, "# TYPE idemd_buildcache_hits_total counter\n")
 	fmt.Fprintf(&b, "idemd_buildcache_hits_total %d\n", cache.Hits)
-	fmt.Fprintf(&b, "# HELP idemd_buildcache_misses_total Compile cache misses (compiles started).\n")
+	fmt.Fprintf(&b, "# HELP idemd_buildcache_misses_total Compile cache misses (builds started: compile or disk load).\n")
 	fmt.Fprintf(&b, "# TYPE idemd_buildcache_misses_total counter\n")
 	fmt.Fprintf(&b, "idemd_buildcache_misses_total %d\n", cache.Misses)
 	fmt.Fprintf(&b, "# HELP idemd_buildcache_evictions_total Entries evicted by the byte bound.\n")
@@ -179,6 +179,21 @@ func (m *Metrics) Render(cache buildcache.Stats) string {
 	fmt.Fprintf(&b, "# HELP idemd_buildcache_compile_seconds_total Wall time spent compiling, summed across workers.\n")
 	fmt.Fprintf(&b, "# TYPE idemd_buildcache_compile_seconds_total counter\n")
 	fmt.Fprintf(&b, "idemd_buildcache_compile_seconds_total %.9f\n", cache.CompileTime.Seconds())
+	fmt.Fprintf(&b, "# HELP idemd_buildcache_compiles_total Actual codegen runs (misses not served by the disk tier).\n")
+	fmt.Fprintf(&b, "# TYPE idemd_buildcache_compiles_total counter\n")
+	fmt.Fprintf(&b, "idemd_buildcache_compiles_total %d\n", cache.Compiles)
+	fmt.Fprintf(&b, "# HELP idemd_buildcache_disk_hits_total Cache misses served from a persisted artifact.\n")
+	fmt.Fprintf(&b, "# TYPE idemd_buildcache_disk_hits_total counter\n")
+	fmt.Fprintf(&b, "idemd_buildcache_disk_hits_total %d\n", cache.DiskHits)
+	fmt.Fprintf(&b, "# HELP idemd_buildcache_disk_misses_total Disk-tier lookups not served (no artifact, stale, or corrupt).\n")
+	fmt.Fprintf(&b, "# TYPE idemd_buildcache_disk_misses_total counter\n")
+	fmt.Fprintf(&b, "idemd_buildcache_disk_misses_total %d\n", cache.DiskMisses)
+	fmt.Fprintf(&b, "# HELP idemd_buildcache_disk_writes_total Artifacts persisted by write-behind.\n")
+	fmt.Fprintf(&b, "# TYPE idemd_buildcache_disk_writes_total counter\n")
+	fmt.Fprintf(&b, "idemd_buildcache_disk_writes_total %d\n", cache.DiskWrites)
+	fmt.Fprintf(&b, "# HELP idemd_buildcache_disk_corrupt_total Invalid artifacts found and pruned (subset of disk misses).\n")
+	fmt.Fprintf(&b, "# TYPE idemd_buildcache_disk_corrupt_total counter\n")
+	fmt.Fprintf(&b, "idemd_buildcache_disk_corrupt_total %d\n", cache.DiskCorrupt)
 
 	fmt.Fprintf(&b, "# HELP idemd_uptime_seconds Seconds since process start.\n")
 	fmt.Fprintf(&b, "# TYPE idemd_uptime_seconds gauge\n")

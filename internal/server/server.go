@@ -47,6 +47,11 @@ type Config struct {
 	RequestTimeout time.Duration
 	// CacheMaxBytes bounds the compile cache (0 = unbounded).
 	CacheMaxBytes int64
+	// CacheDir, when non-empty, roots the persistent artifact store:
+	// compiles are written behind as verified artifact files and memory
+	// misses (cold start, eviction) reload from disk instead of
+	// recompiling. See docs/persistence.md.
+	CacheDir string
 	// MaxBodyBytes bounds request bodies (default 8 MiB).
 	MaxBodyBytes int64
 	// MaxBatchUnits bounds /v1/batch fan-out (default 256).
@@ -109,7 +114,7 @@ type Server struct {
 // engine.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	cache := buildcache.NewBounded(cfg.CacheMaxBytes)
+	cache := buildcache.NewBoundedDisk(cfg.CacheMaxBytes, cfg.CacheDir)
 	s := &Server{
 		cfg:     cfg,
 		cache:   cache,
@@ -160,6 +165,15 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		return nil
 	}
 	err := s.httpSrv.Shutdown(ctx)
+	if d := s.cache.Disk(); d != nil {
+		// Let in-flight write-behind artifact writes land before exit, so
+		// a restart finds everything the drained process compiled.
+		if ferr := d.Flush(ctx); ferr != nil {
+			s.cfg.Logf("idemd: artifact flush aborted: %v", ferr)
+		} else {
+			s.cfg.Logf("idemd: artifact store flushed")
+		}
+	}
 	s.cfg.Logf("idemd: drained")
 	return err
 }
