@@ -6,7 +6,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: all build fmt-check vet check test race race-fault bench bench-sim bench-serve bench-quick serve-smoke chaos-smoke persist-smoke ci
+.PHONY: all build fmt-check vet check test race race-fault bench bench-sim bench-serve bench-shard bench-quick serve-smoke chaos-smoke persist-smoke shard-smoke ci
 
 all: build
 
@@ -28,6 +28,7 @@ test: check
 	$(MAKE) serve-smoke
 	$(MAKE) chaos-smoke
 	$(MAKE) persist-smoke
+	$(MAKE) shard-smoke
 
 # serve-smoke is the end-to-end service gate: boot idemd on a free port,
 # fire a seeded idemload burst twice (same seed must yield byte-identical
@@ -55,6 +56,16 @@ chaos-smoke: build
 persist-smoke: build
 	./scripts/persist_smoke.sh
 
+# shard-smoke is the end-to-end sharding gate: seeded baselines against
+# one idemd, then the same campaigns through idemfront over a 3-replica
+# fleet. The fleet must reproduce the baseline digests byte-for-byte,
+# match the baseline's cache hit ratio on the summed replica counters,
+# show hits on every replica (the ring partitioned the working set), and
+# absorb a SIGKILLed replica mid-campaign with zero failures. See
+# scripts/shard_smoke.sh and docs/sharding.md.
+shard-smoke: build
+	./scripts/shard_smoke.sh
+
 # The race detector multiplies runtime; race-fault covers the concurrent
 # components quickly (campaign engine, simulator, compile cache,
 # experiment engine, idemd service core, resilience/chaos layers and the
@@ -63,7 +74,8 @@ race-fault:
 	$(GO) test -race ./internal/fault/... ./internal/machine/... \
 		./internal/buildcache/... ./internal/experiments/... \
 		./internal/server/... ./internal/resilience/... \
-		./internal/chaos/... ./cmd/idemd/... ./cmd/idemload/...
+		./internal/chaos/... ./internal/shard/... \
+		./cmd/idemd/... ./cmd/idemfront/... ./cmd/idemload/...
 
 race:
 	$(GO) test -race ./...
@@ -102,6 +114,18 @@ BENCH_SERVE_CONCURRENCY ?= 32
 bench-serve: build
 	BENCH_SERVE_REQUESTS=$(BENCH_SERVE_REQUESTS) \
 	BENCH_SERVE_CONCURRENCY=$(BENCH_SERVE_CONCURRENCY) \
+		./scripts/bench_serve.sh
+
+# bench-shard runs the same acceptance workload through idemfront over a
+# BENCH_SHARD_REPLICAS-wide idemd fleet (default 3) and writes
+# BENCH_shard.json; compare against BENCH_serve.json at equal request
+# count and concurrency to measure what sharding buys (req/s, and the
+# per-replica hit ratios proving the working set partitioned).
+BENCH_SHARD_REPLICAS ?= 3
+bench-shard: build
+	BENCH_SERVE_REQUESTS=$(BENCH_SERVE_REQUESTS) \
+	BENCH_SERVE_CONCURRENCY=$(BENCH_SERVE_CONCURRENCY) \
+	FRONT=1 REPLICAS=$(BENCH_SHARD_REPLICAS) \
 		./scripts/bench_serve.sh
 
 # bench-quick is the fast smoke slice of the evaluation: the simulator

@@ -60,6 +60,7 @@ func realMain(args []string, stderr io.Writer, sigs <-chan os.Signal) int {
 		cacheBytes   = fs.Int64("cache-bytes", 0, "compile-cache byte bound; LRU entries are evicted past it (0 = unbounded)")
 		cacheDir     = fs.String("cache-dir", "", "persistent artifact store directory: compiles are written behind as verified artifacts and reloaded across restarts (empty = memory-only)")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests before abandoning them")
+		pprofAddr    = fs.String("pprof-addr", "", "serve net/http/pprof on this side listener (host:port; port 0 picks a free port; empty = off)")
 		quiet        = fs.Bool("quiet", false, "suppress the per-request log line")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -99,6 +100,19 @@ func realMain(args []string, stderr io.Writer, sigs <-chan os.Signal) int {
 		scan := d.Scan()
 		cfg.Logf("idemd: artifact store %s: %d artifacts, %d bytes, %d corrupt pruned",
 			d.Dir(), scan.Entries, scan.Bytes, scan.Corrupt)
+	}
+
+	if *pprofAddr != "" {
+		// Profiling stays off the service listener: the side mux carries
+		// only pprof, so the main port's surface is unchanged and a
+		// firewall can treat the two differently.
+		pa, closePprof, err := server.ServePprof(*pprofAddr)
+		if err != nil {
+			fmt.Fprintf(stderr, "idemd: pprof: %v\n", err)
+			return 1
+		}
+		defer closePprof()
+		logf("idemd: pprof listening on http://%s/debug/pprof/", pa)
 	}
 
 	l, err := net.Listen("tcp", *addr)

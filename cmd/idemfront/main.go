@@ -1,0 +1,184 @@
+// Command idemfront is the sharded front tier for an idemd replica
+// fleet. It routes /v1/compile and /v1/simulate by the same content key
+// the replicas' compile caches use — so each replica's bounded cache
+// holds a disjoint slice of the working set — and splits /v1/batch into
+// per-replica sub-batches, fanned out concurrently and reassembled in
+// index order. Responses are byte-identical to a single idemd process;
+// a dead or draining replica costs throughput (its keys rehash to the
+// deterministic next owner), never correctness.
+//
+//	idemfront -backends 127.0.0.1:7777,127.0.0.1:7778,127.0.0.1:7779
+//	idemfront -addr 127.0.0.1:0 -addr-file /tmp/idemfront.addr -backends ...
+//
+// Endpoints: POST /v1/compile, /v1/simulate, /v1/batch; GET /healthz,
+// /readyz (503 while draining or with zero healthy backends), /metrics
+// (fleet-level: per-backend traffic, ring generation, rebalances,
+// failovers). See docs/sharding.md for the ring algorithm and the
+// determinism contract, docs/service.md for the request schema.
+// SIGINT/SIGTERM drain gracefully; a second signal forces exit 3, the
+// same contract idemd honors.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"idemproc/internal/server"
+	"idemproc/internal/shard"
+)
+
+func main() {
+	// Buffered for two deliveries: the graceful drain and the hard exit.
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	os.Exit(realMain(os.Args[1:], os.Stderr, sigs))
+}
+
+// exitHardStop matches idemd: second signal while draining.
+const exitHardStop = 3
+
+// realMain is main with injectable args, log stream and signal channel
+// so tests can assert on exit codes and drain behavior.
+func realMain(args []string, stderr io.Writer, sigs <-chan os.Signal) int {
+	fs := flag.NewFlagSet("idemfront", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr             = fs.String("addr", "127.0.0.1:7700", "listen address (host:port; port 0 picks a free port)")
+		addrFile         = fs.String("addr-file", "", "write the bound address to this file once listening (for scripts with -addr :0)")
+		backends         = fs.String("backends", "", "comma-separated idemd replica addresses (host:port); required")
+		healthInterval   = fs.Duration("health-interval", 250*time.Millisecond, "how often each backend's /readyz is probed")
+		reqTimeout       = fs.Duration("request-timeout", 60*time.Second, "per-request deadline at the front, spanning all failover attempts (negative disables)")
+		retries          = fs.Int("retries", 1, "per-backend retry budget before failing over to the next ring owner")
+		hedgeAfter       = fs.Duration("hedge-after", 0, "launch a duplicate attempt on the same backend after this long (0 = off); siblings are verified byte-identical")
+		breakerThreshold = fs.Int("breaker-threshold", 4, "consecutive failures that open a backend's circuit breaker (0 disables)")
+		seed             = fs.Uint64("seed", 1, "seed for the deterministic retry-jitter streams")
+		drainTimeout     = fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests before abandoning them")
+		pprofAddr        = fs.String("pprof-addr", "", "serve net/http/pprof on this side listener (host:port; port 0 picks a free port; empty = off)")
+		quiet            = fs.Bool("quiet", false, "suppress lifecycle log lines")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "idemfront: unexpected arguments: %v\n", fs.Args())
+		return 2
+	}
+	var reps []string
+	for _, b := range strings.Split(*backends, ",") {
+		if b = strings.TrimSpace(b); b != "" {
+			reps = append(reps, b)
+		}
+	}
+	if len(reps) == 0 {
+		fmt.Fprintln(stderr, "idemfront: -backends is required (comma-separated host:port list)")
+		return 2
+	}
+
+	logf := func(format string, args ...any) { fmt.Fprintf(stderr, format+"\n", args...) }
+	cfgLogf := logf
+	if *quiet {
+		cfgLogf = func(string, ...any) {}
+	}
+	front, err := shard.New(shard.Config{
+		Backends:         reps,
+		HealthInterval:   *healthInterval,
+		RequestTimeout:   *reqTimeout,
+		Retries:          *retries,
+		HedgeAfter:       *hedgeAfter,
+		BreakerThreshold: *breakerThreshold,
+		Seed:             *seed,
+		Logf:             cfgLogf,
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "idemfront: %v\n", err)
+		return 1
+	}
+
+	if *pprofAddr != "" {
+		pa, closePprof, err := server.ServePprof(*pprofAddr)
+		if err != nil {
+			fmt.Fprintf(stderr, "idemfront: pprof: %v\n", err)
+			front.Close()
+			return 1
+		}
+		defer closePprof()
+		logf("idemfront: pprof listening on http://%s/debug/pprof/", pa)
+	}
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "idemfront: listen: %v\n", err)
+		front.Close()
+		return 1
+	}
+	if *addrFile != "" {
+		// Write-then-rename so a polling script never reads a partial
+		// address.
+		tmp := *addrFile + ".tmp"
+		if err := os.WriteFile(tmp, []byte(l.Addr().String()+"\n"), 0o644); err != nil {
+			fmt.Fprintf(stderr, "idemfront: addr-file: %v\n", err)
+			l.Close()
+			front.Close()
+			return 1
+		}
+		if err := os.Rename(tmp, *addrFile); err != nil {
+			fmt.Fprintf(stderr, "idemfront: addr-file: %v\n", err)
+			l.Close()
+			front.Close()
+			return 1
+		}
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- front.Serve(l) }()
+
+	select {
+	case err := <-serveErr:
+		front.Close()
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(stderr, "idemfront: serve: %v\n", err)
+			return 1
+		}
+		return 0
+	case <-sigs:
+	}
+
+	// First signal: graceful drain in the background so a second signal
+	// can still be heard — same protocol as idemd, so supervisors and
+	// smoke scripts treat the two tiers uniformly.
+	logf("idemfront: draining (timeout %s)", *drainTimeout)
+	drainDone := make(chan int, 1)
+	go func() {
+		dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		code := 0
+		if err := front.Shutdown(dctx); err != nil {
+			fmt.Fprintf(stderr, "idemfront: drain: %v\n", err)
+			code = 1
+		}
+		if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(stderr, "idemfront: serve: %v\n", err)
+			code = 1
+		}
+		drainDone <- code
+	}()
+	select {
+	case code := <-drainDone:
+		logf("idemfront: stopped")
+		return code
+	case <-sigs:
+		fmt.Fprintln(stderr, "idemfront: second signal during drain, forcing exit")
+		front.Close()
+		return exitHardStop
+	}
+}

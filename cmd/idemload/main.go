@@ -68,7 +68,10 @@ func realMain(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) in
 	fs := flag.NewFlagSet("idemload", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		addr         = fs.String("addr", "127.0.0.1:7777", "idemd address (host:port)")
+		addr         = fs.String("addr", "127.0.0.1:7777", "idemd (or idemfront) address (host:port)")
+		scrape       = fs.String("scrape", "", "comma-separated /metrics scrape targets (host:port; default: -addr). When driving a front tier, list every replica: counters are summed so the cache assertions gate fleet-wide behavior")
+		expectDigest = fs.String("expect-digest", "", "assert the pass digest equals this 16-hex-digit value (cross-fleet identity: run a 1-replica baseline, then require the fleet to reproduce its digest)")
+		replicaHits  = fs.Bool("require-replica-hits", false, "assert every scrape target reports at least one compile-cache hit (proves the ring actually spread the working set)")
 		concurrency  = fs.Int("concurrency", 32, "concurrent in-flight requests")
 		requests     = fs.Int("requests", 2000, "requests per pass")
 		seed         = fs.Uint64("seed", 1, "request-mix seed (same seed => same requests => same digest)")
@@ -101,6 +104,25 @@ func realMain(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) in
 		fmt.Fprintf(stderr, "idemload: %v\n", err)
 		return 2
 	}
+	// Scrape targets: the traffic address by default; against a front
+	// tier, the replicas behind it (the front has no compile cache).
+	var scrapeTargets []string
+	for _, tgt := range strings.Split(*scrape, ",") {
+		if tgt = strings.TrimSpace(tgt); tgt != "" {
+			scrapeTargets = append(scrapeTargets, tgt)
+		}
+	}
+	if len(scrapeTargets) == 0 {
+		scrapeTargets = []string{*addr}
+	}
+	var expectDigestVal uint64
+	if *expectDigest != "" {
+		expectDigestVal, err = strconv.ParseUint(strings.TrimSpace(*expectDigest), 16, 64)
+		if err != nil {
+			fmt.Fprintf(stderr, "idemload: -expect-digest %q is not a 64-bit hex digest\n", *expectDigest)
+			return 2
+		}
+	}
 
 	// Signal handling: first signal cancels the run context; workers
 	// stop picking up requests and the partial pass is flushed.
@@ -118,11 +140,10 @@ func realMain(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) in
 		}
 	}()
 
-	// The scrape always goes straight to the daemon; only /v1 traffic is
+	// The scrape always goes straight to the daemons; only /v1 traffic is
 	// routed through the chaos proxy, so fault accounting and cache
-	// assertions see the server's ground truth.
-	scrapeBase := "http://" + *addr
-	trafficBase := scrapeBase
+	// assertions see the servers' ground truth.
+	trafficBase := "http://" + *addr
 	var proxy *chaos.Proxy
 	if *chaosSeed != 0 {
 		rates, err := parseChaosRates(*chaosRates)
@@ -178,8 +199,12 @@ func realMain(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) in
 		if *jsonOut == "" {
 			return
 		}
+		benchName := "serve"
+		if len(scrapeTargets) > 1 {
+			benchName = "shard" // fleet campaign: multi-replica scrape
+		}
 		summary := map[string]any{
-			"bench":              "serve",
+			"bench":              benchName,
 			"requests":           *requests,
 			"concurrency":        *concurrency,
 			"seed":               *seed,
@@ -200,7 +225,12 @@ func realMain(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) in
 		if len(digests) > 0 {
 			summary["digest"] = fmt.Sprintf("%016x", digests[0])
 		}
-		if cache, err := scrapeServer(client, scrapeBase); err == nil {
+		// Scrape failures are explicit: scrape_errors is always present,
+		// and the cache/disk sections appear only when every target
+		// answered — a partial sum would quietly gate on the wrong number.
+		cache, per, scrapeErrs := scrapeFleet(client, scrapeTargets)
+		summary["scrape_errors"] = scrapeErrs
+		if scrapeErrs == 0 {
 			summary["cache"] = map[string]any{
 				"hits": cache.hits, "misses": cache.misses,
 				"hit_ratio": cache.hitRatio(), "evictions": cache.evictions,
@@ -213,6 +243,20 @@ func realMain(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) in
 			}
 			summary["server"] = map[string]any{"sim_preempted": cache.simPreempted}
 		}
+		reps := make([]map[string]any, 0, len(per))
+		for _, r := range per {
+			m := map[string]any{"target": r.target}
+			if r.err != nil {
+				m["error"] = r.err.Error()
+			} else {
+				m["hits"] = r.c.hits
+				m["misses"] = r.c.misses
+				m["hit_ratio"] = r.c.hitRatio()
+				m["compiles"] = r.c.compiles
+			}
+			reps = append(reps, m)
+		}
+		summary["replicas"] = reps
 		if rc != nil {
 			summary["resilience"] = rc.Counters()
 		}
@@ -265,6 +309,12 @@ func realMain(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) in
 			return 1
 		}
 	}
+	if *expectDigest != "" && len(digests) > 0 && digests[0] != expectDigestVal {
+		fmt.Fprintf(stderr, "idemload: digest %016x does not match expected %016x (fleet diverges from the baseline run)\n",
+			digests[0], expectDigestVal)
+		flush("digest mismatch against -expect-digest")
+		return 1
+	}
 	if rc != nil {
 		s := rc.Counters()
 		if !*quiet {
@@ -283,17 +333,28 @@ func realMain(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) in
 			c.Latencies, c.Errors500, c.Resets, c.Truncates, c.Requests)
 	}
 
-	// Scrape the daemon's own view of the compile cache; assertions here
-	// keep smoke scripts free of curl/jq.
-	cache, err := scrapeServer(client, scrapeBase)
-	if err != nil {
-		fmt.Fprintf(stderr, "idemload: metrics scrape: %v\n", err)
+	// Scrape the daemons' own view of the compile cache; assertions here
+	// keep smoke scripts free of curl/jq. Against a fleet the counters
+	// sum across replicas, so the gates below hold fleet-wide.
+	cache, per, scrapeErrs := scrapeFleet(client, scrapeTargets)
+	if scrapeErrs > 0 {
+		for _, r := range per {
+			if r.err != nil {
+				fmt.Fprintf(stderr, "idemload: metrics scrape %s: %v\n", r.target, r.err)
+			}
+		}
 		flush("metrics scrape failed")
 		return 1
 	}
 	if !*quiet {
 		fmt.Fprintf(stdout, "cache: %d hits / %d misses (%.1f%% hit ratio), %d evictions, %d compiles\n",
 			cache.hits, cache.misses, 100*cache.hitRatio(), cache.evictions, cache.compiles)
+		if len(per) > 1 {
+			for _, r := range per {
+				fmt.Fprintf(stdout, "  replica %s: %d hits / %d misses (%.1f%% hit ratio), %d compiles\n",
+					r.target, r.c.hits, r.c.misses, 100*r.c.hitRatio(), r.c.compiles)
+			}
+		}
 		if cache.diskHits+cache.diskMisses+cache.diskWrites > 0 {
 			fmt.Fprintf(stdout, "disk: %d hits / %d misses (%.1f%% hit ratio), %d writes, %d corrupt\n",
 				cache.diskHits, cache.diskMisses, 100*cache.diskHitRatio(), cache.diskWrites, cache.diskCorrupt)
@@ -319,6 +380,15 @@ func realMain(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) in
 		fmt.Fprintf(stderr, "idemload: %d compiles above allowed %d (warm start failed)\n", cache.compiles, *maxCompiles)
 		flush("compile-count assertion failed")
 		return 1
+	}
+	if *replicaHits {
+		for _, r := range per {
+			if r.c.hits == 0 {
+				fmt.Fprintf(stderr, "idemload: replica %s reports zero cache hits; the ring did not spread the working set\n", r.target)
+				flush("replica-hits assertion failed")
+				return 1
+			}
+		}
 	}
 
 	flush("")
@@ -649,6 +719,41 @@ func (c serverCounters) diskHitRatio() float64 {
 		return 0
 	}
 	return float64(c.diskHits) / float64(c.diskHits+c.diskMisses)
+}
+
+// replicaScrape is one target's scrape outcome, kept separate so
+// failures stay visible instead of vanishing into a partial sum.
+type replicaScrape struct {
+	target string
+	c      serverCounters
+	err    error
+}
+
+// scrapeFleet scrapes every target and sums the counters. The error
+// count is explicit: callers decide whether a partial fleet view is
+// acceptable (the JSON summary reports it as scrape_errors either way).
+func scrapeFleet(client *http.Client, targets []string) (serverCounters, []replicaScrape, int) {
+	var total serverCounters
+	per := make([]replicaScrape, 0, len(targets))
+	errs := 0
+	for _, tgt := range targets {
+		c, err := scrapeServer(client, "http://"+tgt)
+		per = append(per, replicaScrape{target: tgt, c: c, err: err})
+		if err != nil {
+			errs++
+			continue
+		}
+		total.hits += c.hits
+		total.misses += c.misses
+		total.evictions += c.evictions
+		total.compiles += c.compiles
+		total.simPreempted += c.simPreempted
+		total.diskHits += c.diskHits
+		total.diskMisses += c.diskMisses
+		total.diskWrites += c.diskWrites
+		total.diskCorrupt += c.diskCorrupt
+	}
+	return total, per, errs
 }
 
 func scrapeServer(client *http.Client, base string) (serverCounters, error) {

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"idemproc/internal/server"
+	"idemproc/internal/shard"
 )
 
 // startServer boots a real idemd core on a loopback port and returns
@@ -31,6 +32,22 @@ func startServer(t *testing.T) string {
 	})
 	go srv.Serve(l)
 	t.Cleanup(func() { srv.Close() })
+	return l.Addr().String()
+}
+
+// startFront boots a shard front over the given replica addresses.
+func startFront(t *testing.T, backends []string) string {
+	t.Helper()
+	f, err := shard.New(shard.Config{Backends: backends})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go f.Serve(l)
+	t.Cleanup(func() { f.Close() })
 	return l.Addr().String()
 }
 
@@ -152,6 +169,126 @@ func TestInterruptFlushesPartialJSON(t *testing.T) {
 	completed := m["completed_requests"].(float64)
 	if completed <= 0 || completed >= 1000000 {
 		t.Errorf("completed_requests = %v, want a partial count", completed)
+	}
+}
+
+// TestFleetCampaignMatchesBaseline: the same seeded campaign through a
+// 3-replica front must reproduce a single replica's digest exactly
+// (-expect-digest), compile each distinct key exactly once fleet-wide
+// (summed misses == baseline misses), spread hits across every replica
+// (-require-replica-hits), and pass the same -min-hit-ratio gate the
+// baseline earns — the cross-fleet identity check make shard-smoke runs
+// against real processes.
+func TestFleetCampaignMatchesBaseline(t *testing.T) {
+	dir := t.TempDir()
+	run := func(name string, args ...string) (int, map[string]any, string) {
+		t.Helper()
+		out := filepath.Join(dir, name+".json")
+		var stdout, stderr bytes.Buffer
+		code := realMain(append(args, "-quiet", "-json", out), &stdout, &stderr, nil)
+		if _, err := os.Stat(out); err != nil {
+			t.Fatalf("%s: no summary written: %v\nstderr: %s", name, err, stderr.String())
+		}
+		return code, loadSummary(t, out), stderr.String()
+	}
+
+	// Baseline: one replica, two passes (the second warms to pure hits).
+	baseAddr := startServer(t)
+	code, baseSum, errs := run("base",
+		"-addr", baseAddr, "-requests", "40", "-concurrency", "8", "-seed", "5", "-repeat", "2")
+	if code != 0 {
+		t.Fatalf("baseline: exit %d\n%s", code, errs)
+	}
+	digest, _ := baseSum["digest"].(string)
+	if digest == "" {
+		t.Fatal("baseline summary has no digest")
+	}
+	baseCache := baseSum["cache"].(map[string]any)
+
+	// Fleet: same campaign through the front, scraping all replicas.
+	var backends []string
+	for i := 0; i < 3; i++ {
+		backends = append(backends, startServer(t))
+	}
+	frontAddr := startFront(t, backends)
+	scrape := backends[0] + "," + backends[1] + "," + backends[2]
+	code, fleetSum, errs := run("fleet",
+		"-addr", frontAddr, "-scrape", scrape,
+		"-requests", "40", "-concurrency", "8", "-seed", "5", "-repeat", "2",
+		"-expect-digest", digest, "-require-replica-hits",
+		"-min-hit-ratio", "0.4")
+	if code != 0 {
+		t.Fatalf("fleet: exit %d\n%s", code, errs)
+	}
+	if fleetSum["scrape_errors"].(float64) != 0 {
+		t.Errorf("scrape_errors = %v, want 0", fleetSum["scrape_errors"])
+	}
+	fleetCache := fleetSum["cache"].(map[string]any)
+	if got, want := fleetCache["misses"], baseCache["misses"]; got != want {
+		t.Errorf("fleet misses %v != baseline misses %v: partitioning should compile each key exactly once", got, want)
+	}
+	reps, _ := fleetSum["replicas"].([]any)
+	if len(reps) != 3 {
+		t.Fatalf("replicas section has %d entries, want 3", len(reps))
+	}
+	for _, r := range reps {
+		m := r.(map[string]any)
+		if m["error"] != nil {
+			t.Errorf("replica %v reported scrape error %v", m["target"], m["error"])
+		}
+	}
+
+	// A wrong expectation must fail the run after the fact.
+	code, _, _ = run("fleet-bad-digest",
+		"-addr", frontAddr, "-scrape", scrape,
+		"-requests", "8", "-concurrency", "4", "-seed", "5",
+		"-expect-digest", "0000000000000000")
+	if code != 1 {
+		t.Errorf("wrong -expect-digest: exit %d, want 1", code)
+	}
+	if code := realMain([]string{"-addr", frontAddr, "-expect-digest", "zz"}, &bytes.Buffer{}, &bytes.Buffer{}, nil); code != 2 {
+		t.Errorf("malformed -expect-digest: exit %d, want 2", code)
+	}
+}
+
+// TestScrapeErrorsAreExplicit: a failing scrape target must fail the
+// run, and the JSON summary must carry scrape_errors and drop the
+// cache/disk sections rather than report a misleading partial sum.
+func TestScrapeErrorsAreExplicit(t *testing.T) {
+	addr := startServer(t)
+	// Grab a port and close it again: scrapes will be refused.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := l.Addr().String()
+	l.Close()
+
+	out := filepath.Join(t.TempDir(), "scrapefail.json")
+	var stdout, stderr bytes.Buffer
+	code := realMain([]string{
+		"-addr", addr, "-scrape", addr + "," + dead,
+		"-requests", "4", "-concurrency", "2", "-quiet", "-json", out,
+	}, &stdout, &stderr, nil)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstderr: %s", code, stderr.String())
+	}
+	m := loadSummary(t, out)
+	if m["failure"] != "metrics scrape failed" {
+		t.Errorf("failure = %v, want %q", m["failure"], "metrics scrape failed")
+	}
+	if m["scrape_errors"].(float64) != 1 {
+		t.Errorf("scrape_errors = %v, want 1", m["scrape_errors"])
+	}
+	if _, present := m["cache"]; present {
+		t.Error("cache section present despite a failed scrape; partial sums must not be reported")
+	}
+	reps := m["replicas"].([]any)
+	if len(reps) != 2 {
+		t.Fatalf("replicas section has %d entries, want 2", len(reps))
+	}
+	if reps[1].(map[string]any)["error"] == nil {
+		t.Error("dead target's replica entry lacks an error field")
 	}
 }
 

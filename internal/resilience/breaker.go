@@ -85,3 +85,16 @@ func (b *breaker) Opens() int64 {
 	defer b.mu.Unlock()
 	return b.opens
 }
+
+// ready is the non-mutating peek behind Client.Ready: it reports
+// whether allow would admit a request right now, without flipping an
+// open breaker to half-open (the probe slot is only consumed by a
+// caller that actually intends to send).
+func (b *breaker) ready() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != "open" {
+		return true
+	}
+	return b.now().Sub(b.openedAt) >= b.cooldown
+}

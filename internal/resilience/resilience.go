@@ -153,6 +153,19 @@ func NewClient(p Policy) *Client {
 	return c
 }
 
+// Ready reports whether the client would admit a request immediately:
+// no breaker configured, breaker closed or half-open, or an open
+// breaker whose cooldown has elapsed (the next Do becomes the probe).
+// A front tier routing across replicas uses this to prefer a backend
+// it will not have to sleep for — failing over beats waiting out a
+// cooldown when any replica can compute any key.
+func (c *Client) Ready() bool {
+	if c.breaker == nil {
+		return true
+	}
+	return c.breaker.ready()
+}
+
 // Counters snapshots the client's activity.
 func (c *Client) Counters() Snapshot {
 	s := Snapshot{

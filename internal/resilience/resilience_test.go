@@ -264,3 +264,39 @@ func TestContextCancellationStopsRetries(t *testing.T) {
 		t.Errorf("kept retrying after cancellation: %d calls", calls.Load())
 	}
 }
+
+func TestReadyPeeksWithoutConsumingProbe(t *testing.T) {
+	c := NewClient(Policy{BreakerThreshold: 2, BreakerCooldown: 100 * time.Millisecond})
+	clock := time.Unix(0, 0)
+	c.breaker.now = func() time.Time { return clock }
+
+	if !c.Ready() {
+		t.Fatal("fresh breaker not ready")
+	}
+	c.breaker.record(false)
+	c.breaker.record(false)
+	if c.Ready() {
+		t.Fatal("open breaker within cooldown reported ready")
+	}
+	if c.breaker.State() != "open" {
+		t.Fatalf("state = %s after Ready peek, want open (peek must not mutate)", c.breaker.State())
+	}
+
+	clock = clock.Add(150 * time.Millisecond)
+	if !c.Ready() {
+		t.Fatal("cooldown elapsed but not ready")
+	}
+	// The peek must not consume the half-open probe slot.
+	if c.breaker.State() != "open" {
+		t.Fatalf("state = %s after Ready peek, want still open", c.breaker.State())
+	}
+	if _, ok := c.breaker.allow(); !ok {
+		t.Fatal("probe rejected after Ready peek")
+	}
+}
+
+func TestReadyWithoutBreaker(t *testing.T) {
+	if !NewClient(Policy{}).Ready() {
+		t.Fatal("breakerless client not ready")
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"net/http"
 	"sort"
 
+	"idemproc/internal/buildcache"
 	"idemproc/internal/codegen"
 	"idemproc/internal/core"
 	"idemproc/internal/fault"
@@ -269,6 +270,53 @@ func ReportForBuild(w workloads.Workload, mo codegen.ModuleOptions, st *codegen.
 		rep.Functions = append(rep.Functions, fr)
 	}
 	return rep
+}
+
+// ---------------------------------------------------------------------
+// Routing keys.
+//
+// The shard front tier (internal/shard) routes every /v1 request by the
+// same content key the buildcache uses, so one replica owns each
+// distinct compile and the fleet's caches partition the working set.
+// RouteKey mirrors the key derivation inside doCompile/doSimulate —
+// workload resolution, memWords defaulting, options fingerprint — but
+// performs no validation: an invalid request still gets a deterministic
+// key, and the replica it lands on produces the canonical error.
+// TestRouteKeyMatchesCacheKey pins the mirror against the real path.
+
+// RouteKey returns the buildcache content key this request's build
+// would use.
+func (r *CompileRequest) RouteKey() buildcache.Key {
+	return routeKey(r.Workload, r.Source, r.MemWords, r.Options.moduleOptions(true))
+}
+
+// RouteKey returns the buildcache content key this request's build
+// would use. The scheme decides the idempotent-compilation bit exactly
+// as doSimulate does.
+func (r *SimulateRequest) RouteKey() buildcache.Key {
+	idem := r.Scheme == "idem"
+	mo := r.Options.moduleOptions(idem)
+	mo.Idempotent = idem
+	return routeKey(r.Workload, r.Source, r.MemWords, mo)
+}
+
+// routeKey resolves (workload|source, memWords) the way resolveWorkload
+// does, minus validation, and pairs it with the options fingerprint.
+func routeKey(name, source string, memWords int, mo codegen.ModuleOptions) buildcache.Key {
+	k := buildcache.Key{Workload: name, MemWords: memWords, Options: mo.Fingerprint()}
+	switch {
+	case name != "" && source == "":
+		if w, ok := workloads.ByName(name); ok && memWords == 0 {
+			k.MemWords = w.MemWords
+		}
+	case source != "" && name == "":
+		sum := sha256.Sum256([]byte(source))
+		k.Workload = "src-" + hex.EncodeToString(sum[:8])
+		if memWords <= 0 {
+			k.MemWords = defaultMemWords
+		}
+	}
+	return k
 }
 
 // ---------------------------------------------------------------------

@@ -1,0 +1,34 @@
+// Opt-in profiling side listener shared by the daemons (idemd,
+// idemfront). The pprof handlers never ride the service mux: profiling
+// a production fleet must not widen the traffic-facing surface, and a
+// saturated service port must not block a profile grab. The side
+// listener binds loopback by convention and serves only /debug/pprof.
+package server
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// ServePprof exposes the net/http/pprof handlers on a dedicated side
+// listener at addr (host:port; port 0 picks a free port). It returns
+// the bound address and a closer that tears the listener down. The
+// accept loop runs on a background goroutine; serve errors after Close
+// are discarded.
+func ServePprof(addr string) (string, func() error, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	go srv.Serve(l)
+	return l.Addr().String(), srv.Close, nil
+}

@@ -1,0 +1,699 @@
+// The HTTP front tier: routes /v1 traffic across an idemd replica fleet
+// by buildcache content key, splits /v1/batch into per-replica
+// sub-batches, and keeps responses byte-identical to a single-process
+// run. See the package comment in ring.go and docs/sharding.md.
+package shard
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"idemproc/internal/buildcache"
+	"idemproc/internal/resilience"
+	"idemproc/internal/server"
+)
+
+// Config sizes the front tier. Zero values select the documented
+// defaults.
+type Config struct {
+	// Backends are the replica addresses (host:port). At least one.
+	Backends []string
+	// HealthInterval is the /readyz poll period (default 250ms).
+	HealthInterval time.Duration
+	// HealthTimeout bounds one readiness probe (default 2s).
+	HealthTimeout time.Duration
+	// RequestTimeout is the per-request deadline at the front (default
+	// 60s — above the replica default so a replica-side 503 surfaces
+	// before the front gives up; <0 disables).
+	RequestTimeout time.Duration
+	// MaxBodyBytes bounds request bodies (default 8 MiB, matching the
+	// replica default so oversize rejections read identically).
+	MaxBodyBytes int64
+	// MaxBatchUnits bounds the batches the front will split (default
+	// 256, the replica default). Larger batches are forwarded unsplit
+	// and rejected canonically by a replica.
+	MaxBatchUnits int
+	// Retries is the per-backend resilience retry budget (default 1);
+	// exhausting it fails the request over to the next ring owner.
+	Retries int
+	// HedgeAfter launches a duplicate attempt on the same backend if
+	// the first is still in flight after this long (0 disables). Hedged
+	// siblings are verified byte-identical (resilience.ErrDivergent on
+	// violation — surfaced, never papered over).
+	HedgeAfter time.Duration
+	// BreakerThreshold opens a per-backend circuit breaker after this
+	// many consecutive retryable failures (default 4; <0 disables). An
+	// open breaker makes routing prefer the next owner instead of
+	// sleeping out the cooldown.
+	BreakerThreshold int
+	// Seed drives the deterministic retry-jitter streams.
+	Seed uint64
+	// Logf receives lifecycle and rebalance lines (default: discard).
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.HealthInterval <= 0 {
+		c.HealthInterval = 250 * time.Millisecond
+	}
+	if c.HealthTimeout <= 0 {
+		c.HealthTimeout = 2 * time.Second
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 60 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.MaxBatchUnits <= 0 {
+		c.MaxBatchUnits = 256
+	}
+	if c.Retries == 0 {
+		c.Retries = 1
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 4
+	}
+	if c.BreakerThreshold < 0 {
+		c.BreakerThreshold = 0
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// backend is one replica as the router sees it: its address, its
+// resilience client (retry/hedge/breaker state is per-backend) and the
+// router's current health belief.
+type backend struct {
+	id      string
+	base    string
+	rc      *resilience.Client
+	healthy atomic.Bool
+}
+
+// Front is the sharded front tier. Create with New; serve via Handler
+// (embedding/tests) or Serve+Shutdown (the daemon). New starts the
+// health-check loop — call Shutdown or Close even when only Handler is
+// used, or the loop leaks.
+type Front struct {
+	cfg      Config
+	ring     *Ring
+	backends map[string]*backend
+	client   *http.Client
+	metrics  *Metrics
+	mux      *http.ServeMux
+
+	draining atomic.Bool
+	httpSrv  *http.Server
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// New builds a front over the configured backends and starts its
+// health loop. Backends start healthy (optimistically — a dead one
+// fails its first probe or its first request, whichever comes first).
+func New(cfg Config) (*Front, error) {
+	cfg = cfg.withDefaults()
+	ring, err := NewRing(cfg.Backends)
+	if err != nil {
+		return nil, err
+	}
+	f := &Front{
+		cfg:      cfg,
+		ring:     ring,
+		backends: map[string]*backend{},
+		client: &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        256,
+			MaxIdleConnsPerHost: 64,
+			IdleConnTimeout:     90 * time.Second,
+		}},
+		metrics: NewMetrics(),
+		mux:     http.NewServeMux(),
+		stop:    make(chan struct{}),
+	}
+	for _, id := range ring.Replicas() {
+		b := &backend{
+			id:   id,
+			base: "http://" + id,
+			rc: resilience.NewClient(resilience.Policy{
+				MaxRetries:       cfg.Retries,
+				HedgeAfter:       cfg.HedgeAfter,
+				VerifyIdentical:  cfg.HedgeAfter > 0,
+				BreakerThreshold: cfg.BreakerThreshold,
+				Seed:             cfg.Seed ^ hash64(id),
+			}),
+		}
+		b.healthy.Store(true)
+		f.backends[id] = b
+	}
+	f.mux.HandleFunc("/healthz", f.handleHealthz)
+	f.mux.HandleFunc("/readyz", f.handleReadyz)
+	f.mux.HandleFunc("/metrics", f.handleMetrics)
+	f.mux.HandleFunc("/v1/compile", f.proxySingle("/v1/compile"))
+	f.mux.HandleFunc("/v1/simulate", f.proxySingle("/v1/simulate"))
+	f.mux.HandleFunc("/v1/batch", f.handleBatch)
+
+	f.wg.Add(1)
+	go f.healthLoop()
+	return f, nil
+}
+
+// Handler returns the front's HTTP handler.
+func (f *Front) Handler() http.Handler { return f.mux }
+
+// Metrics exposes the fleet metric registry (tests assert on it).
+func (f *Front) Metrics() *Metrics { return f.metrics }
+
+// Ring exposes the routing ring (tests pin ownership against it).
+func (f *Front) Ring() *Ring { return f.ring }
+
+// Serve accepts connections on l until Shutdown; returns
+// http.ErrServerClosed after a clean drain.
+func (f *Front) Serve(l net.Listener) error {
+	f.httpSrv = &http.Server{Handler: f.mux, ReadHeaderTimeout: 10 * time.Second}
+	f.cfg.Logf("idemfront: listening on %s, %d backends", l.Addr(), f.ring.Size())
+	return f.httpSrv.Serve(l)
+}
+
+// Shutdown drains the front: readiness flips to 503, in-flight
+// requests complete, the health loop stops.
+func (f *Front) Shutdown(ctx context.Context) error {
+	f.draining.Store(true)
+	f.stopOnce.Do(func() { close(f.stop) })
+	f.cfg.Logf("idemfront: draining (readyz -> 503)")
+	var err error
+	if f.httpSrv != nil {
+		err = f.httpSrv.Shutdown(ctx)
+	}
+	f.wg.Wait()
+	f.cfg.Logf("idemfront: drained")
+	return err
+}
+
+// Close force-closes the listener, connections and health loop.
+func (f *Front) Close() error {
+	f.draining.Store(true)
+	f.stopOnce.Do(func() { close(f.stop) })
+	var err error
+	if f.httpSrv != nil {
+		err = f.httpSrv.Close()
+	}
+	f.wg.Wait()
+	return err
+}
+
+// Draining reports whether Shutdown has begun.
+func (f *Front) Draining() bool { return f.draining.Load() }
+
+// ---------------------------------------------------------------------
+// Health.
+
+func (f *Front) healthLoop() {
+	defer f.wg.Done()
+	t := time.NewTicker(f.cfg.HealthInterval)
+	defer t.Stop()
+	for {
+		f.sweep()
+		select {
+		case <-f.stop:
+			return
+		case <-t.C:
+		}
+	}
+}
+
+// sweep probes every backend's /readyz once. A draining replica (503)
+// or an unreachable one is marked out; its keys deterministically
+// rehash to the surviving owners on the next request.
+func (f *Front) sweep() {
+	for _, id := range f.ring.Replicas() {
+		b := f.backends[id]
+		f.setHealth(b, f.probe(b), "readyz")
+	}
+}
+
+func (f *Front) probe(b *backend) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), f.cfg.HealthTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.base+"/readyz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// setHealth records a health transition: the ring generation advances
+// and the rebalance counter ticks exactly when the effective replica
+// set changes.
+func (f *Front) setHealth(b *backend, ok bool, why string) {
+	if b.healthy.Swap(ok) == ok {
+		return
+	}
+	gen := f.metrics.RingGeneration()
+	f.metrics.Rebalance()
+	state := "out"
+	if ok {
+		state = "ready"
+	}
+	f.cfg.Logf("idemfront: backend %s %s (%s); ring generation %d", b.id, state, why, gen)
+}
+
+// healthSnapshot is the router's live health view for /metrics.
+func (f *Front) healthSnapshot() map[string]bool {
+	out := make(map[string]bool, len(f.backends))
+	for id, b := range f.backends {
+		out[id] = b.healthy.Load()
+	}
+	return out
+}
+
+// HealthyNow counts currently-healthy backends (tests poll this).
+func (f *Front) HealthyNow() int {
+	n := 0
+	for _, b := range f.backends {
+		if b.healthy.Load() {
+			n++
+		}
+	}
+	return n
+}
+
+// ---------------------------------------------------------------------
+// Plumbing shared by the handlers.
+
+func (f *Front) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (f *Front) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	switch {
+	case f.draining.Load():
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+	case f.HealthyNow() == 0:
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "no healthy backends")
+	default:
+		fmt.Fprintln(w, "ready")
+	}
+}
+
+func (f *Front) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprint(w, f.metrics.Render(f.healthSnapshot()))
+}
+
+// respond writes one front-level response and records it.
+func (f *Front) respond(w http.ResponseWriter, path string, code int, body []byte) {
+	f.metrics.ObservePath(path, code)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(body)
+}
+
+func (f *Front) respondError(w http.ResponseWriter, path string, code int, msg string) {
+	b, _ := json.Marshal(struct {
+		Error string `json:"error"`
+	}{msg})
+	f.respond(w, path, code, append(b, '\n'))
+}
+
+// admit performs the front-level request preamble shared by all /v1
+// paths: method filter (same 405 body a replica writes) and a bounded
+// body read (same 413 text, same default bound). It returns ok=false
+// after writing the response itself.
+func (f *Front) admit(w http.ResponseWriter, r *http.Request, path string) (body []byte, done func(), ctx context.Context, ok bool) {
+	fin := f.metrics.InFlight()
+	if r.Method != http.MethodPost {
+		defer fin()
+		w.Header().Set("Allow", http.MethodPost)
+		f.respondError(w, path, http.StatusMethodNotAllowed, fmt.Sprintf("method %s not allowed", r.Method))
+		return nil, nil, nil, false
+	}
+	b, err := io.ReadAll(http.MaxBytesReader(w, r.Body, f.cfg.MaxBodyBytes))
+	if err != nil {
+		defer fin()
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			f.respondError(w, path, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("body exceeds %d bytes", f.cfg.MaxBodyBytes))
+		} else {
+			f.respondError(w, path, http.StatusBadRequest, fmt.Sprintf("reading request body: %v", err))
+		}
+		return nil, nil, nil, false
+	}
+	ctx = r.Context()
+	cancel := func() {}
+	if f.cfg.RequestTimeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, f.cfg.RequestTimeout)
+	}
+	return b, func() { cancel(); fin() }, ctx, true
+}
+
+// ---------------------------------------------------------------------
+// Single-key proxying (/v1/compile, /v1/simulate).
+
+func (f *Front) proxySingle(path string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		body, done, ctx, ok := f.admit(w, r, path)
+		if !ok {
+			return
+		}
+		defer done()
+		key, parsed := routeKeyFor(path, body)
+		if !parsed {
+			f.metrics.RawRouted()
+		}
+		status, resp, err := f.route(ctx, path, body, key)
+		if err != nil {
+			f.respondError(w, path, http.StatusServiceUnavailable,
+				fmt.Sprintf("no replica served the request: %v", err))
+			return
+		}
+		f.respond(w, path, status, resp)
+	}
+}
+
+// routeKeyFor computes the content routing key for a request body. A
+// body that does not parse as the path's request shape routes by its
+// hash instead — still deterministic, and the owning replica produces
+// the canonical error response for it.
+func routeKeyFor(path string, body []byte) (string, bool) {
+	switch path {
+	case "/v1/compile":
+		var req server.CompileRequest
+		if strictUnmarshal(body, &req) == nil {
+			return keyString(req.RouteKey()), true
+		}
+	case "/v1/simulate":
+		var req server.SimulateRequest
+		if strictUnmarshal(body, &req) == nil {
+			return keyString(req.RouteKey()), true
+		}
+	}
+	return rawKey(body), false
+}
+
+// keyString flattens a buildcache key into the ring's key space.
+func keyString(k buildcache.Key) string {
+	return k.Workload + "|" + strconv.Itoa(k.MemWords) + "|" + k.Options
+}
+
+func rawKey(body []byte) string {
+	sum := sha256.Sum256(body)
+	return "raw|" + hex.EncodeToString(sum[:16])
+}
+
+func strictUnmarshal(b []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return errors.New("trailing data")
+	}
+	return nil
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// ---------------------------------------------------------------------
+// Routing with failover.
+
+// route sends body to the key's ring owner, failing over down the
+// deterministic preference list when a backend cannot serve it:
+// unhealthy or breaker-open backends are deprioritized up front,
+// transport errors mark the backend out reactively, and 5xx responses
+// move on without touching health (the periodic probe decides). A
+// response below 500 — including a replica's canonical 4xx — ends the
+// search. Only correctness stops failover early: a divergent hedge
+// (idempotence violation) or the caller's context expiring.
+func (f *Front) route(ctx context.Context, path string, body []byte, key string) (int, []byte, error) {
+	prefs := f.ring.Owners(key)
+	var avail, rest []*backend
+	for _, id := range prefs {
+		b := f.backends[id]
+		if b.healthy.Load() && b.rc.Ready() {
+			avail = append(avail, b)
+		} else {
+			rest = append(rest, b)
+		}
+	}
+	cands := append(avail, rest...)
+
+	jitter := hash64(key)
+	var lastStatus int
+	var lastBody []byte
+	var lastErr error
+	sent := false
+	for _, b := range cands {
+		status, resp, err := f.send(ctx, b, path, body, jitter)
+		if err == nil && status < 500 {
+			if b.id != prefs[0] {
+				f.metrics.Failover()
+			}
+			return status, resp, nil
+		}
+		lastStatus, lastBody, lastErr = status, resp, err
+		if sent {
+			f.metrics.Failover()
+		}
+		sent = true
+		if err != nil && status == 0 {
+			// No HTTP response at all: the backend is unreachable. Mark it
+			// out now instead of waiting for the next probe.
+			f.setHealth(b, false, "transport error")
+		}
+		if errors.Is(err, resilience.ErrDivergent) {
+			// An idempotence violation is a correctness signal, not a
+			// capacity problem; rerouting would mask it.
+			return 0, nil, err
+		}
+		if ctx.Err() != nil {
+			return 0, nil, context.Cause(ctx)
+		}
+	}
+	f.metrics.NoReplica()
+	if lastStatus != 0 {
+		// Every backend answered with a 5xx; surface the last replica's
+		// canonical error body rather than inventing one.
+		return lastStatus, lastBody, nil
+	}
+	return 0, nil, fmt.Errorf("all %d backends failed: %w", len(cands), lastErr)
+}
+
+// send runs one resilient request against one backend and records it.
+func (f *Front) send(ctx context.Context, b *backend, path string, body []byte, jitter uint64) (int, []byte, error) {
+	start := time.Now()
+	res, err := b.rc.Do(ctx, jitter, func(ctx context.Context) (int, []byte, error) {
+		return post(ctx, f.client, b.base+path, body)
+	})
+	f.metrics.ObserveBackend(b.id, time.Since(start), err != nil || res.Status >= 500)
+	return res.Status, res.Body, err
+}
+
+func post(ctx context.Context, client *http.Client, url string, body []byte) (int, []byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, nil, err
+	}
+	return resp.StatusCode, b, nil
+}
+
+// ---------------------------------------------------------------------
+// Batch splitting (/v1/batch).
+
+// batchGroup is one replica's slice of a batch: the original indices
+// and raw unit bodies, routed by the first unit's content key (whose
+// ring owner defines the group).
+type batchGroup struct {
+	key     string
+	indices []int
+	units   []json.RawMessage
+
+	status int
+	resp   []byte
+	err    error
+}
+
+// rawBatchResult mirrors server.BatchResult field-for-field with the
+// payloads kept as raw bytes, so re-assembly rewrites only the index
+// and passes replica output through verbatim — that is what keeps a
+// fleet's batch responses byte-identical to a single process's.
+type rawBatchResult struct {
+	Index    int             `json:"index"`
+	Compile  json.RawMessage `json:"compile,omitempty"`
+	Simulate json.RawMessage `json:"simulate,omitempty"`
+	Error    string          `json:"error,omitempty"`
+}
+
+func (f *Front) handleBatch(w http.ResponseWriter, r *http.Request) {
+	const path = "/v1/batch"
+	body, done, ctx, ok := f.admit(w, r, path)
+	if !ok {
+		return
+	}
+	defer done()
+
+	groups, splittable := f.splitBatch(body)
+	if !splittable {
+		// Invalid shape (or beyond the split bound): forward unsplit so a
+		// replica produces the canonical error — or the canonical success
+		// for the shapes the splitter declines but replicas accept.
+		f.metrics.RawRouted()
+		status, resp, err := f.route(ctx, path, body, rawKey(body))
+		if err != nil {
+			f.respondError(w, path, http.StatusServiceUnavailable,
+				fmt.Sprintf("no replica served the request: %v", err))
+			return
+		}
+		f.respond(w, path, status, resp)
+		return
+	}
+
+	// Fan the sub-batches out concurrently; each group fails over
+	// independently (any replica can compute any unit).
+	var wg sync.WaitGroup
+	for _, g := range groups {
+		wg.Add(1)
+		go func(g *batchGroup) {
+			defer wg.Done()
+			f.metrics.SubBatch()
+			sub, err := json.Marshal(struct {
+				Units []json.RawMessage `json:"units"`
+			}{Units: g.units})
+			if err != nil {
+				g.err = err
+				return
+			}
+			g.status, g.resp, g.err = f.route(ctx, path, sub, g.key)
+		}(g)
+	}
+	wg.Wait()
+
+	// Re-assemble in original index order. A group that no replica could
+	// serve fails the whole batch: partial output would not be
+	// byte-stable, and the determinism contract is the product.
+	total := 0
+	for _, g := range groups {
+		total += len(g.indices)
+	}
+	merged := make([]rawBatchResult, total)
+	for _, g := range groups {
+		if g.err != nil {
+			f.respondError(w, path, http.StatusServiceUnavailable,
+				fmt.Sprintf("sub-batch failed on every replica: %v", g.err))
+			return
+		}
+		if g.status != http.StatusOK {
+			// A replica rejected a sub-batch the splitter considered valid
+			// (e.g. a stricter replica-side bound): surface its response.
+			f.respond(w, path, g.status, g.resp)
+			return
+		}
+		var sub struct {
+			Results []rawBatchResult `json:"results"`
+		}
+		if err := json.Unmarshal(g.resp, &sub); err != nil || len(sub.Results) != len(g.indices) {
+			f.respondError(w, path, http.StatusBadGateway,
+				fmt.Sprintf("sub-batch response malformed: %d results for %d units", len(sub.Results), len(g.indices)))
+			return
+		}
+		for i, res := range sub.Results {
+			res.Index = g.indices[i]
+			merged[res.Index] = res
+		}
+	}
+	out, err := json.Marshal(struct {
+		Results []rawBatchResult `json:"results"`
+	}{Results: merged})
+	if err != nil {
+		f.respondError(w, path, http.StatusInternalServerError, "response encoding failed")
+		return
+	}
+	f.respond(w, path, http.StatusOK, append(out, '\n'))
+}
+
+// splitBatch parses a batch body and groups its units by ring owner.
+// It declines (ok=false) anything it cannot prove it will reassemble
+// byte-identically: unparseable envelopes, unknown fields, unit counts
+// outside the replica contract, or units without exactly one of
+// compile/simulate — those forward unsplit and get the canonical
+// replica answer.
+func (f *Front) splitBatch(body []byte) ([]*batchGroup, bool) {
+	var outer struct {
+		Units []json.RawMessage `json:"units"`
+	}
+	if strictUnmarshal(body, &outer) != nil {
+		return nil, false
+	}
+	if len(outer.Units) == 0 || len(outer.Units) > f.cfg.MaxBatchUnits {
+		return nil, false
+	}
+	groups := map[string]*batchGroup{}
+	var order []*batchGroup
+	for i, raw := range outer.Units {
+		var u server.BatchUnit
+		if strictUnmarshal(raw, &u) != nil {
+			return nil, false
+		}
+		var key string
+		switch {
+		case u.Compile != nil && u.Simulate == nil:
+			key = keyString(u.Compile.RouteKey())
+		case u.Simulate != nil && u.Compile == nil:
+			key = keyString(u.Simulate.RouteKey())
+		default:
+			return nil, false
+		}
+		owner := f.ring.Owner(key)
+		g := groups[owner]
+		if g == nil {
+			g = &batchGroup{key: key}
+			groups[owner] = g
+			order = append(order, g)
+		}
+		g.indices = append(g.indices, i)
+		g.units = append(g.units, raw)
+	}
+	return order, true
+}

@@ -1,23 +1,34 @@
 #!/bin/sh
-# bench_serve.sh — the service benchmark behind `make bench-serve`.
+# bench_serve.sh — the service benchmark behind `make bench-serve` and
+# (with FRONT=1) `make bench-shard`.
 #
-# Boots idemd on a free port and drives the acceptance workload:
-# BENCH_SERVE_REQUESTS requests (default 2000) at concurrency 32, run
-# twice with the same seed, with the resilience layer enabled (retries +
-# tail hedging) so the summary exercises and records the production
-# client path. idemload fails the run on any permanently failed request
-# or on a digest mismatch between the passes, and writes the headline
-# numbers (req/s, p50/p90/p99, cache hit ratio, retry/hedge/preemption
-# counters) to BENCH_serve.json.
+# Default mode boots one idemd on a free port and drives the acceptance
+# workload: BENCH_SERVE_REQUESTS requests (default 2000) at concurrency
+# 32, run twice with the same seed, with the resilience layer enabled
+# (retries + tail hedging) so the summary exercises and records the
+# production client path. idemload fails the run on any permanently
+# failed request or on a digest mismatch between the passes, and writes
+# the headline numbers (req/s, p50/p90/p99, cache hit ratio,
+# retry/hedge/preemption counters) to BENCH_serve.json.
+#
+# FRONT=1 boots REPLICAS idemd processes (default 3) behind idemfront
+# and drives the same workload through the front tier, scraping every
+# replica so the summary carries the aggregate AND per-replica cache hit
+# ratios; results land in BENCH_shard.json. Comparing the two files at
+# equal request count and concurrency measures what sharding buys:
+# compute spreads across processes and the working set partitions across
+# per-replica caches.
 set -eu
 
 GO="${GO:-go}"
 REQUESTS="${BENCH_SERVE_REQUESTS:-2000}"
 CONCURRENCY="${BENCH_SERVE_CONCURRENCY:-32}"
+FRONT="${FRONT:-0}"
+REPLICAS="${REPLICAS:-3}"
 tmp="$(mktemp -d)"
-pid=""
+PIDS=""
 cleanup() {
-    [ -n "$pid" ] && kill "$pid" 2>/dev/null && wait "$pid" 2>/dev/null
+    for p in $PIDS; do kill -9 "$p" 2>/dev/null || true; done
     rm -rf "$tmp"
 }
 trap cleanup EXIT INT TERM
@@ -25,23 +36,56 @@ trap cleanup EXIT INT TERM
 "$GO" build -o "$tmp/idemd" ./cmd/idemd
 "$GO" build -o "$tmp/idemload" ./cmd/idemload
 
-"$tmp/idemd" -addr 127.0.0.1:0 -addr-file "$tmp/addr" -quiet &
-pid=$!
-i=0
-while [ ! -f "$tmp/addr" ]; do
-    i=$((i + 1))
-    [ "$i" -gt 100 ] && { echo "bench-serve: idemd did not start" >&2; exit 1; }
-    sleep 0.1
-done
+wait_addr() { # $1 = addr file
+    i=0
+    while [ ! -f "$1" ]; do
+        i=$((i + 1))
+        [ "$i" -gt 100 ] && { echo "bench-serve: daemon did not write $1" >&2; exit 1; }
+        sleep 0.1
+    done
+}
 
-"$tmp/idemload" -addr "$(cat "$tmp/addr")" \
+if [ "$FRONT" = "1" ]; then
+    "$GO" build -o "$tmp/idemfront" ./cmd/idemfront
+    name="bench-shard"
+    out="BENCH_shard.json"
+    reps=""
+    n=1
+    while [ "$n" -le "$REPLICAS" ]; do
+        "$tmp/idemd" -addr 127.0.0.1:0 -addr-file "$tmp/raddr$n" -quiet &
+        PIDS="$PIDS $!"
+        wait_addr "$tmp/raddr$n"
+        reps="$reps$(cat "$tmp/raddr$n"),"
+        n=$((n + 1))
+    done
+    reps="${reps%,}"
+    "$tmp/idemfront" -addr 127.0.0.1:0 -addr-file "$tmp/addr" -backends "$reps" -quiet &
+    PIDS="$PIDS $!"
+    wait_addr "$tmp/addr"
+    scrape="$reps"
+else
+    name="bench-serve"
+    out="BENCH_serve.json"
+    "$tmp/idemd" -addr 127.0.0.1:0 -addr-file "$tmp/addr" -quiet &
+    PIDS="$PIDS $!"
+    wait_addr "$tmp/addr"
+    scrape="$(cat "$tmp/addr")"
+fi
+
+"$tmp/idemload" -addr "$(cat "$tmp/addr")" -scrape "$scrape" \
     -concurrency "$CONCURRENCY" -requests "$REQUESTS" -seed 1 -repeat 2 \
     -retries 2 -hedge-after 2s \
-    -json BENCH_serve.json
+    -json "$out"
 
-kill -TERM "$pid"
-wait "$pid" || { echo "bench-serve: idemd exited nonzero on drain" >&2; exit 1; }
-pid=""
+# Drain every process (front first, so no request is mid-flight when the
+# replicas go); each must exit 0.
+drained=""
+for p in $PIDS; do drained="$p $drained"; done
+for p in $drained; do
+    kill -TERM "$p"
+    wait "$p" || { echo "$name: pid $p exited nonzero on drain" >&2; exit 1; }
+done
+PIDS=""
 
-echo "wrote BENCH_serve.json:"
-cat BENCH_serve.json
+echo "wrote $out:"
+cat "$out"
