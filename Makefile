@@ -6,7 +6,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: all build fmt-check vet check test race race-fault bench bench-sim bench-serve bench-shard bench-quick serve-smoke chaos-smoke persist-smoke shard-smoke ci
+.PHONY: all build fmt-check vet check test race race-fault bench bench-sim bench-serve bench-shard bench-quick serve-smoke chaos-smoke persist-smoke shard-smoke jobs-smoke ci
 
 all: build
 
@@ -29,6 +29,7 @@ test: check
 	$(MAKE) chaos-smoke
 	$(MAKE) persist-smoke
 	$(MAKE) shard-smoke
+	$(MAKE) jobs-smoke
 
 # serve-smoke is the end-to-end service gate: boot idemd on a free port,
 # fire a seeded idemload burst twice (same seed must yield byte-identical
@@ -66,6 +67,15 @@ persist-smoke: build
 shard-smoke: build
 	./scripts/shard_smoke.sh
 
+# jobs-smoke is the end-to-end async-job gate: run a job to completion
+# and assert its reconstructed stream is byte-identical to /v1/batch,
+# then SIGKILL the daemon mid-job and prove the journal resumes it on
+# restart — same digest, zero recompiles, at least one unit served from
+# the journal instead of re-executed. See scripts/jobs_smoke.sh and
+# docs/jobs.md.
+jobs-smoke: build
+	./scripts/jobs_smoke.sh
+
 # The race detector multiplies runtime; race-fault covers the concurrent
 # components quickly (campaign engine, simulator, compile cache,
 # experiment engine, idemd service core, resilience/chaos layers and the
@@ -74,7 +84,7 @@ race-fault:
 	$(GO) test -race ./internal/fault/... ./internal/machine/... \
 		./internal/buildcache/... ./internal/experiments/... \
 		./internal/server/... ./internal/resilience/... \
-		./internal/chaos/... ./internal/shard/... \
+		./internal/chaos/... ./internal/shard/... ./internal/jobs/... \
 		./cmd/idemd/... ./cmd/idemfront/... ./cmd/idemload/...
 
 race:

@@ -10,9 +10,14 @@
 //	idemd -cache-bytes 1048576 -max-inflight 32
 //	idemd -cache-dir /var/lib/idemd/artifacts            # warm restarts (docs/persistence.md)
 //
-// Endpoints: POST /v1/compile, /v1/simulate, /v1/batch; GET /healthz,
-// /readyz, /metrics. See docs/service.md for the request schema, the
-// metrics catalog and capacity-tuning guidance. SIGINT/SIGTERM drain
+// Endpoints: POST /v1/compile, /v1/simulate, /v1/batch, /v1/jobs; GET
+// /v1/jobs/{id} (long-poll), /v1/jobs/{id}/stream (NDJSON), DELETE
+// /v1/jobs/{id}; GET /healthz, /readyz, /metrics. See docs/service.md
+// for the request schema, the metrics catalog and capacity-tuning
+// guidance, docs/jobs.md for the async job API and its resume
+// guarantees (with -cache-dir, a killed daemon resumes interrupted
+// jobs on restart without re-executing completed units).
+// SIGINT/SIGTERM drain
 // gracefully: /readyz flips to 503, in-flight requests finish (up to
 // -drain-timeout), then the process exits 0. A second signal during the
 // drain force-closes every connection and exits 3 immediately, so a
@@ -59,6 +64,8 @@ func realMain(args []string, stderr io.Writer, sigs <-chan os.Signal) int {
 		reqTimeout   = fs.Duration("request-timeout", 30*time.Second, "per-request deadline on /v1/* endpoints (negative disables)")
 		cacheBytes   = fs.Int64("cache-bytes", 0, "compile-cache byte bound; LRU entries are evicted past it (0 = unbounded)")
 		cacheDir     = fs.String("cache-dir", "", "persistent artifact store directory: compiles are written behind as verified artifacts and reloaded across restarts (empty = memory-only)")
+		maxJobs      = fs.Int("max-jobs", 64, "bound on the async job table (/v1/jobs); excess submissions are shed with 429")
+		jobTTL       = fs.Duration("job-ttl", 10*time.Minute, "how long a finished job stays queryable before it is reaped")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests before abandoning them")
 		pprofAddr    = fs.String("pprof-addr", "", "serve net/http/pprof on this side listener (host:port; port 0 picks a free port; empty = off)")
 		quiet        = fs.Bool("quiet", false, "suppress the per-request log line")
@@ -87,6 +94,8 @@ func realMain(args []string, stderr io.Writer, sigs <-chan os.Signal) int {
 		RequestTimeout: *reqTimeout,
 		CacheMaxBytes:  *cacheBytes,
 		CacheDir:       *cacheDir,
+		MaxJobs:        *maxJobs,
+		JobTTL:         *jobTTL,
 		Logf:           logf,
 	}
 	if *quiet {
@@ -101,6 +110,10 @@ func realMain(args []string, stderr io.Writer, sigs <-chan os.Signal) int {
 		cfg.Logf("idemd: artifact store %s: %d artifacts, %d bytes, %d corrupt pruned",
 			d.Dir(), scan.Entries, scan.Bytes, scan.Corrupt)
 	}
+	// Job recovery runs after the artifact scan on purpose: resumed units
+	// then hit warm disk artifacts, so finishing an interrupted job costs
+	// zero recompiles on top of zero re-executed units.
+	srv.RecoverJobs()
 
 	if *pprofAddr != "" {
 		// Profiling stays off the service listener: the side mux carries

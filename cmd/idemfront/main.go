@@ -3,9 +3,12 @@
 // the replicas' compile caches use — so each replica's bounded cache
 // holds a disjoint slice of the working set — and splits /v1/batch into
 // per-replica sub-batches, fanned out concurrently and reassembled in
-// index order. Responses are byte-identical to a single idemd process;
-// a dead or draining replica costs throughput (its keys rehash to the
-// deterministic next owner), never correctness.
+// index order. Async jobs (/v1/jobs) split the same way: each owner
+// runs its slice as a sub-job, and the front merges the per-replica
+// streams behind one handle, in strict index order. Responses are
+// byte-identical to a single idemd process; a dead or draining replica
+// costs throughput (its keys rehash to the deterministic next owner,
+// and unfinished sub-jobs resubmit there), never correctness.
 //
 //	idemfront -backends 127.0.0.1:7777,127.0.0.1:7778,127.0.0.1:7779
 //	idemfront -addr 127.0.0.1:0 -addr-file /tmp/idemfront.addr -backends ...
@@ -61,6 +64,8 @@ func realMain(args []string, stderr io.Writer, sigs <-chan os.Signal) int {
 		retries          = fs.Int("retries", 1, "per-backend retry budget before failing over to the next ring owner")
 		hedgeAfter       = fs.Duration("hedge-after", 0, "launch a duplicate attempt on the same backend after this long (0 = off); siblings are verified byte-identical")
 		breakerThreshold = fs.Int("breaker-threshold", 4, "consecutive failures that open a backend's circuit breaker (0 disables)")
+		maxJobs          = fs.Int("max-jobs", 64, "bound on the front-side async job table (/v1/jobs); excess submissions are shed with 429")
+		jobTTL           = fs.Duration("job-ttl", 10*time.Minute, "how long a finished front job stays queryable before it is reaped")
 		seed             = fs.Uint64("seed", 1, "seed for the deterministic retry-jitter streams")
 		drainTimeout     = fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests before abandoning them")
 		pprofAddr        = fs.String("pprof-addr", "", "serve net/http/pprof on this side listener (host:port; port 0 picks a free port; empty = off)")
@@ -96,6 +101,8 @@ func realMain(args []string, stderr io.Writer, sigs <-chan os.Signal) int {
 		Retries:          *retries,
 		HedgeAfter:       *hedgeAfter,
 		BreakerThreshold: *breakerThreshold,
+		MaxJobs:          *maxJobs,
+		JobTTL:           *jobTTL,
 		Seed:             *seed,
 		Logf:             cfgLogf,
 	})

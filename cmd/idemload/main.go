@@ -19,6 +19,19 @@
 //
 //	idemload -addr ... -chaos-seed 7 -chaos-rates 10,6,6,6 -retries 8 -hedge-after 75ms
 //
+// Async jobs: -jobs swaps the request mix for one deterministic batch
+// submitted via POST /v1/jobs, consumed through cursor long-polls (or
+// the NDJSON stream with -stream) and digested after reconstruction —
+// the digest equals the one a direct /v1/batch POST produces, which
+// -verify-batch asserts byte-for-byte. The campaign client survives the
+// daemon being killed and restarted mid-job (submits retry, cursors
+// resume), and -min-resumed-units asserts the restarted daemon really
+// reloaded journaled results instead of re-executing them — the
+// kill -9 resume proof scripts/jobs_smoke.sh runs (docs/jobs.md).
+//
+//	idemload -addr ... -jobs -verify-batch -job-units 48
+//	idemload -addr ... -jobs -stream -expect-digest <hex> -max-compiles 0 -min-resumed-units 1
+//
 // Exit status is nonzero on any permanently failed request, any
 // non-200 response, a digest or idempotence mismatch, or an unmet
 // -min-hit-ratio / -min-evictions / -min-disk-hit-ratio / -max-compiles
@@ -85,6 +98,14 @@ func realMain(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) in
 		maxCompiles  = fs.Int64("max-compiles", -1, "assert at most this many actual codegen runs happened (<0 disables); 0 proves a fully warm start")
 		quiet        = fs.Bool("quiet", false, "suppress the per-pass progress line")
 
+		jobsMode        = fs.Bool("jobs", false, "run the async-job campaign instead of the request mix: submit one deterministic batch via POST /v1/jobs and consume results incrementally (docs/jobs.md)")
+		streamMode      = fs.Bool("stream", false, "with -jobs, consume via GET /v1/jobs/{id}/stream (NDJSON) instead of cursor long-polls; broken streams reconnect at the cursor")
+		jobUnits        = fs.Int("job-units", 24, "with -jobs, units in the submitted batch")
+		jobSimSteps     = fs.Int64("job-sim-steps", 0, "with -jobs, make every unit a simulation of this many steps (slow, kill-window-friendly units for resume smoke tests; 0 = normal palette mix)")
+		jobIDFile       = fs.String("job-id-file", "", "with -jobs, write the submitted job id to this file (smoke scripts poll/kill against it)")
+		verifyBatch     = fs.Bool("verify-batch", false, "with -jobs, POST the same units to /v1/batch and assert the reconstructed job results are byte-identical")
+		minResumedUnits = fs.Int64("min-resumed-units", -1, "assert at least this many unit results were reloaded from job journals instead of re-executed (scraped idemd_jobs_resumed_units_total; <0 disables)")
+
 		retries    = fs.Int("retries", 0, "re-execute failed requests up to this many times (safe: responses are idempotent)")
 		hedgeAfter = fs.Duration("hedge-after", 0, "launch a hedged duplicate if a request is still in flight after this long (0 disables)")
 		breakerThr = fs.Int("breaker-threshold", 8, "open the retry circuit breaker after this many consecutive failures (0 disables)")
@@ -97,6 +118,10 @@ func realMain(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) in
 	}
 	if *concurrency < 1 || *requests < 1 || *repeat < 1 {
 		fmt.Fprintln(stderr, "idemload: -concurrency, -requests and -repeat must be >= 1")
+		return 2
+	}
+	if *jobsMode && *jobUnits < 1 {
+		fmt.Fprintln(stderr, "idemload: -job-units must be >= 1")
 		return 2
 	}
 	weights, err := parseMix(*mix)
@@ -187,6 +212,7 @@ func realMain(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) in
 	start := time.Now()
 	var digests []uint64
 	var last passResult
+	var jobsRes *jobsCampaignResult
 	completedPasses := 0
 	flush := func(failure string) {
 		if *metricsOut != "" && rc != nil {
@@ -241,7 +267,23 @@ func realMain(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) in
 				"writes": cache.diskWrites, "corrupt": cache.diskCorrupt,
 				"hit_ratio": cache.diskHitRatio(),
 			}
-			summary["server"] = map[string]any{"sim_preempted": cache.simPreempted}
+			summary["server"] = map[string]any{
+				"sim_preempted":      cache.simPreempted,
+				"jobs_resumed":       cache.jobsResumed,
+				"jobs_resumed_units": cache.jobsResumedUnits,
+			}
+		}
+		if jobsRes != nil {
+			summary["jobs"] = map[string]any{
+				"id":             jobsRes.jobID,
+				"units":          jobsRes.units,
+				"stream":         *streamMode,
+				"digest":         fmt.Sprintf("%016x", jobsRes.digest),
+				"submit_retries": jobsRes.submitRetries,
+				"poll_retries":   jobsRes.pollRetries,
+				"stream_resumes": jobsRes.streamResumes,
+				"verified_batch": jobsRes.verifiedBatch,
+			}
 		}
 		reps := make([]map[string]any, 0, len(per))
 		for _, r := range per {
@@ -275,30 +317,71 @@ func realMain(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) in
 		}
 	}
 
-	send := makeSender(client, trafficBase, rc)
-	for pass := 0; pass < *repeat; pass++ {
-		res := runPass(ctx, send, *seed, *requests, *concurrency, weights)
-		last = res
-		if interrupted.Load() {
-			fmt.Fprintf(stderr, "idemload: interrupted during pass %d after %d/%d requests\n", pass, res.completed, *requests)
-			flush("interrupted")
-			return exitInterrupted
-		}
-		if res.errors > 0 {
-			for _, s := range res.errSamples {
-				fmt.Fprintf(stderr, "idemload: %s\n", s)
+	if *jobsMode {
+		// The jobs campaign: one deterministic batch, submitted and
+		// consumed through the async API. -repeat reruns the identical
+		// submission, so the digest-stability check below also proves the
+		// job path is a pure function of the request body.
+		body := genJobBatch(*seed, *jobUnits, *jobSimSteps)
+		for pass := 0; pass < *repeat; pass++ {
+			t0 := time.Now()
+			res, err := runJobsCampaign(ctx, client, trafficBase, body, *streamMode, *jobIDFile, *quiet, stdout)
+			jobsRes = &res
+			last = passResult{completed: len(res.body)} // bytes, for the partial-progress field
+			if res.units > 0 {
+				last.completed = res.units
 			}
-			fmt.Fprintf(stderr, "idemload: pass %d: %d/%d requests failed\n", pass, res.errors, *requests)
-			flush("requests failed")
-			return 1
+			if interrupted.Load() {
+				fmt.Fprintf(stderr, "idemload: interrupted during job pass %d\n", pass)
+				flush("interrupted")
+				return exitInterrupted
+			}
+			if err != nil {
+				fmt.Fprintf(stderr, "idemload: job pass %d: %v\n", pass, err)
+				flush("job campaign failed")
+				return 1
+			}
+			if *verifyBatch {
+				if err := verifyAgainstBatch(ctx, client, trafficBase, body, jobsRes); err != nil {
+					fmt.Fprintf(stderr, "idemload: job pass %d: %v\n", pass, err)
+					flush("job/batch byte identity failed")
+					return 1
+				}
+			}
+			if !*quiet {
+				fmt.Fprintf(stdout, "job pass %d: %d units in %s, digest %016x (submit retries %d, poll retries %d, stream resumes %d)\n",
+					pass, res.units, time.Since(t0).Round(time.Millisecond), res.digest,
+					res.submitRetries, res.pollRetries, res.streamResumes)
+			}
+			digests = append(digests, res.digest)
+			completedPasses++
 		}
-		if !*quiet {
-			fmt.Fprintf(stdout, "pass %d: %d requests in %s (%.1f req/s), p50 %.2fms p90 %.2fms p99 %.2fms, digest %016x\n",
-				pass, *requests, res.elapsed.Round(time.Millisecond), res.reqPerSec,
-				res.p50.Seconds()*1e3, res.p90.Seconds()*1e3, res.p99.Seconds()*1e3, res.digest)
+	} else {
+		send := makeSender(client, trafficBase, rc)
+		for pass := 0; pass < *repeat; pass++ {
+			res := runPass(ctx, send, *seed, *requests, *concurrency, weights)
+			last = res
+			if interrupted.Load() {
+				fmt.Fprintf(stderr, "idemload: interrupted during pass %d after %d/%d requests\n", pass, res.completed, *requests)
+				flush("interrupted")
+				return exitInterrupted
+			}
+			if res.errors > 0 {
+				for _, s := range res.errSamples {
+					fmt.Fprintf(stderr, "idemload: %s\n", s)
+				}
+				fmt.Fprintf(stderr, "idemload: pass %d: %d/%d requests failed\n", pass, res.errors, *requests)
+				flush("requests failed")
+				return 1
+			}
+			if !*quiet {
+				fmt.Fprintf(stdout, "pass %d: %d requests in %s (%.1f req/s), p50 %.2fms p90 %.2fms p99 %.2fms, digest %016x\n",
+					pass, *requests, res.elapsed.Round(time.Millisecond), res.reqPerSec,
+					res.p50.Seconds()*1e3, res.p90.Seconds()*1e3, res.p99.Seconds()*1e3, res.digest)
+			}
+			digests = append(digests, res.digest)
+			completedPasses++
 		}
-		digests = append(digests, res.digest)
-		completedPasses++
 	}
 
 	for i := 1; i < len(digests); i++ {
@@ -359,6 +442,10 @@ func realMain(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) in
 			fmt.Fprintf(stdout, "disk: %d hits / %d misses (%.1f%% hit ratio), %d writes, %d corrupt\n",
 				cache.diskHits, cache.diskMisses, 100*cache.diskHitRatio(), cache.diskWrites, cache.diskCorrupt)
 		}
+		if cache.jobsResumed > 0 {
+			fmt.Fprintf(stdout, "jobs: %d resumed, %d unit results reloaded from journals\n",
+				cache.jobsResumed, cache.jobsResumedUnits)
+		}
 	}
 	if *minHitRatio >= 0 && cache.hitRatio() < *minHitRatio {
 		fmt.Fprintf(stderr, "idemload: cache hit ratio %.3f below required %.3f\n", cache.hitRatio(), *minHitRatio)
@@ -379,6 +466,12 @@ func realMain(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) in
 	if *maxCompiles >= 0 && cache.compiles > *maxCompiles {
 		fmt.Fprintf(stderr, "idemload: %d compiles above allowed %d (warm start failed)\n", cache.compiles, *maxCompiles)
 		flush("compile-count assertion failed")
+		return 1
+	}
+	if *minResumedUnits >= 0 && cache.jobsResumedUnits < *minResumedUnits {
+		fmt.Fprintf(stderr, "idemload: %d journal-resumed units below required %d (jobs were re-executed instead of resumed)\n",
+			cache.jobsResumedUnits, *minResumedUnits)
+		flush("resumed-units assertion failed")
 		return 1
 	}
 	if *replicaHits {
@@ -703,6 +796,8 @@ type serverCounters struct {
 	simPreempted            int64
 	diskHits, diskMisses    int64
 	diskWrites, diskCorrupt int64
+	jobsResumed             int64
+	jobsResumedUnits        int64
 }
 
 func (c serverCounters) hitRatio() float64 {
@@ -752,6 +847,8 @@ func scrapeFleet(client *http.Client, targets []string) (serverCounters, []repli
 		total.diskMisses += c.diskMisses
 		total.diskWrites += c.diskWrites
 		total.diskCorrupt += c.diskCorrupt
+		total.jobsResumed += c.jobsResumed
+		total.jobsResumedUnits += c.jobsResumedUnits
 	}
 	return total, per, errs
 }
@@ -782,6 +879,8 @@ func scrapeServer(client *http.Client, base string) (serverCounters, error) {
 			{"idemd_buildcache_disk_writes_total ", &out.diskWrites},
 			{"idemd_buildcache_disk_corrupt_total ", &out.diskCorrupt},
 			{"idemd_sim_preempted_total ", &out.simPreempted},
+			{"idemd_jobs_resumed_total ", &out.jobsResumed},
+			{"idemd_jobs_resumed_units_total ", &out.jobsResumedUnits},
 		} {
 			if v, ok := strings.CutPrefix(line, m.name); ok {
 				n, err := strconv.ParseInt(strings.TrimSpace(v), 10, 64)

@@ -35,6 +35,51 @@ var ErrBreakerOpen = errors.New("resilience: circuit breaker open")
 // retried: re-executing cannot fix a server that is not deterministic.
 var ErrDivergent = errors.New("resilience: hedged responses diverged")
 
+// RetryAfterError marks an attempt outcome that carries the server's own
+// backoff schedule (a Retry-After header on a 429 shed). Attempts wrap
+// their error (or return it alone for a header-bearing status) so Do
+// sleeps exactly what the server asked instead of its jittered curve.
+type RetryAfterError struct {
+	// After is the server-requested delay before the next attempt.
+	After time.Duration
+	// Err is the underlying failure, if any (nil for a bare 429).
+	Err error
+}
+
+func (e *RetryAfterError) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("retry after %s: %v", e.After, e.Err)
+	}
+	return fmt.Sprintf("retry after %s", e.After)
+}
+
+func (e *RetryAfterError) Unwrap() error { return e.Err }
+
+// ParseRetryAfter parses a Retry-After header value in its
+// integer-seconds form (the only form idemd emits). ok is false for
+// empty or unparseable values — including the HTTP-date form, which
+// callers fall back from onto their own backoff.
+func ParseRetryAfter(v string) (time.Duration, bool) {
+	if v == "" {
+		return 0, false
+	}
+	var sec int64
+	for i := 0; i < len(v); i++ {
+		d := v[i]
+		if d < '0' || d > '9' {
+			return 0, false
+		}
+		sec = sec*10 + int64(d-'0')
+		if sec > 3600 {
+			// Clamp pathological hints to an hour; a server asking for
+			// more is effectively saying "go away", which the retry
+			// budget will conclude on its own.
+			sec = 3600
+		}
+	}
+	return time.Duration(sec) * time.Second, true
+}
+
 // Policy configures a Client. The zero value means "no resilience":
 // one attempt, no hedge, no breaker.
 type Policy struct {
@@ -94,13 +139,14 @@ type Result struct {
 // Counters aggregates what a Client did, all atomically updated so a
 // load generator can snapshot them mid-run.
 type Counters struct {
-	attempts      atomic.Int64
-	retries       atomic.Int64
-	hedges        atomic.Int64
-	hedgeWins     atomic.Int64
-	shortCircuits atomic.Int64
-	mismatches    atomic.Int64
-	failures      atomic.Int64
+	attempts          atomic.Int64
+	retries           atomic.Int64
+	hedges            atomic.Int64
+	hedgeWins         atomic.Int64
+	shortCircuits     atomic.Int64
+	mismatches        atomic.Int64
+	failures          atomic.Int64
+	retryAfterHonored atomic.Int64
 }
 
 // Snapshot is a point-in-time copy of a Client's counters.
@@ -114,6 +160,9 @@ type Snapshot struct {
 	Failures      int64  `json:"failures"`
 	BreakerOpens  int64  `json:"breaker_opens"`
 	BreakerState  string `json:"breaker_state"`
+	// RetryAfterHonored counts retry sleeps whose duration came from a
+	// server Retry-After hint instead of the jittered backoff curve.
+	RetryAfterHonored int64 `json:"retry_after_honored"`
 }
 
 // WriteProm renders the snapshot in Prometheus text format under the
@@ -132,6 +181,7 @@ func (s Snapshot) WriteProm(b *bytes.Buffer, prefix string) {
 	emit("breaker_opens_total", "Times the circuit breaker opened.", s.BreakerOpens)
 	emit("response_mismatches_total", "Idempotence violations: diverging sibling responses.", s.Mismatches)
 	emit("failures_total", "Requests that failed permanently.", s.Failures)
+	emit("retry_after_honored_total", "Retry sleeps scheduled by a server Retry-After hint.", s.RetryAfterHonored)
 }
 
 // Client executes Attempts under a Policy. Safe for concurrent use.
@@ -169,14 +219,15 @@ func (c *Client) Ready() bool {
 // Counters snapshots the client's activity.
 func (c *Client) Counters() Snapshot {
 	s := Snapshot{
-		Attempts:      c.counters.attempts.Load(),
-		Retries:       c.counters.retries.Load(),
-		Hedges:        c.counters.hedges.Load(),
-		HedgeWins:     c.counters.hedgeWins.Load(),
-		ShortCircuits: c.counters.shortCircuits.Load(),
-		Mismatches:    c.counters.mismatches.Load(),
-		Failures:      c.counters.failures.Load(),
-		BreakerState:  "disabled",
+		Attempts:          c.counters.attempts.Load(),
+		Retries:           c.counters.retries.Load(),
+		Hedges:            c.counters.hedges.Load(),
+		HedgeWins:         c.counters.hedgeWins.Load(),
+		ShortCircuits:     c.counters.shortCircuits.Load(),
+		Mismatches:        c.counters.mismatches.Load(),
+		Failures:          c.counters.failures.Load(),
+		RetryAfterHonored: c.counters.retryAfterHonored.Load(),
+		BreakerState:      "disabled",
 	}
 	if c.breaker != nil {
 		s.BreakerOpens = c.breaker.Opens()
@@ -293,14 +344,26 @@ func (c *Client) Do(ctx context.Context, key uint64, attempt Attempt) (Result, e
 		}
 		if try >= c.policy.MaxRetries {
 			c.counters.failures.Add(1)
+			// The last round's status/body are surfaced either way:
+			// callers distinguishing "server said 429" from "transport
+			// died" (the front tier's health markdown) must not read a
+			// zero status just because the error happens to be wrapped.
+			res.Status, res.Body = status, body
 			if err != nil {
 				return res, fmt.Errorf("resilience: %d attempt(s) failed: %w", try+1, err)
 			}
-			res.Status, res.Body = status, body
 			return res, fmt.Errorf("resilience: %d attempt(s) failed: status %d", try+1, status)
 		}
 		c.counters.retries.Add(1)
-		if err := c.sleep(ctx, c.backoff(key, try+1)); err != nil {
+		delay := c.backoff(key, try+1)
+		var ra *RetryAfterError
+		if errors.As(err, &ra) && ra.After > 0 {
+			// The server scheduled the retry itself; its hint replaces
+			// the guessed curve.
+			delay = ra.After
+			c.counters.retryAfterHonored.Add(1)
+		}
+		if err := c.sleep(ctx, delay); err != nil {
 			c.counters.failures.Add(1)
 			return res, err
 		}

@@ -300,3 +300,69 @@ func TestReadyWithoutBreaker(t *testing.T) {
 		t.Fatal("breakerless client not ready")
 	}
 }
+
+func TestRetryAfterHintHonored(t *testing.T) {
+	var calls atomic.Int64
+	attempt := func(context.Context) (int, []byte, error) {
+		if calls.Add(1) == 1 {
+			return 429, []byte("shed"), &RetryAfterError{After: 2 * time.Second}
+		}
+		return 200, []byte("ok"), nil
+	}
+	c := NewClient(Policy{MaxRetries: 2, Seed: 3})
+	var slept []time.Duration
+	c.sleep = func(ctx context.Context, d time.Duration) error {
+		slept = append(slept, d)
+		return ctx.Err()
+	}
+	res, err := c.Do(context.Background(), 11, attempt)
+	if err != nil || res.Status != 200 {
+		t.Fatalf("got %v status %d", err, res.Status)
+	}
+	if len(slept) != 1 || slept[0] != 2*time.Second {
+		t.Fatalf("slept %v, want exactly the server's 2s hint", slept)
+	}
+	if got := c.Counters().RetryAfterHonored; got != 1 {
+		t.Errorf("retry_after_honored = %d, want 1", got)
+	}
+}
+
+func TestExhaustedBudgetSurfacesStatusWithError(t *testing.T) {
+	// A persistent 429 whose attempts carry an error (the RetryAfter
+	// wrapper) must still surface the status: callers that distinguish
+	// "server responded" from "transport died" — the front tier's
+	// health markdown — depend on Status != 0 here.
+	attempt := func(context.Context) (int, []byte, error) {
+		return 429, []byte("shed"), &RetryAfterError{After: time.Millisecond}
+	}
+	c := instantClient(Policy{MaxRetries: 1, Seed: 5})
+	res, err := c.Do(context.Background(), 13, attempt)
+	if err == nil {
+		t.Fatal("want exhausted-budget error")
+	}
+	if res.Status != 429 || string(res.Body) != "shed" {
+		t.Fatalf("res = %d %q, want the last round's 429 response", res.Status, res.Body)
+	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want time.Duration
+		ok   bool
+	}{
+		{"1", time.Second, true},
+		{"30", 30 * time.Second, true},
+		{"0", 0, true},
+		{"99999", time.Hour, true}, // clamped
+		{"", 0, false},
+		{"-1", 0, false},
+		{"1.5", 0, false},
+		{"Wed, 21 Oct 2015 07:28:00 GMT", 0, false},
+	} {
+		got, ok := ParseRetryAfter(tc.in)
+		if got != tc.want || ok != tc.ok {
+			t.Errorf("ParseRetryAfter(%q) = %v,%v want %v,%v", tc.in, got, ok, tc.want, tc.ok)
+		}
+	}
+}

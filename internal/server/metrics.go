@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"idemproc/internal/buildcache"
+	"idemproc/internal/jobs"
 )
 
 // latencyBuckets are the histogram upper bounds in seconds (a +Inf
@@ -21,6 +22,10 @@ import (
 var latencyBuckets = []float64{
 	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
 }
+
+// chunkBuckets are the per-delivery result-count upper bounds for the
+// job poll/stream chunk histogram (bounded by MaxBatchUnits).
+var chunkBuckets = []int{1, 2, 4, 8, 16, 32, 64, 128, 256}
 
 // endpointStats accumulates one path's counters. Guarded by Metrics.mu:
 // the request rate a single simulator-bound daemon sustains is far below
@@ -34,10 +39,19 @@ type endpointStats struct {
 	errors     int64 // 4xx + 5xx responses
 }
 
+// chunkStats accumulates one delivery mode's (poll/stream) chunk-size
+// histogram. Guarded by Metrics.mu.
+type chunkStats struct {
+	buckets  []int64
+	count    int64
+	sumUnits int64
+}
+
 // Metrics is the daemon's metric registry.
 type Metrics struct {
 	mu        sync.Mutex
 	endpoints map[string]*endpointStats
+	chunks    map[string]*chunkStats
 
 	// inflight/shed are touched on the hot path before any handler work
 	// and read lock-free by the renderer.
@@ -52,7 +66,31 @@ type Metrics struct {
 
 // NewMetrics returns an empty registry.
 func NewMetrics() *Metrics {
-	return &Metrics{endpoints: map[string]*endpointStats{}, start: time.Now()}
+	return &Metrics{
+		endpoints: map[string]*endpointStats{},
+		chunks:    map[string]*chunkStats{},
+		start:     time.Now(),
+	}
+}
+
+// ObserveChunk records one job result delivery of n units via mode
+// ("poll" or "stream").
+func (m *Metrics) ObserveChunk(mode string, n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cs := m.chunks[mode]
+	if cs == nil {
+		cs = &chunkStats{buckets: make([]int64, len(chunkBuckets))}
+		m.chunks[mode] = cs
+	}
+	cs.count++
+	cs.sumUnits += int64(n)
+	for i, ub := range chunkBuckets {
+		if n <= ub {
+			cs.buckets[i]++
+			break
+		}
+	}
 }
 
 // Observe records one finished request.
@@ -101,7 +139,7 @@ func (m *Metrics) SimPreemptedNow() int64 { return m.simPreempted.Load() }
 
 // Render emits the Prometheus text exposition. Output ordering is
 // deterministic (sorted paths and codes) so scrapes diff cleanly.
-func (m *Metrics) Render(cache buildcache.Stats) string {
+func (m *Metrics) Render(cache buildcache.Stats, js jobs.Stats) string {
 	var b strings.Builder
 
 	m.mu.Lock()
@@ -144,7 +182,51 @@ func (m *Metrics) Render(cache buildcache.Stats) string {
 		fmt.Fprintf(&b, "idemd_http_request_duration_seconds_sum{path=%q} %.9f\n", p, ep.sumSeconds)
 		fmt.Fprintf(&b, "idemd_http_request_duration_seconds_count{path=%q} %d\n", p, ep.count)
 	}
+
+	modes := make([]string, 0, len(m.chunks))
+	for mode := range m.chunks {
+		modes = append(modes, mode)
+	}
+	sort.Strings(modes)
+	fmt.Fprintf(&b, "# HELP idemd_jobs_chunk_units Job results per delivery chunk, by mode (poll/stream).\n")
+	fmt.Fprintf(&b, "# TYPE idemd_jobs_chunk_units histogram\n")
+	for _, mode := range modes {
+		cs := m.chunks[mode]
+		cum := int64(0)
+		for i, ub := range chunkBuckets {
+			cum += cs.buckets[i]
+			fmt.Fprintf(&b, "idemd_jobs_chunk_units_bucket{mode=%q,le=\"%d\"} %d\n", mode, ub, cum)
+		}
+		fmt.Fprintf(&b, "idemd_jobs_chunk_units_bucket{mode=%q,le=\"+Inf\"} %d\n", mode, cs.count)
+		fmt.Fprintf(&b, "idemd_jobs_chunk_units_sum{mode=%q} %d\n", mode, cs.sumUnits)
+		fmt.Fprintf(&b, "idemd_jobs_chunk_units_count{mode=%q} %d\n", mode, cs.count)
+	}
 	m.mu.Unlock()
+
+	fmt.Fprintf(&b, "# HELP idemd_jobs_active Jobs currently running.\n")
+	fmt.Fprintf(&b, "# TYPE idemd_jobs_active gauge\n")
+	fmt.Fprintf(&b, "idemd_jobs_active %d\n", js.Active)
+	fmt.Fprintf(&b, "# HELP idemd_jobs_tracked Jobs in the table (running + finished awaiting TTL).\n")
+	fmt.Fprintf(&b, "# TYPE idemd_jobs_tracked gauge\n")
+	fmt.Fprintf(&b, "idemd_jobs_tracked %d\n", js.Tracked)
+	fmt.Fprintf(&b, "# HELP idemd_jobs_completed_total Jobs that delivered every unit.\n")
+	fmt.Fprintf(&b, "# TYPE idemd_jobs_completed_total counter\n")
+	fmt.Fprintf(&b, "idemd_jobs_completed_total %d\n", js.Completed)
+	fmt.Fprintf(&b, "# HELP idemd_jobs_canceled_total Jobs canceled via DELETE.\n")
+	fmt.Fprintf(&b, "# TYPE idemd_jobs_canceled_total counter\n")
+	fmt.Fprintf(&b, "idemd_jobs_canceled_total %d\n", js.Canceled)
+	fmt.Fprintf(&b, "# HELP idemd_jobs_failed_total Jobs failed by an external feeder.\n")
+	fmt.Fprintf(&b, "# TYPE idemd_jobs_failed_total counter\n")
+	fmt.Fprintf(&b, "idemd_jobs_failed_total %d\n", js.Failed)
+	fmt.Fprintf(&b, "# HELP idemd_jobs_reaped_total Finished jobs removed after their TTL.\n")
+	fmt.Fprintf(&b, "# TYPE idemd_jobs_reaped_total counter\n")
+	fmt.Fprintf(&b, "idemd_jobs_reaped_total %d\n", js.Reaped)
+	fmt.Fprintf(&b, "# HELP idemd_jobs_resumed_total Journaled jobs resumed mid-flight after a restart.\n")
+	fmt.Fprintf(&b, "# TYPE idemd_jobs_resumed_total counter\n")
+	fmt.Fprintf(&b, "idemd_jobs_resumed_total %d\n", js.ResumedJobs)
+	fmt.Fprintf(&b, "# HELP idemd_jobs_resumed_units_total Unit results reloaded from journals instead of re-executed.\n")
+	fmt.Fprintf(&b, "# TYPE idemd_jobs_resumed_units_total counter\n")
+	fmt.Fprintf(&b, "idemd_jobs_resumed_units_total %d\n", js.ResumedUnits)
 
 	fmt.Fprintf(&b, "# HELP idemd_http_inflight_requests Requests currently being served.\n")
 	fmt.Fprintf(&b, "# TYPE idemd_http_inflight_requests gauge\n")

@@ -25,12 +25,15 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
 	"idemproc/internal/buildcache"
 	"idemproc/internal/experiments"
 	"idemproc/internal/fault"
+	"idemproc/internal/jobs"
 	"idemproc/internal/machine"
 )
 
@@ -65,6 +68,17 @@ type Config struct {
 	// the request deadline bounds server-side work, not just
 	// client-observed latency.
 	PreemptEvery int64
+	// MaxJobs bounds the async job table for /v1/jobs (default 64).
+	MaxJobs int
+	// JobTTL is how long a finished job stays queryable before reaping
+	// (default 10m).
+	JobTTL time.Duration
+	// JobPollMax caps the long-poll wait a GET /v1/jobs/{id} request may
+	// ask for (default 25s — under common LB idle timeouts).
+	JobPollMax time.Duration
+	// RetryAfterHint is the Retry-After value attached to 429 sheds
+	// (default 1s) so clients back off precisely instead of guessing.
+	RetryAfterHint time.Duration
 	// Logf, when set, receives one line per lifecycle event (listen,
 	// drain, shutdown). Per-request logging is intentionally absent —
 	// /metrics is the observation surface.
@@ -90,6 +104,12 @@ func (c Config) withDefaults() Config {
 	if c.PreemptEvery <= 0 {
 		c.PreemptEvery = 4096
 	}
+	if c.JobPollMax <= 0 {
+		c.JobPollMax = 25 * time.Second
+	}
+	if c.RetryAfterHint <= 0 {
+		c.RetryAfterHint = time.Second
+	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
@@ -103,6 +123,7 @@ type Server struct {
 	cache   *buildcache.Cache
 	engine  *experiments.Engine
 	metrics *Metrics
+	jobs    *jobs.Manager
 	mux     *http.ServeMux
 	sem     chan struct{}
 
@@ -110,8 +131,11 @@ type Server struct {
 	httpSrv  *http.Server
 }
 
-// New builds a server with its own bounded compile cache and batch
-// engine.
+// New builds a server with its own bounded compile cache, batch engine
+// and async job manager. Journaled jobs from a previous life are NOT
+// resumed here — call RecoverJobs after warming the artifact store
+// (cmd/idemd scans the disk tier first so resumed units hit artifacts
+// instead of recompiling).
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	cache := buildcache.NewBoundedDisk(cfg.CacheMaxBytes, cfg.CacheDir)
@@ -123,12 +147,26 @@ func New(cfg Config) *Server {
 		mux:     http.NewServeMux(),
 		sem:     make(chan struct{}, cfg.MaxInFlight),
 	}
-	s.mux.Handle("/healthz", s.instrument("/healthz", http.MethodGet, false, s.handleHealthz))
-	s.mux.Handle("/readyz", s.instrument("/readyz", http.MethodGet, false, s.handleReadyz))
-	s.mux.Handle("/metrics", s.instrument("/metrics", http.MethodGet, false, s.handleMetrics))
-	s.mux.Handle("/v1/compile", s.instrument("/v1/compile", http.MethodPost, true, s.handleCompile))
-	s.mux.Handle("/v1/simulate", s.instrument("/v1/simulate", http.MethodPost, true, s.handleSimulate))
-	s.mux.Handle("/v1/batch", s.instrument("/v1/batch", http.MethodPost, true, s.handleBatch))
+	s.jobs = jobs.NewManager(jobs.Config{
+		Dir:     cfg.CacheDir,
+		MaxJobs: cfg.MaxJobs,
+		TTL:     cfg.JobTTL,
+		Logf:    cfg.Logf,
+	}, s.engine, s.runJobUnit)
+	get, post := []string{http.MethodGet}, []string{http.MethodPost}
+	s.mux.Handle("/healthz", s.instrument("/healthz", get, false, s.handleHealthz))
+	s.mux.Handle("/readyz", s.instrument("/readyz", get, false, s.handleReadyz))
+	s.mux.Handle("/metrics", s.instrument("/metrics", get, false, s.handleMetrics))
+	s.mux.Handle("/v1/compile", s.instrument("/v1/compile", post, true, s.handleCompile))
+	s.mux.Handle("/v1/simulate", s.instrument("/v1/simulate", post, true, s.handleSimulate))
+	s.mux.Handle("/v1/batch", s.instrument("/v1/batch", post, true, s.handleBatch))
+	// Job submission holds a semaphore slot only for the submit itself;
+	// poll/stream/cancel are cheap waits and stay unlimited so a full
+	// semaphore cannot block reading results (which is what frees work).
+	s.mux.Handle("/v1/jobs", s.instrument("/v1/jobs", post, true, s.handleJobSubmit))
+	s.mux.Handle("/v1/jobs/{id}", s.instrument("/v1/jobs/{id}",
+		[]string{http.MethodGet, http.MethodDelete}, false, s.handleJob))
+	s.mux.Handle("/v1/jobs/{id}/stream", s.instrument("/v1/jobs/{id}/stream", get, false, s.handleJobStream))
 	return s
 }
 
@@ -141,6 +179,21 @@ func (s *Server) Cache() *buildcache.Cache { return s.cache }
 
 // Metrics exposes the metric registry.
 func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Jobs exposes the async job manager (tests assert on its stats).
+func (s *Server) Jobs() *jobs.Manager { return s.jobs }
+
+// RecoverJobs resumes journaled jobs from a previous process life. Call
+// it once, after the artifact store's warm-start Scan, so the resumed
+// units reload compiles from disk instead of re-running codegen.
+func (s *Server) RecoverJobs() jobs.RecoverStats {
+	rs := s.jobs.Recover()
+	if rs.Resumed+rs.Complete+rs.Pruned > 0 {
+		s.cfg.Logf("idemd: job recovery: %d resumed, %d already complete, %d units journaled, %d pruned",
+			rs.Resumed, rs.Complete, rs.Units, rs.Pruned)
+	}
+	return rs
+}
 
 // Serve accepts connections on l until Shutdown. It returns
 // http.ErrServerClosed after a clean drain, like net/http.
@@ -161,10 +214,18 @@ func (s *Server) Serve(l net.Listener) error {
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
 	s.cfg.Logf("idemd: draining (readyz -> 503)")
-	if s.httpSrv == nil {
-		return nil
+	// Stop the job subsystem first: runners park (journals stay on disk
+	// for the next boot to resume) and blocked pollers/streamers wake,
+	// so their connections can drain instead of holding Shutdown until
+	// their long-poll deadlines.
+	s.jobs.Stop()
+	var err error
+	if s.httpSrv != nil {
+		err = s.httpSrv.Shutdown(ctx)
 	}
-	err := s.httpSrv.Shutdown(ctx)
+	if jerr := s.jobs.Close(ctx); jerr != nil && err == nil {
+		err = jerr
+	}
 	if d := s.cache.Disk(); d != nil {
 		// Let in-flight write-behind artifact writes land before exit, so
 		// a restart finds everything the drained process compiled.
@@ -185,6 +246,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // budget.
 func (s *Server) Close() error {
 	s.draining.Store(true)
+	s.jobs.Stop()
 	if s.httpSrv == nil {
 		return nil
 	}
@@ -208,12 +270,22 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.ResponseWriter.WriteHeader(code)
 }
 
+// Flush forwards to the underlying writer so the NDJSON stream handler
+// can push each chunk through the recorder.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // instrument wraps a handler with method filtering, the in-flight gauge,
 // the concurrency limiter (limited endpoints shed with 429 instead of
 // queueing — the client can retry against another replica; queued work
 // would just grow latency unboundedly), the per-request deadline, and
-// latency/status accounting.
-func (s *Server) instrument(path, method string, limited bool, h func(http.ResponseWriter, *http.Request)) http.Handler {
+// latency/status accounting. The path label is the route pattern, so
+// wildcard routes like /v1/jobs/{id} stay one metric series.
+func (s *Server) instrument(path string, methods []string, limited bool, h func(http.ResponseWriter, *http.Request)) http.Handler {
+	allow := strings.Join(methods, ", ")
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
@@ -223,8 +295,15 @@ func (s *Server) instrument(path, method string, limited bool, h func(http.Respo
 			s.metrics.Observe(path, rec.code, time.Since(start))
 		}()
 
-		if r.Method != method {
-			rec.Header().Set("Allow", method)
+		allowed := false
+		for _, m := range methods {
+			if r.Method == m {
+				allowed = true
+				break
+			}
+		}
+		if !allowed {
+			rec.Header().Set("Allow", allow)
 			writeError(rec, http.StatusMethodNotAllowed, fmt.Sprintf("method %s not allowed", r.Method))
 			return
 		}
@@ -234,6 +313,10 @@ func (s *Server) instrument(path, method string, limited bool, h func(http.Respo
 				defer func() { <-s.sem }()
 			default:
 				s.metrics.Shed()
+				// Retry-After turns the shed from a guess into a schedule:
+				// resilience clients honor it verbatim instead of probing
+				// with their own backoff curve.
+				rec.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.cfg.RetryAfterHint)))
 				writeError(rec, http.StatusTooManyRequests, "server at concurrency limit, retry later")
 				return
 			}
@@ -245,6 +328,17 @@ func (s *Server) instrument(path, method string, limited bool, h func(http.Respo
 		}
 		h(rec, r)
 	})
+}
+
+// retryAfterSeconds renders a hint as whole seconds, minimum 1 (the
+// header's granularity; 0 would mean "retry immediately", defeating the
+// point).
+func retryAfterSeconds(d time.Duration) int {
+	sec := int((d + time.Second - 1) / time.Second)
+	if sec < 1 {
+		sec = 1
+	}
+	return sec
 }
 
 // writeJSON marshals v with a trailing newline. Marshaling fixed structs
@@ -326,7 +420,7 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	fmt.Fprint(w, s.metrics.Render(s.cache.Stats()))
+	fmt.Fprint(w, s.metrics.Render(s.cache.Stats(), s.jobs.Stats()))
 }
 
 // ---------------------------------------------------------------------
@@ -474,27 +568,36 @@ func schemeName(s string) string {
 	return s
 }
 
+// validateBatch applies the shared /v1/batch and /v1/jobs admission
+// rules — identical on purpose: a job is a batch with a handle, so the
+// same body must be accepted or rejected identically by both.
+func (s *Server) validateBatch(req *BatchRequest) *httpError {
+	n := len(req.Units)
+	if n == 0 {
+		return badRequest("batch has no units")
+	}
+	if n > s.cfg.MaxBatchUnits {
+		return badRequest("batch exceeds %d units", s.cfg.MaxBatchUnits)
+	}
+	for i, u := range req.Units {
+		if (u.Compile == nil) == (u.Simulate == nil) {
+			return badRequest("unit %d: exactly one of compile or simulate is required", i)
+		}
+	}
+	return nil
+}
+
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	var req BatchRequest
 	if he := s.decodeJSON(w, r, &req); he != nil {
 		writeHTTPErr(w, he)
 		return
 	}
+	if he := s.validateBatch(&req); he != nil {
+		writeHTTPErr(w, he)
+		return
+	}
 	n := len(req.Units)
-	if n == 0 {
-		writeHTTPErr(w, badRequest("batch has no units"))
-		return
-	}
-	if n > s.cfg.MaxBatchUnits {
-		writeHTTPErr(w, badRequest("batch exceeds %d units", s.cfg.MaxBatchUnits))
-		return
-	}
-	for i, u := range req.Units {
-		if (u.Compile == nil) == (u.Simulate == nil) {
-			writeHTTPErr(w, badRequest("unit %d: exactly one of compile or simulate is required", i))
-			return
-		}
-	}
 
 	// Fan the units onto the engine pool. Per-unit failures are recorded
 	// in their slot (fn always returns nil), so one broken unit cannot

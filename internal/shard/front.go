@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"idemproc/internal/buildcache"
+	"idemproc/internal/jobs"
 	"idemproc/internal/resilience"
 	"idemproc/internal/server"
 )
@@ -59,6 +60,14 @@ type Config struct {
 	// open breaker makes routing prefer the next owner instead of
 	// sleeping out the cooldown.
 	BreakerThreshold int
+	// MaxJobs bounds the front-side job table (default 64). Each front
+	// job fans out per-owner sub-jobs to the replicas.
+	MaxJobs int
+	// JobTTL is how long a terminal front job stays queryable (default
+	// 10m, matching the replica default).
+	JobTTL time.Duration
+	// JobPollMax caps one GET /v1/jobs/{id} long-poll (default 25s).
+	JobPollMax time.Duration
 	// Seed drives the deterministic retry-jitter streams.
 	Seed uint64
 	// Logf receives lifecycle and rebalance lines (default: discard).
@@ -90,6 +99,9 @@ func (c Config) withDefaults() Config {
 	if c.BreakerThreshold < 0 {
 		c.BreakerThreshold = 0
 	}
+	if c.JobPollMax <= 0 {
+		c.JobPollMax = 25 * time.Second
+	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
@@ -117,6 +129,12 @@ type Front struct {
 	client   *http.Client
 	metrics  *Metrics
 	mux      *http.ServeMux
+	jobs     *jobs.Manager
+
+	// flights single-flights identical in-flight bodies during the
+	// no-healthy-owner failover window (see routeMaybeCoalesced).
+	flightMu sync.Mutex
+	flights  map[string]*flight
 
 	draining atomic.Bool
 	httpSrv  *http.Server
@@ -145,8 +163,16 @@ func New(cfg Config) (*Front, error) {
 		}},
 		metrics: NewMetrics(),
 		mux:     http.NewServeMux(),
+		flights: map[string]*flight{},
 		stop:    make(chan struct{}),
 	}
+	// The front's job table tracks externally fed jobs only (no engine,
+	// no journal — durability lives replica-side, where the work runs).
+	f.jobs = jobs.NewManager(jobs.Config{
+		MaxJobs: cfg.MaxJobs,
+		TTL:     cfg.JobTTL,
+		Logf:    cfg.Logf,
+	}, nil, nil)
 	for _, id := range ring.Replicas() {
 		b := &backend{
 			id:   id,
@@ -168,6 +194,9 @@ func New(cfg Config) (*Front, error) {
 	f.mux.HandleFunc("/v1/compile", f.proxySingle("/v1/compile"))
 	f.mux.HandleFunc("/v1/simulate", f.proxySingle("/v1/simulate"))
 	f.mux.HandleFunc("/v1/batch", f.handleBatch)
+	f.mux.HandleFunc("/v1/jobs", f.handleJobSubmit)
+	f.mux.HandleFunc("/v1/jobs/{id}", f.handleJob)
+	f.mux.HandleFunc("/v1/jobs/{id}/stream", f.handleJobStream)
 
 	f.wg.Add(1)
 	go f.healthLoop()
@@ -183,6 +212,9 @@ func (f *Front) Metrics() *Metrics { return f.metrics }
 // Ring exposes the routing ring (tests pin ownership against it).
 func (f *Front) Ring() *Ring { return f.ring }
 
+// Jobs exposes the front-side job manager (tests assert on its stats).
+func (f *Front) Jobs() *jobs.Manager { return f.jobs }
+
 // Serve accepts connections on l until Shutdown; returns
 // http.ErrServerClosed after a clean drain.
 func (f *Front) Serve(l net.Listener) error {
@@ -197,9 +229,16 @@ func (f *Front) Shutdown(ctx context.Context) error {
 	f.draining.Store(true)
 	f.stopOnce.Do(func() { close(f.stop) })
 	f.cfg.Logf("idemfront: draining (readyz -> 503)")
+	// Stopping the job manager cancels every merger (each best-effort
+	// cancels its replica sub-job) and wakes parked pollers/streamers so
+	// their in-flight requests can complete inside the drain window.
+	f.jobs.Stop()
 	var err error
 	if f.httpSrv != nil {
 		err = f.httpSrv.Shutdown(ctx)
+	}
+	if jerr := f.jobs.Close(ctx); jerr != nil && err == nil {
+		err = jerr
 	}
 	f.wg.Wait()
 	f.cfg.Logf("idemfront: drained")
@@ -210,6 +249,7 @@ func (f *Front) Shutdown(ctx context.Context) error {
 func (f *Front) Close() error {
 	f.draining.Store(true)
 	f.stopOnce.Do(func() { close(f.stop) })
+	f.jobs.Stop()
 	var err error
 	if f.httpSrv != nil {
 		err = f.httpSrv.Close()
@@ -324,7 +364,7 @@ func (f *Front) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 
 func (f *Front) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	fmt.Fprint(w, f.metrics.Render(f.healthSnapshot()))
+	fmt.Fprint(w, f.metrics.Render(f.healthSnapshot(), f.jobs.Stats()))
 }
 
 // respond writes one front-level response and records it.
@@ -388,7 +428,7 @@ func (f *Front) proxySingle(path string) http.HandlerFunc {
 		if !parsed {
 			f.metrics.RawRouted()
 		}
-		status, resp, err := f.route(ctx, path, body, key)
+		status, resp, err := f.routeMaybeCoalesced(ctx, path, body, key)
 		if err != nil {
 			f.respondError(w, path, http.StatusServiceUnavailable,
 				fmt.Sprintf("no replica served the request: %v", err))
@@ -444,6 +484,67 @@ func hash64(s string) uint64 {
 	h := fnv.New64a()
 	h.Write([]byte(s))
 	return h.Sum64()
+}
+
+// ---------------------------------------------------------------------
+// Single-flight coalescing during failover.
+
+// flight is one in-flight leader request that identical followers wait
+// on. Followers reuse the leader's response only on clean success; a
+// failed leader sends every follower through its own route() so a
+// transient fault cannot fan out.
+type flight struct {
+	done   chan struct{}
+	status int
+	body   []byte
+	err    error
+}
+
+// routeMaybeCoalesced is route() with single-flight coalescing for
+// /v1/compile while the key's primary owner is out (unhealthy or
+// breaker-open). In that failover window identical retrying clients
+// pile onto the surviving replicas exactly when capacity is scarcest;
+// since responses are pure functions of the request bytes, serving all
+// of them one upstream round-trip is free — and the window gate keeps
+// the steady state zero-cost. Flights key on the body hash, not the
+// routing key: only byte-identical requests may share a response.
+func (f *Front) routeMaybeCoalesced(ctx context.Context, path string, body []byte, key string) (int, []byte, error) {
+	if path != "/v1/compile" || !f.failoverWindow(key) {
+		return f.route(ctx, path, body, key)
+	}
+	fk := path + "\x00" + rawKey(body)
+	f.flightMu.Lock()
+	if fl, ok := f.flights[fk]; ok {
+		f.flightMu.Unlock()
+		select {
+		case <-fl.done:
+			if fl.err == nil {
+				f.metrics.Coalesced()
+				return fl.status, fl.body, nil
+			}
+		case <-ctx.Done():
+			return 0, nil, context.Cause(ctx)
+		}
+		// Leader failed; fall through to an independent attempt.
+		return f.route(ctx, path, body, key)
+	}
+	fl := &flight{done: make(chan struct{})}
+	f.flights[fk] = fl
+	f.flightMu.Unlock()
+
+	fl.status, fl.body, fl.err = f.route(ctx, path, body, key)
+	f.flightMu.Lock()
+	delete(f.flights, fk)
+	f.flightMu.Unlock()
+	close(fl.done)
+	return fl.status, fl.body, fl.err
+}
+
+// failoverWindow reports whether the key's primary ring owner cannot
+// take the request right now (marked out, or its breaker is open).
+func (f *Front) failoverWindow(key string) bool {
+	b := f.backends[f.ring.Owner(key)]
+	return !(b.healthy.Load() && b.rc.Ready())
 }
 
 // ---------------------------------------------------------------------
@@ -535,6 +636,17 @@ func post(ctx context.Context, client *http.Client, url string, body []byte) (in
 	b, err := io.ReadAll(resp.Body)
 	if err != nil {
 		return resp.StatusCode, nil, err
+	}
+	if resp.StatusCode == http.StatusTooManyRequests {
+		// A shedding replica schedules its own retry; surfacing the hint
+		// as an error lets the resilience layer sleep exactly that long
+		// instead of guessing (Do treats 429 as retryable either way).
+		if d, ok := resilience.ParseRetryAfter(resp.Header.Get("Retry-After")); ok {
+			return resp.StatusCode, b, &resilience.RetryAfterError{
+				After: d,
+				Err:   fmt.Errorf("status %d", resp.StatusCode),
+			}
+		}
 	}
 	return resp.StatusCode, b, nil
 }

@@ -1,0 +1,458 @@
+// Front-side async-job contract tests. The load-bearing one mirrors
+// the /v1/batch determinism test: a job streamed through a 3-replica
+// fleet must reconstruct byte-for-byte into the /v1/batch response a
+// single idemd process produces for the same body. The rest pin the
+// fleet-grade properties: a replica dying mid-job costs a resubmission,
+// not the job; cancel fans out to replica sub-jobs; and identical
+// compiles single-flight through the failover window.
+package shard
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"idemproc/internal/server"
+)
+
+// slowVariant is srcVariant's expensive sibling: distinct content keys
+// that each take long enough to leave a kill/cancel window.
+func slowVariant(i int) string {
+	return fmt.Sprintf("func main(int n) int {\n\tint s = %d;\n\tint t = 1;\n\tfor (int i = 0; i < n; i = i + 1) { s = s + i; t = t + s; }\n\treturn s + t;\n}\n", i)
+}
+
+// jobBatch spans several content keys (so the front splits it) and
+// includes an in-band per-unit error.
+func jobBatch(t *testing.T) []byte {
+	t.Helper()
+	return mustJSON(t, &server.BatchRequest{Units: []server.BatchUnit{
+		{Compile: &server.CompileRequest{Source: srcVariant(0)}},
+		{Simulate: &server.SimulateRequest{Source: frontTinySrc, Args: []uint64{10}}},
+		{Compile: &server.CompileRequest{Source: "not a program"}},
+		{Compile: &server.CompileRequest{Source: srcVariant(1)}},
+		{Simulate: &server.SimulateRequest{Source: srcVariant(2), Args: []uint64{5}, Scheme: "idem"}},
+		{Compile: &server.CompileRequest{Source: srcVariant(3)}},
+	}})
+}
+
+func submitFrontJob(t *testing.T, url string, body []byte) server.SubmitResponse {
+	t.Helper()
+	status, resp := postBody(t, url+"/v1/jobs", body)
+	if status != http.StatusOK {
+		t.Fatalf("submit: status %d: %s", status, resp)
+	}
+	var sub server.SubmitResponse
+	if err := json.Unmarshal(resp, &sub); err != nil {
+		t.Fatalf("submit response: %v", err)
+	}
+	return sub
+}
+
+// streamFrontJob reads the NDJSON stream from cursor to the end.
+func streamFrontJob(t *testing.T, url, id string, cursor int) [][]byte {
+	t.Helper()
+	resp, err := http.Get(fmt.Sprintf("%s/v1/jobs/%s/stream?cursor=%d", url, id, cursor))
+	if err != nil {
+		t.Fatalf("stream: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("stream: status %d: %s", resp.StatusCode, b)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("stream content type %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read stream: %v", err)
+	}
+	var lines [][]byte
+	for _, l := range bytes.Split(raw, []byte("\n")) {
+		if len(l) > 0 {
+			lines = append(lines, l)
+		}
+	}
+	return lines
+}
+
+// reconstruct derives the /v1/batch response body from stream lines.
+func reconstruct(lines [][]byte) []byte {
+	return append(append([]byte(`{"results":[`), bytes.Join(lines, []byte(","))...), []byte("]}\n")...)
+}
+
+type frontPollReply struct {
+	State      string            `json:"state"`
+	Units      int               `json:"units"`
+	NextCursor int               `json:"next_cursor"`
+	Error      string            `json:"error"`
+	Results    []json.RawMessage `json:"results"`
+}
+
+func pollFrontJob(t *testing.T, url, id string, cursor, waitMS int) frontPollReply {
+	t.Helper()
+	resp, err := http.Get(fmt.Sprintf("%s/v1/jobs/%s?cursor=%d&wait=%d", url, id, cursor, waitMS))
+	if err != nil {
+		t.Fatalf("poll: %v", err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("poll: status %d: %s", resp.StatusCode, b)
+	}
+	var rep frontPollReply
+	if err := json.Unmarshal(b, &rep); err != nil {
+		t.Fatalf("poll response: %v", err)
+	}
+	return rep
+}
+
+// TestFrontJobMatchesBatchBytes: stream and cursor-poll reconstructions
+// through a 3-replica fleet are byte-identical to a single process's
+// /v1/batch response for the same body.
+func TestFrontJobMatchesBatchBytes(t *testing.T) {
+	ref, _ := newReplica(t)
+	refTS := httptest.NewServer(ref.Handler())
+	t.Cleanup(refTS.Close)
+
+	var backends []string
+	for i := 0; i < 3; i++ {
+		_, addr := newReplica(t)
+		backends = append(backends, addr)
+	}
+	_, url := newFront(t, backends, nil)
+
+	body := jobBatch(t)
+	refStatus, refBatch := postBody(t, refTS.URL+"/v1/batch", body)
+	if refStatus != http.StatusOK {
+		t.Fatalf("reference batch: status %d: %s", refStatus, refBatch)
+	}
+
+	sub := submitFrontJob(t, url, body)
+	if sub.Units != 6 || sub.State != "running" {
+		t.Fatalf("submit response: %+v", sub)
+	}
+
+	lines := streamFrontJob(t, url, sub.ID, 0)
+	if len(lines) != sub.Units {
+		t.Fatalf("streamed %d lines, want %d", len(lines), sub.Units)
+	}
+	if got := reconstruct(lines); !bytes.Equal(got, refBatch) {
+		t.Fatalf("stream reconstruction diverges from single-process batch:\n got: %s\nwant: %s", got, refBatch)
+	}
+
+	// Cursor-poll the same job; the concatenation across polls must be
+	// the same bytes.
+	var polled [][]byte
+	cursor := 0
+	for {
+		rep := pollFrontJob(t, url, sub.ID, cursor, 2000)
+		for _, r := range rep.Results {
+			polled = append(polled, []byte(r))
+		}
+		cursor = rep.NextCursor
+		if cursor >= sub.Units {
+			if rep.State != "done" {
+				t.Fatalf("job ended %q, want done", rep.State)
+			}
+			break
+		}
+	}
+	if got := reconstruct(polled); !bytes.Equal(got, refBatch) {
+		t.Fatalf("poll reconstruction diverges from single-process batch:\n got: %s\nwant: %s", got, refBatch)
+	}
+
+	// Suffix stream resume: cursor=2 must replay exactly lines[2:].
+	suffix := streamFrontJob(t, url, sub.ID, 2)
+	if len(suffix) != sub.Units-2 {
+		t.Fatalf("suffix stream: %d lines, want %d", len(suffix), sub.Units-2)
+	}
+	for i, l := range suffix {
+		if !bytes.Equal(l, lines[i+2]) {
+			t.Fatalf("suffix line %d diverges", i)
+		}
+	}
+}
+
+// TestFrontJobSurvivesReplicaDeath: killing a replica with an active
+// sub-job resubmits the remainder elsewhere; the merged stream still
+// reconstructs the single-process bytes.
+func TestFrontJobSurvivesReplicaDeath(t *testing.T) {
+	ref, _ := newReplica(t)
+	refTS := httptest.NewServer(ref.Handler())
+	t.Cleanup(refTS.Close)
+
+	var backends []string
+	var servers []*server.Server
+	var listeners []*httptest.Server
+	for i := 0; i < 3; i++ {
+		s := server.New(server.Config{MaxInFlight: 128, RequestTimeout: time.Minute, Workers: 1})
+		ts := httptest.NewServer(s.Handler())
+		t.Cleanup(ts.Close)
+		servers = append(servers, s)
+		listeners = append(listeners, ts)
+		backends = append(backends, strings.TrimPrefix(ts.URL, "http://"))
+	}
+	f, url := newFront(t, backends, nil)
+
+	// Slow, key-diverse units: each replica that owns a group has a
+	// visible window where its sub-job is running.
+	var units []server.BatchUnit
+	for i := 0; i < 6; i++ {
+		units = append(units, server.BatchUnit{
+			Simulate: &server.SimulateRequest{Source: slowVariant(i), Args: []uint64{400_000}},
+		})
+	}
+	body := mustJSON(t, &server.BatchRequest{Units: units})
+	refStatus, refBatch := postBody(t, refTS.URL+"/v1/batch", body)
+	if refStatus != http.StatusOK {
+		t.Fatalf("reference batch: status %d: %s", refStatus, refBatch)
+	}
+
+	sub := submitFrontJob(t, url, body)
+
+	// Find a replica actively running a sub-job and kill it.
+	killed := -1
+	deadline := time.Now().Add(10 * time.Second)
+	for killed < 0 && time.Now().Before(deadline) {
+		for i, s := range servers {
+			if s.Jobs().Stats().Active > 0 {
+				killed = i
+				break
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if killed < 0 {
+		t.Fatal("no replica ever had an active sub-job")
+	}
+	listeners[killed].CloseClientConnections()
+	listeners[killed].Close()
+
+	lines := streamFrontJob(t, url, sub.ID, 0)
+	if len(lines) != len(units) {
+		rep := pollFrontJob(t, url, sub.ID, 0, 0)
+		t.Fatalf("streamed %d/%d lines; job state %q (%s)", len(lines), len(units), rep.State, rep.Error)
+	}
+	if got := reconstruct(lines); !bytes.Equal(got, refBatch) {
+		t.Fatalf("post-kill reconstruction diverges from single-process batch:\n got: %s\nwant: %s", got, refBatch)
+	}
+	if n := f.Metrics().SubJobRetriesNow(); n < 1 {
+		t.Fatalf("expected at least one sub-job resubmission, got %d", n)
+	}
+}
+
+// TestFrontJobCancelFansOut: DELETE on the front job cancels the
+// replica-side sub-jobs so the fleet stops computing unread results.
+func TestFrontJobCancelFansOut(t *testing.T) {
+	var backends []string
+	var servers []*server.Server
+	for i := 0; i < 3; i++ {
+		s := server.New(server.Config{MaxInFlight: 128, RequestTimeout: time.Minute, Workers: 1})
+		ts := httptest.NewServer(s.Handler())
+		t.Cleanup(ts.Close)
+		servers = append(servers, s)
+		backends = append(backends, strings.TrimPrefix(ts.URL, "http://"))
+	}
+	_, url := newFront(t, backends, nil)
+
+	var units []server.BatchUnit
+	for i := 0; i < 3; i++ {
+		units = append(units, server.BatchUnit{
+			Simulate: &server.SimulateRequest{Source: slowVariant(i), Args: []uint64{100_000_000}},
+		})
+	}
+	sub := submitFrontJob(t, url, mustJSON(t, &server.BatchRequest{Units: units}))
+
+	// Wait until at least one replica is actually running a sub-job.
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		n := int64(0)
+		for _, s := range servers {
+			n += s.Jobs().Stats().Active
+		}
+		if n > 0 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	req, err := http.NewRequest(http.MethodDelete, url+"/v1/jobs/"+sub.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("cancel: %v", err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var cr server.CancelResponse
+	if err := json.Unmarshal(b, &cr); err != nil || cr.State != "canceled" {
+		t.Fatalf("cancel response: %s (%v)", b, err)
+	}
+
+	// The mergers' best-effort DELETEs land on the replicas shortly.
+	for time.Now().Before(deadline) {
+		n := int64(0)
+		for _, s := range servers {
+			n += s.Jobs().Stats().Canceled
+		}
+		if n > 0 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("no replica sub-job was ever canceled")
+}
+
+// TestFrontJobValidation pins the front's error surface to the replica
+// texts: unknown handles, cursor bounds, method filters, and the
+// canonical replica answer for unsplittable submissions.
+func TestFrontJobValidation(t *testing.T) {
+	_, refAddr := newReplica(t)
+	refURL := "http://" + refAddr
+	_, addr := newReplica(t)
+	_, url := newFront(t, []string{addr}, func(c *Config) { c.MaxBatchUnits = 2 })
+
+	// Unknown handle: poll, stream, cancel.
+	for _, path := range []string{"/v1/jobs/zzz", "/v1/jobs/zzz/stream"} {
+		resp, err := http.Get(url + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound || !strings.Contains(string(b), `unknown job \"zzz\"`) {
+			t.Fatalf("GET %s: status %d body %s", path, resp.StatusCode, b)
+		}
+	}
+
+	// A submit that the splitter declines for shape reasons gets the
+	// byte-identical replica error.
+	badBody := []byte(`{"units": []}`)
+	fStatus, fResp := postBody(t, url+"/v1/jobs", badBody)
+	rStatus, rResp := postBody(t, refURL+"/v1/jobs", badBody)
+	if fStatus != rStatus || !bytes.Equal(fResp, rResp) {
+		t.Fatalf("unsplittable submit: front (%d, %s) vs replica (%d, %s)", fStatus, fResp, rStatus, rResp)
+	}
+
+	// Beyond the front's split bound: rejected at the front with the
+	// replica's message shape, no replica-side handle minted.
+	big := mustJSON(t, &server.BatchRequest{Units: []server.BatchUnit{
+		{Compile: &server.CompileRequest{Source: srcVariant(0)}},
+		{Compile: &server.CompileRequest{Source: srcVariant(1)}},
+		{Compile: &server.CompileRequest{Source: srcVariant(2)}},
+	}})
+	status, resp := postBody(t, url+"/v1/jobs", big)
+	if status != http.StatusBadRequest || !strings.Contains(string(resp), "batch exceeds 2 units") {
+		t.Fatalf("oversize submit: status %d body %s", status, resp)
+	}
+
+	// A real job for cursor/method checks.
+	sub := submitFrontJob(t, url, mustJSON(t, &server.BatchRequest{Units: []server.BatchUnit{
+		{Compile: &server.CompileRequest{Source: srcVariant(0)}},
+	}}))
+	rep := pollFrontJob(t, url, sub.ID, 0, 5000)
+	if rep.State != "done" {
+		t.Fatalf("job state %q", rep.State)
+	}
+	for _, q := range []string{"cursor=2", "cursor=-1", "cursor=abc", "wait=abc", "wait=-5"} {
+		resp, err := http.Get(fmt.Sprintf("%s/v1/jobs/%s?%s", url, sub.ID, q))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("GET ?%s: status %d, want 400", q, resp.StatusCode)
+		}
+	}
+	req, err := http.NewRequest(http.MethodPatch, url+"/v1/jobs/"+sub.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusMethodNotAllowed || resp2.Header.Get("Allow") != "GET, DELETE" {
+		t.Fatalf("PATCH: status %d Allow %q", resp2.StatusCode, resp2.Header.Get("Allow"))
+	}
+}
+
+// TestFrontCoalescesCompilesDuringFailover: while a key's primary owner
+// is out, identical in-flight /v1/compile bodies single-flight into one
+// upstream request.
+func TestFrontCoalescesCompilesDuringFailover(t *testing.T) {
+	var hits atomic.Int64
+	const answer = `{"coalesced":"yes"}` + "\n"
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/readyz":
+			// Permanently not ready: every key's owner stays in the
+			// failover window without the health loop flapping it back.
+			w.WriteHeader(http.StatusServiceUnavailable)
+		case "/v1/compile":
+			hits.Add(1)
+			time.Sleep(300 * time.Millisecond)
+			io.WriteString(w, answer)
+		default:
+			w.WriteHeader(http.StatusNotFound)
+		}
+	}))
+	t.Cleanup(stub.Close)
+
+	f, url := newFront(t, []string{strings.TrimPrefix(stub.URL, "http://")}, nil)
+	// Wait for the probe to mark the stub out.
+	deadline := time.Now().Add(5 * time.Second)
+	for f.HealthyNow() != 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if f.HealthyNow() != 0 {
+		t.Fatal("stub backend never marked out")
+	}
+
+	body := mustJSON(t, &server.CompileRequest{Source: frontTinySrc})
+	results := make([]string, 8)
+	var wg sync.WaitGroup
+	// The leader goes first so the followers find its flight in place.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, b := postBody(t, url+"/v1/compile", body)
+		results[0] = string(b)
+	}()
+	time.Sleep(100 * time.Millisecond)
+	for i := 1; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, b := postBody(t, url+"/v1/compile", body)
+			results[i] = string(b)
+		}(i)
+	}
+	wg.Wait()
+
+	for i, r := range results {
+		if r != answer {
+			t.Fatalf("request %d got %q", i, r)
+		}
+	}
+	if n := hits.Load(); n != 1 {
+		t.Fatalf("stub served %d compiles, want 1 (single flight)", n)
+	}
+	if n := f.Metrics().CoalescedNow(); n != 7 {
+		t.Fatalf("coalesced %d followers, want 7", n)
+	}
+}

@@ -1,0 +1,409 @@
+// Front-side async jobs: POST /v1/jobs splits a batch into per-owner
+// sub-jobs across the replica fleet, tracks them behind one front-side
+// handle, and merges the per-replica streams back into strict index
+// order — so GET /v1/jobs/{id}/stream through the front is byte-
+// identical to the same job on a single replica, which in turn is
+// byte-derivable from the /v1/batch response. Sub-jobs fail over
+// between replicas with only the *remaining* units resubmitted; a
+// replica crash mid-job costs re-execution of at most its in-flight
+// units somewhere else, never a unit the front already holds.
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"idemproc/internal/jobs"
+	"idemproc/internal/server"
+)
+
+// maxSubAttempts bounds how many times one sub-batch is (re)submitted
+// across the candidate list before the front job fails. Generous: a
+// rolling restart of every replica still converges well inside it.
+const maxSubAttempts = 8
+
+// subJobWait is the long-poll wait the mergers use against replicas.
+// The replica returns early on any progress; this only bounds how long
+// an idle poll parks.
+const subJobWait = 15 * time.Second
+
+// handleJobSubmit implements POST /v1/jobs at the front: validate and
+// split exactly like /v1/batch, mint a front-side handle immediately,
+// and let one merger goroutine per sub-batch feed the tracked job.
+func (f *Front) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	const path = "/v1/jobs"
+	body, done, ctx, ok := f.admit(w, r, path)
+	if !ok {
+		return
+	}
+	defer done()
+
+	groups, splittable := f.splitBatch(body)
+	if !splittable {
+		f.forwardUnsplittableJob(w, ctx, body)
+		return
+	}
+
+	total := 0
+	for _, g := range groups {
+		total += len(g.indices)
+	}
+	j, err := f.jobs.Track(total, nil)
+	if err != nil {
+		if errors.Is(err, jobs.ErrTableFull) || errors.Is(err, jobs.ErrClosed) {
+			// Same shed contract as a replica: bounded table, retry hint.
+			w.Header().Set("Retry-After", "1")
+			f.respondError(w, path, http.StatusTooManyRequests, err.Error())
+			return
+		}
+		f.respondError(w, path, http.StatusInternalServerError, err.Error())
+		return
+	}
+	for _, g := range groups {
+		f.wg.Add(1)
+		go f.runGroup(j, g)
+	}
+	b, _ := json.Marshal(server.SubmitResponse{ID: j.ID(), Units: total, State: j.State().String()})
+	f.respond(w, path, http.StatusOK, append(b, '\n'))
+}
+
+// forwardUnsplittableJob handles the bodies the splitter declines. The
+// replica validation rules are a superset of the splitter's, so these
+// forward unsplit purely to fetch the canonical replica error — except
+// the front's own split bound, which the front enforces itself (with
+// the replica's own message shape) rather than minting a replica-side
+// handle it could never serve.
+func (f *Front) forwardUnsplittableJob(w http.ResponseWriter, ctx context.Context, body []byte) {
+	const path = "/v1/jobs"
+	var outer struct {
+		Units []json.RawMessage `json:"units"`
+	}
+	if strictUnmarshal(body, &outer) == nil && len(outer.Units) > f.cfg.MaxBatchUnits {
+		f.respondError(w, path, http.StatusBadRequest,
+			fmt.Sprintf("batch exceeds %d units", f.cfg.MaxBatchUnits))
+		return
+	}
+	f.metrics.RawRouted()
+	status, resp, err := f.route(ctx, path, body, rawKey(body))
+	if err != nil {
+		f.respondError(w, path, http.StatusServiceUnavailable,
+			fmt.Sprintf("no replica served the request: %v", err))
+		return
+	}
+	if status == http.StatusOK {
+		// Unreachable when front and replica validation agree; never hand
+		// out a replica-scoped handle (its TTL reaps the stray job).
+		f.respondError(w, path, http.StatusBadGateway,
+			"replica accepted a job the front cannot track")
+		return
+	}
+	f.respond(w, path, status, resp)
+}
+
+// runGroup is one sub-batch's merger: submit the group's still-missing
+// units to a replica as a sub-job, long-poll its cursor, rewrite each
+// result's index back to the original batch position, and deliver it
+// into the front job. On any replica-side failure it resubmits only the
+// remaining units to the next candidate; after maxSubAttempts the whole
+// front job fails (partial output would not be byte-stable).
+func (f *Front) runGroup(j *jobs.Job, g *batchGroup) {
+	defer f.wg.Done()
+	ctx := j.Context()
+	delivered := make([]bool, len(g.indices))
+	var lastErr error
+	for attempt := 0; attempt < maxSubAttempts; attempt++ {
+		var remUnits []json.RawMessage
+		var remIdx []int
+		for k, d := range delivered {
+			if !d {
+				remUnits = append(remUnits, g.units[k])
+				remIdx = append(remIdx, k)
+			}
+		}
+		if len(remUnits) == 0 {
+			return
+		}
+		b := f.pickBackend(g.key, attempt)
+		err := f.runSubJob(ctx, j, b, remUnits, remIdx, g.indices, delivered)
+		if err == nil {
+			return
+		}
+		if ctx.Err() != nil {
+			// Front job canceled or front draining — not a replica fault.
+			return
+		}
+		lastErr = err
+		f.metrics.SubJobRetry()
+	}
+	j.Fail(fmt.Sprintf("sub-batch failed on every replica: %v", lastErr))
+}
+
+// pickBackend walks the group's deterministic candidate list (healthy,
+// breaker-closed owners first) by attempt number, so consecutive
+// retries rotate replicas instead of hammering one.
+func (f *Front) pickBackend(key string, attempt int) *backend {
+	prefs := f.ring.Owners(key)
+	var avail, rest []*backend
+	for _, id := range prefs {
+		b := f.backends[id]
+		if b.healthy.Load() && b.rc.Ready() {
+			avail = append(avail, b)
+		} else {
+			rest = append(rest, b)
+		}
+	}
+	cands := append(avail, rest...)
+	return cands[attempt%len(cands)]
+}
+
+// runSubJob drives one sub-job on one replica to completion: submit,
+// long-poll the cursor, deliver rewritten results. A nil return means
+// every remaining unit was delivered; an error means the caller should
+// fail over with whatever is still missing.
+func (f *Front) runSubJob(ctx context.Context, j *jobs.Job, b *backend,
+	remUnits []json.RawMessage, remIdx []int, indices []int, delivered []bool) error {
+	sub, err := json.Marshal(struct {
+		Units []json.RawMessage `json:"units"`
+	}{Units: remUnits})
+	if err != nil {
+		return err
+	}
+	f.metrics.SubJob()
+	status, resp, err := post(ctx, f.client, b.base+"/v1/jobs", sub)
+	if err != nil {
+		if status == 0 {
+			f.setHealth(b, false, "transport error")
+		}
+		return fmt.Errorf("submit to %s: %w", b.id, err)
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("submit to %s: status %d: %s", b.id, status, firstLine(resp))
+	}
+	var sr server.SubmitResponse
+	if err := json.Unmarshal(resp, &sr); err != nil || sr.Units != len(remUnits) {
+		return fmt.Errorf("submit to %s: malformed handle", b.id)
+	}
+
+	cursor := 0
+	for cursor < len(remUnits) {
+		url := fmt.Sprintf("%s/v1/jobs/%s?cursor=%d&wait=%d",
+			b.base, sr.ID, cursor, subJobWait.Milliseconds())
+		status, resp, err := getBody(ctx, f.client, url)
+		if ctx.Err() != nil {
+			// The front job went away under us; release the replica's slot.
+			f.cancelSubJob(b, sr.ID)
+			return nil
+		}
+		if err != nil {
+			if status == 0 {
+				f.setHealth(b, false, "transport error")
+			}
+			return fmt.Errorf("poll %s on %s: %w", sr.ID, b.id, err)
+		}
+		if status != http.StatusOK {
+			// 404: the replica restarted without the journal (or reaped the
+			// sub-job) — resubmit the remainder elsewhere.
+			return fmt.Errorf("poll %s on %s: status %d: %s", sr.ID, b.id, status, firstLine(resp))
+		}
+		var rep jobs.PollResponse
+		if err := json.Unmarshal(resp, &rep); err != nil {
+			return fmt.Errorf("poll %s on %s: malformed response: %v", sr.ID, b.id, err)
+		}
+		for _, res := range rep.Results {
+			if cursor >= len(remIdx) {
+				return fmt.Errorf("poll %s on %s: more results than units", sr.ID, b.id)
+			}
+			k := remIdx[cursor]
+			global := indices[k]
+			rewritten, err := rewriteIndex(res, global)
+			if err != nil {
+				return fmt.Errorf("poll %s on %s: malformed result: %v", sr.ID, b.id, err)
+			}
+			j.Deliver(global, rewritten)
+			delivered[k] = true
+			cursor++
+		}
+		switch rep.State {
+		case "canceled", "failed":
+			return fmt.Errorf("sub-job %s on %s ended %s: %s", sr.ID, b.id, rep.State, rep.Error)
+		}
+	}
+	return nil
+}
+
+// rewriteIndex re-marshals one replica result with its original batch
+// index, passing the compile/simulate payload bytes through verbatim —
+// the same rewrite /v1/batch merging uses, and for the same reason:
+// byte-identity with a single-process run.
+func rewriteIndex(res json.RawMessage, index int) ([]byte, error) {
+	var r rawBatchResult
+	if err := json.Unmarshal(res, &r); err != nil {
+		return nil, err
+	}
+	r.Index = index
+	return json.Marshal(r)
+}
+
+// cancelSubJob best-effort releases a replica-side sub-job whose front
+// job is gone (canceled or front shutdown); the replica would otherwise
+// keep computing results nobody will read.
+func (f *Front) cancelSubJob(b *backend, id string) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, b.base+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}
+
+// getBody is post's GET sibling: one bounded read of a replica URL.
+func getBody(ctx context.Context, client *http.Client, url string) (int, []byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return 0, nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, nil, err
+	}
+	return resp.StatusCode, b, nil
+}
+
+// firstLine trims a response body to its first line for error messages.
+func firstLine(b []byte) string {
+	for i, c := range b {
+		if c == '\n' {
+			return string(b[:i])
+		}
+	}
+	return string(b)
+}
+
+// ---------------------------------------------------------------------
+// Front-side job reads: same endpoints, texts and semantics as a
+// replica, served from the front's own job table.
+
+// handleJob serves GET (long-poll) and DELETE (cancel) for a front job.
+func (f *Front) handleJob(w http.ResponseWriter, r *http.Request) {
+	const path = "/v1/jobs/{id}"
+	fin := f.metrics.InFlight()
+	defer fin()
+	if r.Method != http.MethodGet && r.Method != http.MethodDelete {
+		w.Header().Set("Allow", "GET, DELETE")
+		f.respondError(w, path, http.StatusMethodNotAllowed,
+			fmt.Sprintf("method %s not allowed", r.Method))
+		return
+	}
+	j, ok := f.jobFromRequest(w, r, path)
+	if !ok {
+		return
+	}
+	if r.Method == http.MethodDelete {
+		j, _ = f.jobs.Cancel(j.ID())
+		b, _ := json.Marshal(server.CancelResponse{ID: j.ID(), State: j.State().String()})
+		f.respond(w, path, http.StatusOK, append(b, '\n'))
+		return
+	}
+
+	cursor, ok := f.parseJobCursor(w, r, path, j.Units())
+	if !ok {
+		return
+	}
+	var wait time.Duration
+	if q := r.URL.Query().Get("wait"); q != "" {
+		ms, err := strconv.Atoi(q)
+		if err != nil || ms < 0 {
+			f.respondError(w, path, http.StatusBadRequest,
+				"wait must be a non-negative duration in milliseconds")
+			return
+		}
+		wait = time.Duration(ms) * time.Millisecond
+		if wait > f.cfg.JobPollMax {
+			wait = f.cfg.JobPollMax
+		}
+	}
+	rep := j.Poll(r.Context(), cursor, wait)
+	b, _ := json.Marshal(rep)
+	f.respond(w, path, http.StatusOK, append(b, '\n'))
+}
+
+// handleJobStream serves GET /v1/jobs/{id}/stream: NDJSON results in
+// strict index order, resumable with ?cursor=.
+func (f *Front) handleJobStream(w http.ResponseWriter, r *http.Request) {
+	const path = "/v1/jobs/{id}/stream"
+	fin := f.metrics.InFlight()
+	defer fin()
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		f.respondError(w, path, http.StatusMethodNotAllowed,
+			fmt.Sprintf("method %s not allowed", r.Method))
+		return
+	}
+	j, ok := f.jobFromRequest(w, r, path)
+	if !ok {
+		return
+	}
+	cursor, ok := f.parseJobCursor(w, r, path, j.Units())
+	if !ok {
+		return
+	}
+	flusher, _ := w.(http.Flusher)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	f.metrics.ObservePath(path, http.StatusOK)
+	_, _ = j.Stream(r.Context(), cursor, func(chunk [][]byte) error {
+		var buf bytes.Buffer
+		for _, line := range chunk {
+			buf.Write(line)
+			buf.WriteByte('\n')
+		}
+		if _, err := w.Write(buf.Bytes()); err != nil {
+			return err
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	})
+}
+
+func (f *Front) jobFromRequest(w http.ResponseWriter, r *http.Request, path string) (*jobs.Job, bool) {
+	id := r.PathValue("id")
+	j, ok := f.jobs.Get(id)
+	if !ok {
+		f.respondError(w, path, http.StatusNotFound, fmt.Sprintf("unknown job %q", id))
+	}
+	return j, ok
+}
+
+func (f *Front) parseJobCursor(w http.ResponseWriter, r *http.Request, path string, units int) (int, bool) {
+	q := r.URL.Query().Get("cursor")
+	if q == "" {
+		return 0, true
+	}
+	c, err := strconv.Atoi(q)
+	if err != nil || c < 0 || c > units {
+		f.respondError(w, path, http.StatusBadRequest,
+			fmt.Sprintf("cursor must be an integer in [0, %d]", units))
+		return 0, false
+	}
+	return c, true
+}

@@ -13,6 +13,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"idemproc/internal/jobs"
 )
 
 // backendStats is one backend's traffic ledger, guarded by Metrics.mu
@@ -36,6 +38,9 @@ type Metrics struct {
 	noReplica  atomic.Int64
 	rawRouted  atomic.Int64
 	subBatches atomic.Int64
+	subJobs    atomic.Int64
+	subRetries atomic.Int64
+	coalesced  atomic.Int64
 	inflight   atomic.Int64
 
 	start time.Time
@@ -102,6 +107,23 @@ func (m *Metrics) RawRouted() { m.rawRouted.Add(1) }
 // SubBatch counts one sub-batch fanned out to a backend.
 func (m *Metrics) SubBatch() { m.subBatches.Add(1) }
 
+// SubJob counts one sub-job submitted to a backend by a job merger.
+func (m *Metrics) SubJob() { m.subJobs.Add(1) }
+
+// SubJobRetry counts one sub-job resubmitted to another backend after
+// a replica-side failure.
+func (m *Metrics) SubJobRetry() { m.subRetries.Add(1) }
+
+// SubJobRetriesNow reads the resubmission counter (tests assert on it).
+func (m *Metrics) SubJobRetriesNow() int64 { return m.subRetries.Load() }
+
+// Coalesced counts one follower request served from a single-flight
+// leader's response during a failover window.
+func (m *Metrics) Coalesced() { m.coalesced.Add(1) }
+
+// CoalescedNow reads the coalescing counter (tests assert on it).
+func (m *Metrics) CoalescedNow() int64 { return m.coalesced.Load() }
+
 // InFlight tracks the front's in-flight gauge.
 func (m *Metrics) InFlight() func() {
 	m.inflight.Add(1)
@@ -111,7 +133,7 @@ func (m *Metrics) InFlight() func() {
 // Render emits the Prometheus text exposition; healthy maps backend ID
 // to current health so the gauge reflects the router's live view.
 // Ordering is deterministic (sorted backends, paths, codes).
-func (m *Metrics) Render(healthy map[string]bool) string {
+func (m *Metrics) Render(healthy map[string]bool, js jobs.Stats) string {
 	var b strings.Builder
 
 	m.mu.Lock()
@@ -187,7 +209,16 @@ func (m *Metrics) Render(healthy map[string]bool) string {
 	counter("no_replica_total", "Requests that exhausted every backend.", m.noReplica.Load())
 	counter("raw_routed_total", "Requests routed by body hash (unparseable shape; replica answers canonically).", m.rawRouted.Load())
 	counter("sub_batches_total", "Sub-batches fanned out to backends by /v1/batch splitting.", m.subBatches.Load())
+	counter("sub_jobs_total", "Sub-jobs submitted to backends by /v1/jobs mergers.", m.subJobs.Load())
+	counter("sub_job_retries_total", "Sub-jobs resubmitted to another backend after a replica failure.", m.subRetries.Load())
+	counter("coalesced_total", "Requests served from a single-flight leader during failover.", m.coalesced.Load())
 	gauge("inflight_requests", "Requests currently being served by the front.", m.inflight.Load())
+	gauge("jobs_active", "Front jobs currently merging sub-job results.", js.Active)
+	gauge("jobs_tracked", "Front jobs in the table (running + terminal).", js.Tracked)
+	counter("jobs_completed_total", "Front jobs that delivered every unit.", js.Completed)
+	counter("jobs_canceled_total", "Front jobs canceled by DELETE.", js.Canceled)
+	counter("jobs_failed_total", "Front jobs failed (a sub-batch exhausted every replica).", js.Failed)
+	counter("jobs_reaped_total", "Terminal front jobs dropped by the TTL reaper.", js.Reaped)
 
 	fmt.Fprintf(&b, "# HELP idemfront_uptime_seconds Seconds since process start.\n")
 	fmt.Fprintf(&b, "# TYPE idemfront_uptime_seconds gauge\n")
