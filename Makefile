@@ -6,7 +6,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: all build fmt-check vet check test race race-fault bench bench-sim bench-serve bench-shard bench-quick serve-smoke chaos-smoke persist-smoke shard-smoke jobs-smoke ci
+.PHONY: all build fmt-check vet check lint test race race-fault bench bench-sim bench-serve bench-shard bench-quick serve-smoke chaos-smoke persist-smoke shard-smoke jobs-smoke verify-smoke ci
 
 all: build
 
@@ -21,7 +21,15 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-check: fmt-check vet
+# lint runs go vet plus cmd/idemlint, the repo's own order-sensitivity
+# checker: analysis passes that range over maps while appending to
+# shared output (or building strings) produce run-to-run diffs that
+# break the deterministic-digest contract. Findings are suppressed by a
+# later sort or an explicit //idemlint:ordered annotation.
+lint: vet
+	$(GO) run ./cmd/idemlint
+
+check: fmt-check lint
 
 test: check
 	$(GO) test ./...
@@ -30,6 +38,7 @@ test: check
 	$(MAKE) persist-smoke
 	$(MAKE) shard-smoke
 	$(MAKE) jobs-smoke
+	$(MAKE) verify-smoke
 
 # serve-smoke is the end-to-end service gate: boot idemd on a free port,
 # fire a seeded idemload burst twice (same seed must yield byte-identical
@@ -66,6 +75,15 @@ persist-smoke: build
 # scripts/shard_smoke.sh and docs/sharding.md.
 shard-smoke: build
 	./scripts/shard_smoke.sh
+
+# verify-smoke is the end-to-end translation-validation gate: boot
+# `idemd -verify-mode full`, compile every built-in workload through
+# /v1/compile (each response must report verified=true), drive the
+# seeded mixed load, and assert via scraped metrics that checks ran and
+# zero violations were found. See scripts/verify_smoke.sh and
+# docs/verify.md.
+verify-smoke: build
+	./scripts/verify_smoke.sh
 
 # jobs-smoke is the end-to-end async-job gate: run a job to completion
 # and assert its reconstructed stream is byte-identical to /v1/batch,

@@ -11,11 +11,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"idemproc/internal/codegen"
 	"idemproc/internal/core"
 	"idemproc/internal/ir"
 	"idemproc/internal/lang"
+	"idemproc/internal/verify"
 	"idemproc/internal/workloads"
 )
 
@@ -32,6 +34,7 @@ func main() {
 		disasm   = flag.Bool("disasm", false, "print the linked machine code")
 		noLoop   = flag.Bool("no-loop-heuristic", false, "disable the §4.3 loop heuristic")
 		noUnroll = flag.Bool("no-unroll", false, "disable the §5 loop unroll")
+		verifyP  = flag.Bool("verify", false, "re-check the compiled program against the §2.1 criterion with the translation validator; violations exit 1")
 	)
 	flag.Parse()
 
@@ -88,14 +91,31 @@ func main() {
 	if *dumpIR {
 		fmt.Println(ir.ModuleString(mod))
 	}
+	var rep *verify.Report
+	if *verifyP {
+		rep = verify.Verify(p)
+	}
 	if *disasm {
-		fmt.Println(codegen.Disassemble(p))
+		fmt.Println(codegen.DisassembleAnnotated(p, rep.Annotations()))
 	}
 	fmt.Printf("compiled: %d instructions, %d region marks, %d spill loads, %d spill stores\n",
 		st.StaticInstrs, st.Marks, st.SpillLoads, st.SpillStores)
-	for name, res := range st.Construction {
+	names := make([]string, 0, len(st.Construction))
+	for name := range st.Construction {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		res := st.Construction[name]
 		fmt.Printf("  @%s: %d instrs, %d regions (avg %.1f instrs), %d antideps cut, %d loops unrolled\n",
 			name, res.Stats.Instructions, res.Stats.RegionCount, res.Stats.AvgRegionSize,
 			res.Stats.AntidepsCut, res.Stats.LoopsUnrolled)
+	}
+	if rep != nil {
+		fmt.Println(rep.Summary())
+		if !rep.OK() {
+			fmt.Fprint(os.Stderr, rep.Render(p))
+			os.Exit(1)
+		}
 	}
 }

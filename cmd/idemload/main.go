@@ -35,10 +35,12 @@
 // Exit status is nonzero on any permanently failed request, any
 // non-200 response, a digest or idempotence mismatch, or an unmet
 // -min-hit-ratio / -min-evictions / -min-disk-hit-ratio / -max-compiles
-// assertion (scraped from the daemon's /metrics, so smoke-test scripts
-// need no curl/jq). The disk assertions drive the warm-restart tests
-// against `idemd -cache-dir` (docs/persistence.md). SIGINT/SIGTERM
-// flushes partial -json results and exits 130.
+// / -min-verified assertion (scraped from the daemon's /metrics, so
+// smoke-test scripts need no curl/jq). The disk assertions drive the
+// warm-restart tests against `idemd -cache-dir` (docs/persistence.md);
+// -min-verified drives the translation-validation smoke against
+// `idemd -verify-mode full` (docs/verify.md). SIGINT/SIGTERM flushes
+// partial -json results and exits 130.
 package main
 
 import (
@@ -65,6 +67,7 @@ import (
 	"idemproc/internal/chaos"
 	"idemproc/internal/resilience"
 	"idemproc/internal/server"
+	"idemproc/internal/workloads"
 )
 
 func main() {
@@ -96,6 +99,8 @@ func realMain(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) in
 		minEvictions = fs.Int64("min-evictions", -1, "assert at least this many compile-cache evictions (<0 disables)")
 		minDiskRatio = fs.Float64("min-disk-hit-ratio", -1, "assert the disk-tier hit ratio (disk hits / disk lookups) is at least this; restart tests use it to prove warm starts (<0 disables)")
 		maxCompiles  = fs.Int64("max-compiles", -1, "assert at most this many actual codegen runs happened (<0 disables); 0 proves a fully warm start")
+		minVerified  = fs.Int64("min-verified", -1, "assert at least this many translation-validator checks ran AND none found violations (scraped idemd_verify_checked_total / idemd_verify_failed_total; <0 disables)")
+		sweepAll     = fs.Bool("sweep-compiles", false, "before the seeded passes, POST /v1/compile once per built-in workload (paper-default options); with -min-verified >= 0 every swept response must also report verified=true, proving the daemon validated each build")
 		quiet        = fs.Bool("quiet", false, "suppress the per-pass progress line")
 
 		jobsMode        = fs.Bool("jobs", false, "run the async-job campaign instead of the request mix: submit one deterministic batch via POST /v1/jobs and consume results incrementally (docs/jobs.md)")
@@ -272,6 +277,22 @@ func realMain(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) in
 				"jobs_resumed":       cache.jobsResumed,
 				"jobs_resumed_units": cache.jobsResumedUnits,
 			}
+			summary["verify"] = map[string]any{
+				"checked":            cache.verifyChecked,
+				"failed":             cache.verifyFailed,
+				"rejected_artifacts": cache.verifyRejected,
+			}
+			// verify_ns is the bench guard's cost ledger: total wall time
+			// the daemon spent inside the translation validator and the
+			// per-check average (scripts/bench_serve.sh, docs/verify.md).
+			perCheck := int64(0)
+			if cache.verifyChecked > 0 {
+				perCheck = cache.verifyNanos / cache.verifyChecked
+			}
+			summary["verify_ns"] = map[string]any{
+				"total":     cache.verifyNanos,
+				"per_check": perCheck,
+			}
 		}
 		if jobsRes != nil {
 			summary["jobs"] = map[string]any{
@@ -314,6 +335,21 @@ func realMain(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) in
 		}
 		if !*quiet {
 			fmt.Fprintf(stdout, "wrote %s\n", *jsonOut)
+		}
+	}
+
+	if *sweepAll {
+		// Workload sweep: one compile per built-in workload, in catalog
+		// order, so a full-verification daemon checks every program the
+		// service can build — not just the seeded palette below.
+		n, err := sweepCompiles(ctx, client, trafficBase, *minVerified >= 0)
+		if err != nil {
+			fmt.Fprintf(stderr, "idemload: %v\n", err)
+			flush("workload sweep failed")
+			return 1
+		}
+		if !*quiet {
+			fmt.Fprintf(stdout, "sweep: compiled %d workloads\n", n)
 		}
 	}
 
@@ -446,6 +482,10 @@ func realMain(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) in
 			fmt.Fprintf(stdout, "jobs: %d resumed, %d unit results reloaded from journals\n",
 				cache.jobsResumed, cache.jobsResumedUnits)
 		}
+		if cache.verifyChecked+cache.verifyRejected > 0 {
+			fmt.Fprintf(stdout, "verify: %d checked, %d failed, %d artifacts rejected\n",
+				cache.verifyChecked, cache.verifyFailed, cache.verifyRejected)
+		}
 	}
 	if *minHitRatio >= 0 && cache.hitRatio() < *minHitRatio {
 		fmt.Fprintf(stderr, "idemload: cache hit ratio %.3f below required %.3f\n", cache.hitRatio(), *minHitRatio)
@@ -467,6 +507,20 @@ func realMain(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) in
 		fmt.Fprintf(stderr, "idemload: %d compiles above allowed %d (warm start failed)\n", cache.compiles, *maxCompiles)
 		flush("compile-count assertion failed")
 		return 1
+	}
+	if *minVerified >= 0 {
+		if cache.verifyChecked < *minVerified {
+			fmt.Fprintf(stderr, "idemload: %d validator checks below required %d (is -verify-mode on?)\n",
+				cache.verifyChecked, *minVerified)
+			flush("min-verified assertion failed")
+			return 1
+		}
+		if cache.verifyFailed > 0 {
+			fmt.Fprintf(stderr, "idemload: %d validator checks found violations — the compiler emitted a non-idempotent region\n",
+				cache.verifyFailed)
+			flush("verify-failed assertion failed")
+			return 1
+		}
 	}
 	if *minResumedUnits >= 0 && cache.jobsResumedUnits < *minResumedUnits {
 		fmt.Fprintf(stderr, "idemload: %d journal-resumed units below required %d (jobs were re-executed instead of resumed)\n",
@@ -550,6 +604,48 @@ type sender func(ctx context.Context, key uint64, path string, body []byte) (int
 
 // makeSender builds the pass's transport: a bare ctx-aware POST, or the
 // same POST wrapped in the resilience client when one is configured.
+// sweepCompiles posts one /v1/compile per built-in workload with the
+// paper-default options, sequentially in catalog order. requireVerified
+// additionally demands each response carry verified=true — the
+// end-to-end proof that a -verify-mode full daemon really validated
+// every program it can build (scripts/verify_smoke.sh).
+func sweepCompiles(ctx context.Context, client *http.Client, base string, requireVerified bool) (int, error) {
+	n := 0
+	for _, w := range workloads.All() {
+		body, err := json.Marshal(&server.CompileRequest{Workload: w.Name})
+		if err != nil {
+			panic(err) // request structs always marshal
+		}
+		status, resp, err := post(ctx, client, base+"/v1/compile", body)
+		if err != nil {
+			return n, fmt.Errorf("sweep %s: %v", w.Name, err)
+		}
+		if status != http.StatusOK {
+			return n, fmt.Errorf("sweep %s: status %d: %s", w.Name, status, firstLine(resp))
+		}
+		if requireVerified {
+			var rep server.CompileReport
+			if err := json.Unmarshal(resp, &rep); err != nil {
+				return n, fmt.Errorf("sweep %s: decoding report: %v", w.Name, err)
+			}
+			if !rep.Verified {
+				return n, fmt.Errorf("sweep %s: response reports verified=false under a full-verification daemon", w.Name)
+			}
+		}
+		n++
+	}
+	return n, nil
+}
+
+// firstLine trims an error body to its first line for diagnostics.
+func firstLine(b []byte) string {
+	s := strings.TrimSpace(string(b))
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = s[:i]
+	}
+	return s
+}
+
 func makeSender(client *http.Client, base string, rc *resilience.Client) sender {
 	if rc == nil {
 		return func(ctx context.Context, _ uint64, path string, body []byte) (int, []byte, error) {
@@ -798,6 +894,10 @@ type serverCounters struct {
 	diskWrites, diskCorrupt int64
 	jobsResumed             int64
 	jobsResumedUnits        int64
+	verifyChecked           int64
+	verifyFailed            int64
+	verifyRejected          int64
+	verifyNanos             int64
 }
 
 func (c serverCounters) hitRatio() float64 {
@@ -849,6 +949,10 @@ func scrapeFleet(client *http.Client, targets []string) (serverCounters, []repli
 		total.diskCorrupt += c.diskCorrupt
 		total.jobsResumed += c.jobsResumed
 		total.jobsResumedUnits += c.jobsResumedUnits
+		total.verifyChecked += c.verifyChecked
+		total.verifyFailed += c.verifyFailed
+		total.verifyRejected += c.verifyRejected
+		total.verifyNanos += c.verifyNanos
 	}
 	return total, per, errs
 }
@@ -881,6 +985,10 @@ func scrapeServer(client *http.Client, base string) (serverCounters, error) {
 			{"idemd_sim_preempted_total ", &out.simPreempted},
 			{"idemd_jobs_resumed_total ", &out.jobsResumed},
 			{"idemd_jobs_resumed_units_total ", &out.jobsResumedUnits},
+			{"idemd_verify_checked_total ", &out.verifyChecked},
+			{"idemd_verify_failed_total ", &out.verifyFailed},
+			{"idemd_verify_rejected_artifacts_total ", &out.verifyRejected},
+			{"idemd_verify_nanos_total ", &out.verifyNanos},
 		} {
 			if v, ok := strings.CutPrefix(line, m.name); ok {
 				n, err := strconv.ParseInt(strings.TrimSpace(v), 10, 64)

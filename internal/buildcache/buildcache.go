@@ -65,6 +65,10 @@ type entry struct {
 	prog  *codegen.Program
 	stats *codegen.BuildStats
 	err   error
+	// verified is set when the translation validator checked this program
+	// and found no violations (see VerifyMode); written before done is
+	// closed, read only after.
+	verified bool
 
 	cost int64
 	elem *list.Element
@@ -86,6 +90,10 @@ type Cache struct {
 	// written off the singleflight path.
 	disk *Disk
 
+	// verifyMode is fixed at configuration time (SetVerifyMode), before
+	// the cache starts serving.
+	verifyMode VerifyMode
+
 	// Counters are atomics: they are written on the request path (under
 	// mu or not) and read lock-free by Stats, which /metrics scrapes
 	// concurrently with in-flight compiles.
@@ -93,6 +101,11 @@ type Cache struct {
 	compiles     atomic.Int64
 	evictions    atomic.Int64
 	compileNanos atomic.Int64
+
+	verifyChecked  atomic.Int64
+	verifyFailed   atomic.Int64
+	verifyRejected atomic.Int64
+	verifyNanos    atomic.Int64
 }
 
 // New returns an empty, unbounded cache.
@@ -212,15 +225,43 @@ func (c *Cache) build(e *entry, w workloads.Workload, mo codegen.ModuleOptions) 
 	// kind — missing, stale, corrupt — degrade to a recompile.
 	if c.disk != nil {
 		if p, st, ok := c.disk.load(e.key); ok {
-			e.prog, e.stats = p, st
-			machine.Predecode(e.prog)
-			return
+			// Every decoded artifact is re-verified when verification is on:
+			// the artifact file is the one input this process's compiler did
+			// not just produce. A rejection mirrors the corrupt-artifact
+			// contract — prune, re-book as a disk miss, recompile — and is
+			// never an error.
+			if c.verifyMode != VerifyOff {
+				if rep := c.runVerify(p, mo); rep != nil && !rep.OK() {
+					c.verifyRejected.Add(1)
+					c.disk.reject(e.key)
+					p, st = nil, nil
+				} else {
+					e.verified = rep != nil
+				}
+			}
+			if p != nil {
+				e.prog, e.stats = p, st
+				machine.Predecode(e.prog)
+				return
+			}
 		}
 	}
 
 	compiled = true
 	c.compiles.Add(1)
 	e.prog, e.stats, e.err = codegen.CompileModuleOpts(w.Module(), "main", w.MemWords, mo)
+	if e.err == nil && c.verifyFresh(e.key) {
+		if rep := c.runVerify(e.prog, mo); rep != nil {
+			if rep.OK() {
+				e.verified = true
+			} else {
+				// A compile the validator rejects must not be served or
+				// persisted; memoize the failure like any other build error.
+				e.prog, e.stats = nil, nil
+				e.err = fmt.Errorf("buildcache: verify %s: %s", w.Name, rep.Summary())
+			}
+		}
+	}
 	if e.err == nil {
 		// Predecode at compile time: the decoded form is memoized per
 		// Program (see machine.Predecode), so paying the pass here — once,
@@ -331,6 +372,14 @@ type Stats struct {
 	// corrupt payload — DiskCorrupt is the subset that found an invalid
 	// file); DiskWrites counts artifacts persisted.
 	DiskHits, DiskMisses, DiskWrites, DiskCorrupt int64
+	// Verification counters (all zero when VerifyMode is off).
+	// VerifyChecked counts validator runs over fresh compiles and decoded
+	// artifacts; VerifyFailed counts runs that found violations;
+	// VerifyRejectedArtifacts is the subset of failures that pruned a
+	// decode-clean disk artifact. VerifyNanos is wall time spent inside
+	// the validator, the numerator of the bench guard's per-check cost.
+	VerifyChecked, VerifyFailed, VerifyRejectedArtifacts int64
+	VerifyNanos                                          int64
 }
 
 // Stats returns a snapshot of the cache counters. The monotonic counters
@@ -358,5 +407,29 @@ func (c *Cache) Stats() Stats {
 		st.DiskWrites = c.disk.writes.Load()
 		st.DiskCorrupt = c.disk.corrupt.Load()
 	}
+	st.VerifyChecked = c.verifyChecked.Load()
+	st.VerifyFailed = c.verifyFailed.Load()
+	st.VerifyRejectedArtifacts = c.verifyRejected.Load()
+	st.VerifyNanos = c.verifyNanos.Load()
 	return st
+}
+
+// Verified reports whether the cached entry for (w, mo) was checked by
+// the translation validator and passed. It is false for entries that
+// were not sampled, were skipped (markless or relaxed-alloc builds),
+// are still in flight, or are not resident.
+func (c *Cache) Verified(w workloads.Workload, mo codegen.ModuleOptions) bool {
+	key := KeyOf(w, mo)
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	c.mu.Unlock()
+	if !ok {
+		return false
+	}
+	select {
+	case <-e.done:
+		return e.verified
+	default:
+		return false
+	}
 }

@@ -197,6 +197,17 @@ func (d *Disk) load(key Key) (p *codegen.Program, st *codegen.BuildStats, ok boo
 	return p, st, true
 }
 
+// reject prunes an artifact that decoded cleanly but failed semantic
+// verification, and re-books the lookup as a miss: the artifact did not
+// serve the request, and the next request for the key goes straight to
+// the compiler (whose output overwrites the pruned file). The caller
+// owns the rejected-artifact accounting.
+func (d *Disk) reject(key Key) {
+	d.hits.Add(-1)
+	d.misses.Add(1)
+	os.Remove(d.path(key))
+}
+
 // storeAsync persists a completed compile in the background. Failures
 // are silent (persistence is best-effort); successes count in writes.
 func (d *Disk) storeAsync(key Key, p *codegen.Program, st *codegen.BuildStats) {

@@ -2,6 +2,7 @@ package codegen
 
 import (
 	"fmt"
+	"strings"
 
 	"idemproc/internal/ir"
 	"idemproc/internal/isa"
@@ -101,18 +102,40 @@ func Link(m *ir.Module, funcs []*Compiled, main string, memWords int) (*Program,
 	return p, nil
 }
 
-// Disassemble renders the program for debugging.
+// Disassemble renders the program for debugging: function labels at
+// their entry points and a running region index at every MARK (the
+// region numbering the verifier and the recovery machinery share —
+// region 0 is the startup pseudo-region entered at the stub).
 func Disassemble(p *Program) string {
-	out := ""
-	for i, in := range p.Instrs {
-		fn := p.FuncOf[i]
-		for name, e := range p.FuncEntry {
-			if e == i {
-				out += fmt.Sprintf("<%s>:\n", name)
-			}
-		}
-		_ = fn
-		out += fmt.Sprintf("%5d: %s\n", i, in)
+	return DisassembleAnnotated(p, nil)
+}
+
+// DisassembleAnnotated is Disassemble with per-pc notes appended after
+// the instructions they describe (one indented line per note), so
+// callers like `idemc -disasm -verify` can print criterion violations
+// inline. A nil or empty notes map renders exactly like Disassemble.
+func DisassembleAnnotated(p *Program, notes map[int][]string) string {
+	// Function labels keyed by entry pc, printed in address order (the
+	// FuncEntry map itself carries no order).
+	labels := make(map[int]string, len(p.FuncEntry))
+	for name, e := range p.FuncEntry {
+		labels[e] = name
 	}
-	return out
+	var b strings.Builder
+	region := 0
+	for i, in := range p.Instrs {
+		if name, ok := labels[i]; ok {
+			fmt.Fprintf(&b, "<%s>:\n", name)
+		}
+		if in.Op == isa.MARK && in.Shadow == 0 {
+			region++
+			fmt.Fprintf(&b, "%5d: %-24s ; region %d\n", i, in.String(), region)
+		} else {
+			fmt.Fprintf(&b, "%5d: %s\n", i, in)
+		}
+		for _, note := range notes[i] {
+			fmt.Fprintf(&b, "       ^ %s\n", note)
+		}
+	}
+	return b.String()
 }

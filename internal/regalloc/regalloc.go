@@ -385,6 +385,41 @@ func Allocate(vf *VFunc, opts Options) (*Assignment, error) {
 			as.SpillStores++
 		}
 	}
+
+	// §4.4 addendum: the KRet expansion stages the return value through
+	// physical r0/f0 — a write the interference model never sees as a
+	// def. A region live-in occupying that register while its region
+	// contains a value-returning ret would be clobbered before the region
+	// commits (re-execution after a post-ret fault would then re-read the
+	// staged value, e.g. as a store address). Report it like any other
+	// live-in redefinition so codegen cuts before the ret and retries;
+	// the ret's own region has only the return value live-in, so one cut
+	// always suffices.
+	if opts.Idempotent {
+		for _, r := range vf.Regions {
+			retPos, retV := -1, NoVReg
+			for _, p := range r.Positions {
+				if in := instrAt(vf, lin[p]); in.Kind == KRet && in.Rs1 != NoVReg {
+					if retPos < 0 || p < retPos {
+						retPos, retV = p, in.Rs1
+					}
+				}
+			}
+			if retPos < 0 {
+				continue
+			}
+			retReg := isa.R0
+			if vf.FloatReg[retV] {
+				retReg = isa.F(0)
+			}
+			for _, v := range live[r.Header].order {
+				if v == retV || iv[v] == nil || as.Spilled[v] || as.RegOf[v] != retReg {
+					continue
+				}
+				return nil, &LiveInViolation{Func: vf.Name, VReg: v, Header: r.Header, DefPos: retPos}
+			}
+		}
+	}
 	return as, nil
 }
 

@@ -148,17 +148,33 @@ func TestRegionLiveInExtension(t *testing.T) {
 		add(3, 1, 2), // pos 4
 		ret(3),       // pos 5
 	}
-	mk := func(idem bool) (*Assignment, error) {
+	mk := func(idem bool, regions []Region) (*Assignment, error) {
 		vf := straightLine(4, nil, ins...)
-		vf.Regions = []Region{{Header: 1, Positions: []int{2, 3, 4, 5}}}
+		vf.Regions = regions
 		return Allocate(vf, Options{Idempotent: idem})
 	}
-	as, err := mk(true)
+	// With the ret inside the region, the return value is staged through
+	// r0 while v0 — live-in and hull-extended over the whole region —
+	// occupies it: Allocate must report the conflict so codegen can cut
+	// before the ret.
+	_, err := mk(true, []Region{{Header: 1, Positions: []int{2, 3, 4, 5}}})
+	var viol *LiveInViolation
+	if !errors.As(err, &viol) {
+		t.Fatalf("expected ret-staging LiveInViolation, got %v", err)
+	}
+	if viol.DefPos != 5 || viol.Header != 1 {
+		t.Fatalf("ret-staging violation = %+v", viol)
+	}
+	// After the repair cut, the ret sits in its own region and allocation
+	// succeeds; v0 live-in at the mark: its register must not be reused
+	// by v2 or v3, whose intervals lie inside the region.
+	as, err := mk(true, []Region{
+		{Header: 1, Positions: []int{2, 3, 4}},
+		{Header: 5, Positions: []int{5}},
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	// v0 live-in at the mark: its register must not be reused by v2 or
-	// v3, whose intervals lie inside the region.
 	for _, v := range []VReg{2, 3} {
 		if !as.Spilled[v] && !as.Spilled[0] && as.RegOf[v] == as.RegOf[0] {
 			t.Fatalf("vreg %d reuses the live-in's register inside the region", v)

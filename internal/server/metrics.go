@@ -276,6 +276,18 @@ func (m *Metrics) Render(cache buildcache.Stats, js jobs.Stats) string {
 	fmt.Fprintf(&b, "# HELP idemd_buildcache_disk_corrupt_total Invalid artifacts found and pruned (subset of disk misses).\n")
 	fmt.Fprintf(&b, "# TYPE idemd_buildcache_disk_corrupt_total counter\n")
 	fmt.Fprintf(&b, "idemd_buildcache_disk_corrupt_total %d\n", cache.DiskCorrupt)
+	fmt.Fprintf(&b, "# HELP idemd_verify_checked_total Programs re-checked by the translation validator (fresh compiles and decoded artifacts).\n")
+	fmt.Fprintf(&b, "# TYPE idemd_verify_checked_total counter\n")
+	fmt.Fprintf(&b, "idemd_verify_checked_total %d\n", cache.VerifyChecked)
+	fmt.Fprintf(&b, "# HELP idemd_verify_failed_total Validator runs that found criterion violations.\n")
+	fmt.Fprintf(&b, "# TYPE idemd_verify_failed_total counter\n")
+	fmt.Fprintf(&b, "idemd_verify_failed_total %d\n", cache.VerifyFailed)
+	fmt.Fprintf(&b, "# HELP idemd_verify_rejected_artifacts_total Decode-clean disk artifacts pruned after failing verification (subset of failed).\n")
+	fmt.Fprintf(&b, "# TYPE idemd_verify_rejected_artifacts_total counter\n")
+	fmt.Fprintf(&b, "idemd_verify_rejected_artifacts_total %d\n", cache.VerifyRejectedArtifacts)
+	fmt.Fprintf(&b, "# HELP idemd_verify_nanos_total Wall time spent inside the translation validator, nanoseconds.\n")
+	fmt.Fprintf(&b, "# TYPE idemd_verify_nanos_total counter\n")
+	fmt.Fprintf(&b, "idemd_verify_nanos_total %d\n", cache.VerifyNanos)
 
 	fmt.Fprintf(&b, "# HELP idemd_uptime_seconds Seconds since process start.\n")
 	fmt.Fprintf(&b, "# TYPE idemd_uptime_seconds gauge\n")

@@ -55,6 +55,11 @@ type Config struct {
 	// misses (cold start, eviction) reload from disk instead of
 	// recompiling. See docs/persistence.md.
 	CacheDir string
+	// VerifyMode re-checks compiled programs against the §2.1 criterion
+	// with the internal/verify translation validator (off by default;
+	// see docs/verify.md). Sampled and full modes also re-verify every
+	// disk artifact after decode.
+	VerifyMode buildcache.VerifyMode
 	// MaxBodyBytes bounds request bodies (default 8 MiB).
 	MaxBodyBytes int64
 	// MaxBatchUnits bounds /v1/batch fan-out (default 256).
@@ -139,6 +144,7 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	cache := buildcache.NewBoundedDisk(cfg.CacheMaxBytes, cfg.CacheDir)
+	cache.SetVerifyMode(cfg.VerifyMode)
 	s := &Server{
 		cfg:     cfg,
 		cache:   cache,
@@ -452,7 +458,9 @@ func (s *Server) doCompile(ctx context.Context, req *CompileRequest) (*CompileRe
 	if err != nil {
 		return nil, err
 	}
-	return ReportForBuild(wk, mo, st), nil
+	rep := ReportForBuild(wk, mo, st)
+	rep.Verified = s.cache.Verified(wk, mo)
+	return rep, nil
 }
 
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {

@@ -5,6 +5,7 @@
 package shard
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"crypto/sha256"
@@ -17,6 +18,7 @@ import (
 	"net"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -364,7 +366,89 @@ func (f *Front) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 
 func (f *Front) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	fmt.Fprint(w, f.metrics.Render(f.healthSnapshot(), f.jobs.Stats()))
+	fmt.Fprint(w, f.metrics.Render(f.healthSnapshot(), f.jobs.Stats(), f.verifyTotals()))
+}
+
+// verifyTotals sums the idemd_verify_* counters across healthy backends
+// by scraping their /metrics concurrently (bounded by HealthTimeout, the
+// same budget as a readiness probe). Replicas own verification — the
+// front only aggregates — so a backend that fails to answer simply
+// contributes nothing this scrape; Backends records how many did.
+func (f *Front) verifyTotals() VerifyTotals {
+	var (
+		mu sync.Mutex
+		vt VerifyTotals
+		wg sync.WaitGroup
+	)
+	for _, id := range f.ring.Replicas() {
+		b := f.backends[id]
+		if !b.healthy.Load() {
+			continue
+		}
+		wg.Add(1)
+		go func(b *backend) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), f.cfg.HealthTimeout)
+			defer cancel()
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.base+"/metrics", nil)
+			if err != nil {
+				return
+			}
+			resp, err := f.client.Do(req)
+			if err != nil {
+				return
+			}
+			defer func() {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}()
+			if resp.StatusCode != http.StatusOK {
+				return
+			}
+			checked, failed, rejected, found := parseVerifyCounters(resp.Body)
+			if !found {
+				return
+			}
+			mu.Lock()
+			vt.Checked += checked
+			vt.Failed += failed
+			vt.RejectedArtifacts += rejected
+			vt.Backends++
+			mu.Unlock()
+		}(b)
+	}
+	wg.Wait()
+	return vt
+}
+
+// parseVerifyCounters extracts the three idemd_verify_* counters from a
+// Prometheus text stream; found is false when none are present (an old
+// replica, or not an idemd /metrics page at all).
+func parseVerifyCounters(r io.Reader) (checked, failed, rejected int64, found bool) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	take := func(line, name string) (int64, bool) {
+		rest, ok := strings.CutPrefix(line, name+" ")
+		if !ok {
+			return 0, false
+		}
+		v, err := strconv.ParseInt(strings.TrimSpace(rest), 10, 64)
+		if err != nil {
+			return 0, false
+		}
+		return v, true
+	}
+	for sc.Scan() {
+		line := sc.Text()
+		if v, ok := take(line, "idemd_verify_checked_total"); ok {
+			checked, found = v, true
+		} else if v, ok := take(line, "idemd_verify_failed_total"); ok {
+			failed, found = v, true
+		} else if v, ok := take(line, "idemd_verify_rejected_artifacts_total"); ok {
+			rejected, found = v, true
+		}
+	}
+	return checked, failed, rejected, found
 }
 
 // respond writes one front-level response and records it.

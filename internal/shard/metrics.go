@@ -130,10 +130,19 @@ func (m *Metrics) InFlight() func() {
 	return func() { m.inflight.Add(-1) }
 }
 
+// VerifyTotals is the fleet-aggregated translation-validator ledger,
+// summed from healthy backends' /metrics at render time (see
+// Front.verifyTotals). Backends counts replicas successfully scraped so
+// dashboards can tell "fleet verified nothing" from "scrape failed".
+type VerifyTotals struct {
+	Checked, Failed, RejectedArtifacts int64
+	Backends                           int
+}
+
 // Render emits the Prometheus text exposition; healthy maps backend ID
 // to current health so the gauge reflects the router's live view.
 // Ordering is deterministic (sorted backends, paths, codes).
-func (m *Metrics) Render(healthy map[string]bool, js jobs.Stats) string {
+func (m *Metrics) Render(healthy map[string]bool, js jobs.Stats, vt VerifyTotals) string {
 	var b strings.Builder
 
 	m.mu.Lock()
@@ -219,6 +228,21 @@ func (m *Metrics) Render(healthy map[string]bool, js jobs.Stats) string {
 	counter("jobs_canceled_total", "Front jobs canceled by DELETE.", js.Canceled)
 	counter("jobs_failed_total", "Front jobs failed (a sub-batch exhausted every replica).", js.Failed)
 	counter("jobs_reaped_total", "Terminal front jobs dropped by the TTL reaper.", js.Reaped)
+
+	// The fleet's verification ledger keeps the idemd_ metric names so a
+	// dashboard summing validator activity reads one series whether it
+	// scrapes a replica or the front.
+	raw := func(name, help string, v int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n", name, help)
+		fmt.Fprintf(&b, "# TYPE %s counter\n", name)
+		fmt.Fprintf(&b, "%s %d\n", name, v)
+	}
+	raw("idemd_verify_checked_total", "Fleet-summed validator checks (scraped from healthy backends).", vt.Checked)
+	raw("idemd_verify_failed_total", "Fleet-summed validator runs that found violations.", vt.Failed)
+	raw("idemd_verify_rejected_artifacts_total", "Fleet-summed disk artifacts pruned after failing verification.", vt.RejectedArtifacts)
+	fmt.Fprintf(&b, "# HELP idemfront_verify_scraped_backends Backends whose /metrics contributed to the verify totals this scrape.\n")
+	fmt.Fprintf(&b, "# TYPE idemfront_verify_scraped_backends gauge\n")
+	fmt.Fprintf(&b, "idemfront_verify_scraped_backends %d\n", vt.Backends)
 
 	fmt.Fprintf(&b, "# HELP idemfront_uptime_seconds Seconds since process start.\n")
 	fmt.Fprintf(&b, "# TYPE idemfront_uptime_seconds gauge\n")

@@ -1,0 +1,276 @@
+package verify
+
+import "idemproc/internal/isa"
+
+// provReg is the whole-program pre-pass lattice for one value: which
+// global object it must point into when used as an address (obj, 0 =
+// unknown), and — independently — whether it is a known compile-time
+// constant (ck/cv). Both facts are path-invariants joined over every way
+// execution can reach a pc; mismatches degrade to unknown, so the
+// fixpoint is immediate.
+type provReg struct {
+	obj int64 // global object anchor (0 = unknown)
+	ck  bool  // constant value known on every path
+	cv  int64
+}
+
+// provState is the pre-pass dataflow state at one pc: a fact per
+// register, plus facts about absolutely-addressed memory words. SP is
+// itself tracked as a constant (the startup stub materializes it and
+// frames adjust it by immediates), so spill slots have known absolute
+// addresses and survive the pass — which is what lets a pointer spilled
+// before a MARK and reloaded after it keep its provenance.
+type provState struct {
+	regs [isa.NumRegs]provReg
+	mem  map[int64]provReg
+}
+
+func (s *provState) clone() *provState {
+	c := &provState{regs: s.regs, mem: make(map[int64]provReg, len(s.mem))}
+	for k, v := range s.mem {
+		c.mem[k] = v
+	}
+	return c
+}
+
+// provPass computes per-pc provenance, flowing straight through MARKs.
+// Region boundaries erase value provenance from the per-region analysis
+// (live-in registers and stack slots become opaque symbols), which loses
+// facts the machine itself preserves:
+//
+//   - a pointer into global A computed in one region and dereferenced in
+//     the next would may-alias every other global (obj recovers this);
+//   - a constant materialized just before a MARK — common when
+//     MaxRegionSize splits a computation mid-expression — becomes opaque,
+//     so exact address offsets turn into may-alias-everything symbols
+//     (ck/cv recovers this);
+//   - either kind of value spilled before the MARK and reloaded after it
+//     (mem recovers this, because spill addresses are compile-time
+//     constants once SP is).
+//
+// The pass inherits the IR's object-extent reasoning: a constant inside a
+// global's extent anchors to that global, and pointer+index arithmetic
+// keeps the pointer side's anchor (offsets are trusted to stay in bounds,
+// exactly as internal/alias trusts IR addressing to stay inside the
+// object it names). SP-relative stores with an unknown SP are trusted to
+// stay inside the executing function's own frame — the same frame
+// discipline the per-region analysis leans on — so they invalidate only
+// stack-range facts, not global ones.
+func (vf *verifier) provPass() map[int]*provState {
+	instrs := vf.p.Instrs
+	prov := map[int]*provState{}
+	entry := vf.p.Entry
+	if entry < 0 || entry >= len(instrs) {
+		return prov
+	}
+	prov[entry] = &provState{mem: map[int64]provReg{}}
+	wl := []int{entry}
+	inWL := map[int]bool{entry: true}
+	for len(wl) > 0 {
+		pc := wl[0]
+		wl = wl[1:]
+		inWL[pc] = false
+		out := prov[pc].clone()
+		vf.provStep(out, pc)
+		for _, s := range vf.provSuccs(pc) {
+			if s < 0 || s >= len(instrs) {
+				continue
+			}
+			cur, ok := prov[s]
+			changed := false
+			if !ok {
+				prov[s] = out.clone()
+				changed = true
+			} else {
+				for r := range cur.regs {
+					if cur.regs[r].obj != out.regs[r].obj && cur.regs[r].obj != 0 {
+						cur.regs[r].obj = 0
+						changed = true
+					}
+					if cur.regs[r].ck && (!out.regs[r].ck || cur.regs[r].cv != out.regs[r].cv) {
+						cur.regs[r].ck, cur.regs[r].cv = false, 0
+						changed = true
+					}
+				}
+				for k, cf := range cur.mem {
+					of, ok := out.mem[k]
+					if !ok {
+						delete(cur.mem, k)
+						changed = true
+						continue
+					}
+					merged := cf
+					if merged.obj != of.obj {
+						merged.obj = 0
+					}
+					if merged.ck && (!of.ck || merged.cv != of.cv) {
+						merged.ck, merged.cv = false, 0
+					}
+					if merged != cf {
+						changed = true
+						if merged == (provReg{}) {
+							delete(cur.mem, k)
+						} else {
+							cur.mem[k] = merged
+						}
+					}
+				}
+			}
+			if changed && !inWL[s] {
+				wl = append(wl, s)
+				inWL[s] = true
+			}
+		}
+	}
+	return prov
+}
+
+// provStep is the transfer function: track global anchors and constants
+// through moves, arithmetic and constant-addressed memory, drop them
+// everywhere else.
+func (vf *verifier) provStep(st *provState, pc int) {
+	in := vf.p.Instrs[pc]
+	if in.Shadow != 0 || in.Meta {
+		return
+	}
+	regs := &st.regs
+	set := func(r isa.Reg, v provReg) {
+		if int(r) < len(regs) {
+			regs[r] = v
+		}
+	}
+	switch in.Op {
+	case isa.MOVI:
+		g, _ := vf.anchor(in.Imm)
+		set(in.Rd, provReg{obj: g, ck: true, cv: in.Imm})
+	case isa.MOV, isa.FMOV:
+		set(in.Rd, regs[in.Rs1])
+	case isa.ADDI:
+		a := regs[in.Rs1]
+		out := provReg{obj: a.obj}
+		if a.ck {
+			out.ck, out.cv = true, a.cv+in.Imm
+			out.obj, _ = vf.anchor(out.cv)
+		}
+		set(in.Rd, out)
+	case isa.ADD:
+		// Constant operands win the anchor, mirroring addVals' const-anchor
+		// priority: `base + index` anchors to the global the constant base
+		// names, and the index side's tag — which may be a scalar that
+		// merely passed through a small constant — is ignored. Only when
+		// neither side is a known constant do the object tags join.
+		a, b := regs[in.Rs1], regs[in.Rs2]
+		var out provReg
+		switch {
+		case a.ck && b.ck:
+			out.ck, out.cv = true, a.cv+b.cv
+			out.obj, _ = vf.anchor(out.cv)
+		case a.ck:
+			out.obj, _ = vf.anchor(a.cv)
+		case b.ck:
+			out.obj, _ = vf.anchor(b.cv)
+		case a.obj == b.obj:
+			out.obj = a.obj
+		case b.obj == 0:
+			out.obj = a.obj
+		case a.obj == 0:
+			out.obj = b.obj
+		}
+		set(in.Rd, out)
+	case isa.SUB:
+		a, b := regs[in.Rs1], regs[in.Rs2]
+		var out provReg
+		switch {
+		case a.ck && b.ck:
+			out.ck, out.cv = true, a.cv-b.cv
+			out.obj, _ = vf.anchor(out.cv)
+		case b.ck || b.obj == 0:
+			// Pointer minus a scalar stays inside the pointed-to object.
+			out.obj = a.obj
+		}
+		set(in.Rd, out)
+	case isa.MUL:
+		a, b := regs[in.Rs1], regs[in.Rs2]
+		var out provReg
+		if a.ck && b.ck {
+			out.ck, out.cv = true, a.cv*b.cv
+			out.obj, _ = vf.anchor(out.cv)
+		}
+		set(in.Rd, out)
+	case isa.LDR:
+		a := regs[in.Rs1]
+		var out provReg
+		if a.ck {
+			out = st.mem[a.cv+in.Imm]
+		}
+		set(in.Rd, out)
+	case isa.STR, isa.FSTR:
+		a := regs[in.Rs1]
+		switch {
+		case a.ck:
+			var v provReg
+			if in.Op == isa.STR {
+				v = regs[in.Rs2]
+			}
+			key := a.cv + in.Imm
+			if v == (provReg{}) {
+				delete(st.mem, key)
+			} else {
+				st.mem[key] = v
+			}
+		case in.Rs1 == isa.SP:
+			// Unknown SP (function called from several stack depths): the
+			// store lands somewhere in the current frame, so only facts in
+			// the stack range are at risk.
+			for k := range st.mem {
+				if k >= vf.p.GlobalEnd {
+					delete(st.mem, k)
+				}
+			}
+		case a.obj != 0:
+			// Store somewhere inside one global: facts about other objects
+			// and the stack survive.
+			for k := range st.mem {
+				if g, _ := vf.anchor(k); g == a.obj {
+					delete(st.mem, k)
+				}
+			}
+		default:
+			st.mem = map[int64]provReg{}
+		}
+	case isa.CALL:
+		regs[isa.LR] = provReg{}
+	case isa.FLDR, isa.FMOVI, isa.DIV, isa.REM,
+		isa.AND, isa.ORR, isa.EOR, isa.LSL, isa.ASR,
+		isa.SEQ, isa.SNE, isa.SLT, isa.SLE, isa.SGT, isa.SGE,
+		isa.NEG, isa.MVN, isa.FTOI, isa.ITOF, isa.FNEG,
+		isa.FADD, isa.FSUB, isa.FMUL, isa.FDIV,
+		isa.FSEQ, isa.FSNE, isa.FSLT, isa.FSLE, isa.FSGT, isa.FSGE:
+		// Every other producing op yields an untracked value.
+		set(in.Rd, provReg{})
+	}
+}
+
+// provSuccs mirrors the machine CFG without LR tracking: RET flows to
+// every return site of the containing function.
+func (vf *verifier) provSuccs(pc int) []int {
+	in := vf.p.Instrs[pc]
+	if in.Shadow != 0 || in.Meta {
+		return []int{pc + 1}
+	}
+	switch in.Op {
+	case isa.B, isa.CALL:
+		return []int{int(in.Imm)}
+	case isa.CBZ, isa.CBNZ:
+		return []int{pc + 1, int(in.Imm)}
+	case isa.RET:
+		fn := ""
+		if pc < len(vf.p.FuncOf) {
+			fn = vf.p.FuncOf[pc]
+		}
+		return append([]int(nil), vf.callers[fn]...)
+	case isa.HALT:
+		return nil
+	}
+	return []int{pc + 1}
+}

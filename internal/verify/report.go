@@ -1,0 +1,81 @@
+package verify
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"idemproc/internal/codegen"
+)
+
+func (v Violation) String() string {
+	return fmt.Sprintf("pc %d (region @%d): %s of %s", v.PC, v.Region, v.Kind, v.Loc)
+}
+
+// Summary is a one-line digest suitable for errors and logs.
+func (r *Report) Summary() string {
+	if r.Skipped {
+		return "verify: skipped (no region marks)"
+	}
+	if r.OK() {
+		return fmt.Sprintf("verify: ok (%d regions)", r.Regions)
+	}
+	return fmt.Sprintf("verify: %d violation(s) in %d regions; first: %s",
+		len(r.Violations), r.Regions, r.Violations[0])
+}
+
+// Render formats the report with disassembly context around each
+// violating instruction, grouped by region.
+func (r *Report) Render(p *codegen.Program) string {
+	var b strings.Builder
+	b.WriteString(r.Summary())
+	b.WriteString("\n")
+	if r.OK() {
+		return b.String()
+	}
+	const ctx = 2
+	for _, v := range r.Violations {
+		fn := ""
+		if v.PC >= 0 && v.PC < len(p.FuncOf) {
+			fn = p.FuncOf[v.PC]
+		}
+		fmt.Fprintf(&b, "\n%s in <%s>:\n", v, fn)
+		lo, hi := v.PC-ctx, v.PC+ctx
+		if lo < 0 {
+			lo = 0
+		}
+		if hi >= len(p.Instrs) {
+			hi = len(p.Instrs) - 1
+		}
+		for pc := lo; pc <= hi; pc++ {
+			marker := "   "
+			if pc == v.PC {
+				marker = ">>>"
+			}
+			fmt.Fprintf(&b, "  %s %5d: %s\n", marker, pc, p.Instrs[pc])
+		}
+	}
+	return b.String()
+}
+
+// Annotations returns per-pc notes for codegen.Disassemble, so `idemc
+// -disasm -verify` prints violations inline at the offending
+// instructions.
+func (r *Report) Annotations() map[int][]string {
+	if r == nil || len(r.Violations) == 0 {
+		return nil
+	}
+	notes := map[int][]string{}
+	vs := append([]Violation(nil), r.Violations...)
+	sort.Slice(vs, func(i, j int) bool {
+		if vs[i].PC != vs[j].PC {
+			return vs[i].PC < vs[j].PC
+		}
+		return vs[i].Kind < vs[j].Kind
+	})
+	for _, v := range vs {
+		notes[v.PC] = append(notes[v.PC],
+			fmt.Sprintf("VIOLATION %s of %s (region @%d)", v.Kind, v.Loc, v.Region))
+	}
+	return notes
+}

@@ -1,0 +1,222 @@
+package verify
+
+import (
+	"testing"
+
+	"idemproc/internal/codegen"
+	"idemproc/internal/core"
+	"idemproc/internal/isa"
+	"idemproc/internal/workloads"
+)
+
+// matrix is the ModuleOptions grid every workload must verify cleanly
+// under: the paper's default configuration plus the scheme variants that
+// change region shape (pure-call regions, no unroll, bounded regions, no
+// loop heuristic).
+var matrix = []struct {
+	name string
+	mo   codegen.ModuleOptions
+}{
+	{"default", codegen.ModuleOptions{Idempotent: true, Core: core.DefaultOptions()}},
+	{"purecalls", codegen.ModuleOptions{Idempotent: true, Core: core.DefaultOptions(), PureCalls: true}},
+	{"nounroll", codegen.ModuleOptions{Idempotent: true,
+		Core: core.Options{LoopHeuristic: true, RedElim: true, CutAtCalls: true}}},
+	{"maxregion8", codegen.ModuleOptions{Idempotent: true,
+		Core: func() core.Options { o := core.DefaultOptions(); o.MaxRegionSize = 8; return o }()}},
+	// The other MaxRegionSize tiers the service's load palette requests:
+	// mid-size bounds split computations mid-expression, stranding
+	// constants and spilled pointers on the far side of a MARK — the cases
+	// the pre-pass (prov.go) exists for.
+	{"maxregion16", codegen.ModuleOptions{Idempotent: true,
+		Core: func() core.Options { o := core.DefaultOptions(); o.MaxRegionSize = 16; return o }()}},
+	{"maxregion32", codegen.ModuleOptions{Idempotent: true,
+		Core: func() core.Options { o := core.DefaultOptions(); o.MaxRegionSize = 32; return o }()}},
+	{"maxregion64", codegen.ModuleOptions{Idempotent: true,
+		Core: func() core.Options { o := core.DefaultOptions(); o.MaxRegionSize = 64; return o }()}},
+	{"noloopheur", codegen.ModuleOptions{Idempotent: true,
+		Core: core.Options{RedElim: true, UnrollLoops: true, CutAtCalls: true}}},
+	{"redelim-off", codegen.ModuleOptions{Idempotent: true,
+		Core: func() core.Options { o := core.DefaultOptions(); o.RedElim = false; return o }()}},
+}
+
+func compile(t *testing.T, w workloads.Workload, mo codegen.ModuleOptions) *codegen.Program {
+	t.Helper()
+	p, _, err := codegen.CompileModuleOpts(w.Module(), "main", w.MemWords, mo)
+	if err != nil {
+		t.Fatalf("compile %s: %v", w.Name, err)
+	}
+	return p
+}
+
+// TestWorkloadMatrixClean is the no-false-positive gate: correct
+// compiler output over the full workload × ModuleOptions matrix must
+// verify with zero violations.
+func TestWorkloadMatrixClean(t *testing.T) {
+	for _, m := range matrix {
+		m := m
+		t.Run(m.name, func(t *testing.T) {
+			t.Parallel()
+			for _, w := range workloads.All() {
+				p := compile(t, w, m.mo)
+				rep := Verify(p)
+				if rep.Skipped {
+					t.Errorf("%s/%s: unexpectedly skipped (marks=%d)", m.name, w.Name, p.Marks)
+					continue
+				}
+				if !rep.OK() {
+					t.Errorf("%s/%s: %s", m.name, w.Name, rep.Render(p))
+				}
+				if rep.Regions < 2 {
+					t.Errorf("%s/%s: only %d regions analyzed", m.name, w.Name, rep.Regions)
+				}
+			}
+		})
+	}
+}
+
+// TestNonIdempotentSkipped: markless programs have no contract to check.
+func TestNonIdempotentSkipped(t *testing.T) {
+	w, _ := workloads.ByName("bzip2")
+	p := compile(t, w, codegen.ModuleOptions{Idempotent: false, Core: core.DefaultOptions()})
+	rep := Verify(p)
+	if !rep.Skipped || !rep.OK() {
+		t.Fatalf("non-idempotent build should be skipped+ok, got %s", rep.Summary())
+	}
+}
+
+// TestRelaxedAllocDifferential: with the §4.4 allocation constraint
+// disabled, live-in registers are redefined in-region and the verifier
+// must notice on at least one workload — the ablation doubles as a
+// sensitivity check that the analysis is not vacuous.
+func TestRelaxedAllocDifferential(t *testing.T) {
+	found := 0
+	for _, w := range workloads.All() {
+		mo := codegen.ModuleOptions{Idempotent: true, Core: core.DefaultOptions(), RelaxedAlloc: true}
+		p := compile(t, w, mo)
+		rep := Verify(p)
+		if !rep.OK() {
+			found++
+		}
+	}
+	if found == 0 {
+		t.Fatalf("relaxed-alloc ablation produced zero violations across all workloads; verifier is blind to register clobbers")
+	}
+	t.Logf("relaxed-alloc: %d/%d workloads rejected", found, len(workloads.All()))
+}
+
+// mutate returns a copy of p with its instruction stream edited by fn.
+func mutate(p *codegen.Program, fn func(instrs []isa.Instr) bool) (*codegen.Program, bool) {
+	q := *p
+	q.Instrs = append([]isa.Instr(nil), p.Instrs...)
+	ok := fn(q.Instrs)
+	return &q, ok
+}
+
+func hasKind(rep *Report, k Kind) bool {
+	for _, v := range rep.Violations {
+		if v.Kind == k {
+			return true
+		}
+	}
+	return false
+}
+
+// TestMutationDropMark: removing a MARK merges two regions; the merged
+// region must expose a clobber somewhere across the suite.
+func TestMutationDropMark(t *testing.T) {
+	rejected := 0
+	for _, w := range workloads.All() {
+		p := compile(t, w, codegen.ModuleOptions{Idempotent: true, Core: core.DefaultOptions()})
+		// Drop each MARK in turn until one mutation is rejected.
+		for pc, in := range p.Instrs {
+			if in.Op != isa.MARK {
+				continue
+			}
+			q, _ := mutate(p, func(instrs []isa.Instr) bool {
+				instrs[pc] = isa.Instr{Op: isa.NOP}
+				return true
+			})
+			q.Marks--
+			if q.Marks == 0 {
+				continue
+			}
+			if rep := Verify(q); !rep.OK() {
+				rejected++
+				break
+			}
+		}
+		if rejected > 0 {
+			break
+		}
+	}
+	if rejected == 0 {
+		t.Fatal("no dropped-MARK mutation was rejected on any workload")
+	}
+}
+
+// TestMutationRetargetSpillStore: pointing a spill store at a slot that
+// was read earlier in the region clobbers live-in state.
+func TestMutationRetargetSpillStore(t *testing.T) {
+	rejected := false
+	for _, w := range workloads.All() {
+		p := compile(t, w, codegen.ModuleOptions{Idempotent: true, Core: core.DefaultOptions()})
+		// Find a region with a spill load [sp,#a] followed by a spill
+		// store [sp,#b], b != a, with no intervening MARK; retarget the
+		// store to slot a.
+		for pc, in := range p.Instrs {
+			if in.Op != isa.LDR || in.Rs1 != isa.SP {
+				continue
+			}
+			for j := pc + 1; j < len(p.Instrs) && p.Instrs[j].Op != isa.MARK &&
+				p.Instrs[j].Op != isa.RET && p.Instrs[j].Op != isa.CALL &&
+				p.Instrs[j].Op != isa.B && p.Instrs[j].Op != isa.CBZ &&
+				p.Instrs[j].Op != isa.CBNZ; j++ {
+				sj := p.Instrs[j]
+				if sj.Op == isa.STR && sj.Rs1 == isa.SP && sj.Imm != in.Imm {
+					q, _ := mutate(p, func(instrs []isa.Instr) bool {
+						instrs[j].Imm = in.Imm
+						return true
+					})
+					if rep := Verify(q); hasKind(rep, KindClobberMem) {
+						rejected = true
+					}
+				}
+				if rejected {
+					break
+				}
+			}
+			if rejected {
+				break
+			}
+		}
+		if rejected {
+			break
+		}
+	}
+	if !rejected {
+		t.Fatal("no retargeted spill store was rejected")
+	}
+}
+
+// TestMutationBadBranch: a branch retargeted outside the program is
+// structural damage, not a crash.
+func TestMutationBadBranch(t *testing.T) {
+	w, _ := workloads.ByName("bzip2")
+	p := compile(t, w, codegen.ModuleOptions{Idempotent: true, Core: core.DefaultOptions()})
+	q, ok := mutate(p, func(instrs []isa.Instr) bool {
+		for i := range instrs {
+			if instrs[i].Op == isa.B {
+				instrs[i].Imm = int64(len(instrs)) + 99
+				return true
+			}
+		}
+		return false
+	})
+	if !ok {
+		t.Skip("no unconditional branch to retarget")
+	}
+	rep := Verify(q)
+	if !hasKind(rep, KindBadBranch) {
+		t.Fatalf("retargeted branch not flagged: %s", rep.Summary())
+	}
+}
